@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Every figure benchmark runs its experiment **once** per benchmark round
+(the experiments are internally repeated/aggregated already) and then
+asserts the paper's qualitative shape on the result, so a benchmark run
+doubles as the reproduction's acceptance test.
+
+Grid sizes default to a reduced-but-faithful configuration so the full
+benchmark suite completes in a few minutes; set ``REPRO_BENCH_FULL=1``
+to run the paper's full grids (10 runs × 128 frames, 256 pairs).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_fidelity() -> bool:
+    """True when the paper's full grids were requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def grid():
+    """Benchmark grid parameters (runs, frames)."""
+    if full_fidelity():
+        return {"runs": 10, "frames": 128}
+    return {"runs": 2, "frames": 64}
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,36 @@
+"""Ablation benchmark: the contribution of each DYAD design choice.
+
+Not a paper figure — the DESIGN.md-promised ablation study quantifying
+the mechanisms the paper credits in its Fig. 2 (RDMA, consumer staging,
+no per-frame durability tax) against the synchronization alternatives the
+paper describes for traditional systems (coarse barrier vs Pegasus-style
+polling).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, grid):
+    result = run_once(benchmark, ablations.run,
+                      runs=grid["runs"], frames=min(grid["frames"], 48))
+    print()
+    print(result.render())
+
+    for model in ("JAC", "STMV"):
+        base = result.cell(model, "dyad")
+        # RDMA buys movement time, more for bigger frames
+        assert (result.cell(model, "dyad-eager").consumption_movement.mean
+                > base.consumption_movement.mean)
+        # consumer staging costs movement (its value is re-read locality,
+        # which this single-read workload does not exercise)
+        assert (result.cell(model, "dyad-nocache").consumption_movement.mean
+                < base.consumption_movement.mean)
+        # per-frame durability costs production
+        assert (result.cell(model, "dyad-fsync").production_time
+                > base.production_time)
+        # polling sync: better than coarse, still far behind DYAD
+        coarse = result.cell(model, "lustre-coarse")
+        polling = result.cell(model, "lustre-polling")
+        assert polling.consumption_idle.mean < coarse.consumption_idle.mean
+        assert base.consumption_time < polling.consumption_time

@@ -1,0 +1,34 @@
+"""Fan-out extension benchmark (1 producer → k consumers).
+
+Not a paper figure — quantifies DYAD's staging-cache advantage for the
+"more diverse workflows" the paper's future work names. Shape asserted:
+DYAD's transfers grow sublinearly with fan-out (cache hits absorb the
+extra consumers) while Lustre's cold reads grow linearly, so DYAD's
+per-consumer advantage widens.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import extension_fanout
+
+
+def test_fanout(benchmark, grid):
+    result = run_once(benchmark, extension_fanout.run,
+                      runs=grid["runs"], frames=min(grid["frames"], 32))
+    print()
+    print(result.render())
+
+    fanouts = sorted(result.grid["dyad"])
+    lo, hi = fanouts[0], fanouts[-1]
+    dyad, lustre = result.grid["dyad"], result.grid["lustre"]
+
+    # lustre reads scale linearly with consumers; dyad transfers do not
+    assert lustre[hi].transfers == (hi // lo) * lustre[lo].transfers
+    assert dyad[hi].transfers < 0.5 * lustre[hi].transfers
+    assert dyad[hi].cache_hits > 0
+
+    # per-consumer advantage widens with fan-out
+    def ratio(f):
+        return (lustre[f].consumption_movement
+                / dyad[f].consumption_movement)
+
+    assert ratio(hi) > ratio(lo)

@@ -1,0 +1,37 @@
+"""Fig. 11 — JAC frame-frequency scaling (strides 1/5/10/50).
+
+Paper: movement flat across strides for both systems; DYAD production
+≈4.8× faster; idle grows with stride for both, with DYAD far lower.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11_jac_stride
+
+
+def test_fig11(benchmark, grid):
+    fig = run_once(benchmark, fig11_jac_stride.run, **grid)
+    print()
+    print(fig.render())
+
+    prod = fig.ratio("production_movement", "lustre", "dyad")
+    assert 3.0 < prod < 10.0, prod  # paper: 4.8x
+
+    lo, hi = fig.xs[0], fig.xs[-1]
+    for system in fig.systems:
+        # movement approximately flat across strides
+        m_lo = fig.cell(lo, system).consumption_movement.mean
+        m_hi = fig.cell(hi, system).consumption_movement.mean
+        assert 0.5 < m_hi / m_lo < 2.0, (system, m_lo, m_hi)
+        # idle grows with stride
+        assert (fig.cell(hi, system).consumption_idle.mean
+                > fig.cell(lo, system).consumption_idle.mean), system
+
+    # DYAD idle stays far below Lustre idle at every stride
+    for stride in fig.xs:
+        dyad_idle = fig.cell(stride, "dyad").consumption_idle.mean
+        lustre_idle = fig.cell(stride, "lustre").consumption_idle.mean
+        assert lustre_idle > 10 * dyad_idle, stride
+
+    # the overall gap widens as stride grows (Finding 5)
+    assert (fig.ratio("consumption_time", "lustre", "dyad", x=hi)
+            > fig.ratio("consumption_time", "lustre", "dyad", x=lo))

@@ -1,0 +1,33 @@
+"""Fig. 12 — STMV frame-frequency scaling (strides 1/5/10/50).
+
+Paper: DYAD production ≈2.0× faster; DYAD's movement improves up to
+≈1.4× at high stride (lower contention); overall gap 13.0→192.2×,
+widening with stride.
+"""
+
+from benchmarks.conftest import full_fidelity, run_once
+from repro.experiments import fig12_stmv_stride
+
+
+def test_fig12(benchmark, grid):
+    kwargs = dict(grid)
+    if not full_fidelity():
+        kwargs["frames"] = 48
+    fig = run_once(benchmark, fig12_stmv_stride.run, **kwargs)
+    print()
+    print(fig.render())
+
+    prod = fig.ratio("production_movement", "lustre", "dyad")
+    assert 1.3 < prod < 6.0, prod  # paper: 2.0x
+
+    lo, hi = fig.xs[0], fig.xs[-1]
+    # DYAD movement improves (or at least does not degrade) at high stride
+    improvement = (fig.cell(lo, "dyad").consumption_movement.mean
+                   / fig.cell(hi, "dyad").consumption_movement.mean)
+    assert improvement >= 0.95, improvement  # paper: up to 1.4x
+
+    # overall gap widens with stride (paper: 13.0 -> 192.2x)
+    low_gap = fig.ratio("consumption_time", "lustre", "dyad", x=lo)
+    high_gap = fig.ratio("consumption_time", "lustre", "dyad", x=hi)
+    assert high_gap > low_gap > 1.0, (low_gap, high_gap)
+    assert high_gap > 10, high_gap

@@ -1,0 +1,31 @@
+"""Fig. 5 — single-node DYAD vs XFS ensemble scaling.
+
+Paper: DYAD production ≈1.4× slower than XFS; DYAD overall consumption
+≈192.9× faster (two orders of magnitude), consumption idle-dominated for
+XFS.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig5_single_node
+
+
+def test_fig5(benchmark, grid):
+    fig = run_once(benchmark, fig5_single_node.run, **grid)
+    print()
+    print(fig.render())
+
+    prod = fig.ratio("production_movement", "dyad", "xfs")
+    cons = fig.ratio("consumption_time", "xfs", "dyad")
+    # paper: 1.4x slower production
+    assert 1.15 < prod < 1.9, prod
+    # paper: 192.9x faster consumption — assert the order of magnitude
+    assert cons > 25, cons
+    # idle dominates XFS consumption at every ensemble size
+    for pairs in fig.xs:
+        cell = fig.cell(pairs, "xfs")
+        assert cell.consumption_idle.mean > 10 * cell.consumption_movement.mean
+    # production has no significant idle for either system
+    for pairs in fig.xs:
+        for system in fig.systems:
+            cell = fig.cell(pairs, system)
+            assert cell.production_idle.mean < 0.05 * cell.production_movement.mean

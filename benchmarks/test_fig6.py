@@ -1,0 +1,25 @@
+"""Fig. 6 — two-node DYAD vs Lustre (JAC).
+
+Paper: DYAD ≈7.5× faster production, ≈6.9× faster consumer movement,
+≈197.4× faster overall consumption.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig6_two_node
+
+
+def test_fig6(benchmark, grid):
+    fig = run_once(benchmark, fig6_two_node.run, **grid)
+    print()
+    print(fig.render())
+
+    prod = fig.ratio("production_movement", "lustre", "dyad")
+    move = fig.ratio("consumption_movement", "lustre", "dyad")
+    total = fig.ratio("consumption_time", "lustre", "dyad")
+    assert 4.0 < prod < 11.0, prod        # paper: 7.5x
+    assert 2.0 < move < 10.0, move        # paper: 6.9x
+    assert total > 25, total              # paper: 197.4x
+    # DYAD production stays flat as pairs grow (network hop is cheap)
+    first = fig.cell(fig.xs[0], "dyad").production_movement.mean
+    last = fig.cell(fig.xs[-1], "dyad").production_movement.mean
+    assert last / first < 1.5

@@ -1,0 +1,28 @@
+"""Fig. 7 — multi-node scaling to 64 nodes / 256 pairs (JAC).
+
+Paper: production flat with ensemble size for both; DYAD ≈5.3× (prod) /
+≈5.8× (cons movement) / ≈192× (overall) faster than Lustre.
+"""
+
+from benchmarks.conftest import full_fidelity, run_once
+from repro.experiments import fig7_multi_node
+
+
+def test_fig7(benchmark, grid):
+    kwargs = dict(grid)
+    if not full_fidelity():
+        kwargs["frames"] = 48  # 256-pair runs dominate; trim frames a bit
+    fig = run_once(benchmark, fig7_multi_node.run, **kwargs)
+    print()
+    print(fig.render())
+
+    prod = fig.ratio("production_movement", "lustre", "dyad")
+    move = fig.ratio("consumption_movement", "lustre", "dyad")
+    total = fig.ratio("consumption_time", "lustre", "dyad")
+    assert 3.5 < prod < 10.0, prod   # paper: 5.3x
+    assert 2.0 < move < 10.0, move   # paper: 5.8x
+    assert total > 20, total         # paper: 192x
+    # production stable across the whole ensemble range for both systems
+    for system in fig.systems:
+        values = [fig.cell(x, system).production_movement.mean for x in fig.xs]
+        assert max(values) / min(values) < 1.6, (system, values)

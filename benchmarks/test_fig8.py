@@ -1,0 +1,37 @@
+"""Fig. 8 — molecular model size scaling (DYAD vs Lustre, 16 pairs).
+
+Paper: movement grows with model size for both; DYAD wins production
+2.1-6.3×; the consumption-movement gap *widens* with size (1.6→6.0×);
+overall 121-334× (idle-dominated for Lustre at every size).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig8_model_scaling
+
+
+def test_fig8(benchmark, grid):
+    fig = run_once(benchmark, fig8_model_scaling.run, **grid)
+    print()
+    print(fig.render())
+
+    order = fig.xs  # JAC .. STMV by size
+    # movement grows monotonically with model size for both systems
+    for system in fig.systems:
+        moves = [fig.cell(x, system).consumption_movement.mean for x in order]
+        assert moves == sorted(moves), (system, moves)
+        prods = [fig.cell(x, system).production_movement.mean for x in order]
+        assert prods == sorted(prods), (system, prods)
+
+    # DYAD faster at production for every model, within a sane band
+    for x in order:
+        ratio = fig.ratio("production_movement", "lustre", "dyad", x=x)
+        assert 1.5 < ratio < 12.0, (x, ratio)
+
+    # the consumption-movement gap widens from smallest to largest model
+    first_gap = fig.ratio("consumption_movement", "lustre", "dyad", x=order[0])
+    last_gap = fig.ratio("consumption_movement", "lustre", "dyad", x=order[-1])
+    assert last_gap > first_gap > 1.0, (first_gap, last_gap)
+
+    # overall consumption: DYAD wins by >10x at every size (paper: 121-334x)
+    for x in order:
+        assert fig.ratio("consumption_time", "lustre", "dyad", x=x) > 10

@@ -1,0 +1,38 @@
+"""Fig. 9 — DYAD Thicket call trees (JAC vs STMV).
+
+Paper: 45.3× more data costs DYAD only ≈33.6× more movement time;
+``dyad_fetch`` is ≈2.1× cheaper per call for STMV (less KVS pressure).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig9_dyad_calltree
+from repro.md.models import JAC, STMV
+
+
+def test_fig9(benchmark, grid):
+    fig = run_once(benchmark, fig9_dyad_calltree.run, **grid)
+    print()
+    print(fig.render())
+
+    move = {
+        model: sum(v for k, v in values.items()
+                   if k != "dyad_consume/dyad_fetch")
+        for model, values in fig.per_frame.items()
+    }
+    data_ratio = STMV.frame_bytes / JAC.frame_bytes
+    time_ratio = move["STMV"] / move["JAC"]
+    # paper: 33.6x for 45.3x more data — assert strong sublinearity in a band
+    assert 20.0 < time_ratio < data_ratio, time_ratio
+
+    # every Fig. 9 region exists in both trees
+    for model in ("JAC", "STMV"):
+        tree = fig.trees[model]
+        for path in [("dyad_consume", "dyad_fetch"),
+                     ("dyad_consume", "dyad_get_data"),
+                     ("dyad_consume", "dyad_cons_store"),
+                     ("read_single_buf",)]:
+            assert tree.find(*path) is not None, (model, path)
+
+    # fetch does not blow up for STMV (paper: it *improves* 2.1x)
+    fetch = {m: v["dyad_consume/dyad_fetch"] for m, v in fig.per_frame.items()}
+    assert fetch["STMV"] <= fetch["JAC"] * 1.5, fetch

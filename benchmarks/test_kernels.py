@@ -1,0 +1,95 @@
+"""Micro-benchmarks of the library's own hot paths.
+
+Not a paper figure — these track the performance of the substrates the
+reproduction is built on (DES event throughput, bandwidth-sharing, the
+frame codec, the LJ engine), so regressions in the simulator itself are
+visible separately from changes in the modelled systems.
+"""
+
+import numpy as np
+
+from repro.md.engine import LJConfig, LJSimulation
+from repro.md.frame import Frame
+from repro.sim.core import Environment
+from repro.sim.resources import Resource, SharedBandwidth
+
+
+def test_event_loop_throughput(benchmark):
+    """Schedule+dispatch cost of plain timeout events."""
+
+    def run_events():
+        env = Environment()
+
+        def ticker():
+            for _ in range(10_000):
+                yield env.timeout(1.0)
+
+        env.process(ticker())
+        env.run()
+        return env.now
+
+    assert benchmark(run_events) == 10_000.0
+
+
+def test_resource_queue_throughput(benchmark):
+    """Acquire/release churn through a contended FIFO resource."""
+
+    def run_queue():
+        env = Environment()
+        res = Resource(env, 2)
+        done = []
+
+        def worker():
+            for _ in range(200):
+                yield from res.acquire(0.001)
+            done.append(True)
+
+        for _ in range(10):
+            env.process(worker())
+        env.run()
+        return len(done)
+
+    assert benchmark(run_queue) == 10
+
+
+def test_shared_bandwidth_recompute_cost(benchmark):
+    """Fluid-flow rescheduling with churning flow sets."""
+
+    def run_flows():
+        env = Environment()
+        chan = SharedBandwidth(env, 1e6)
+        finished = []
+
+        def mover(i):
+            yield env.timeout(i * 0.0001)
+            yield chan.transfer(1000.0 + i)
+            finished.append(i)
+
+        for i in range(500):
+            env.process(mover(i))
+        env.run()
+        return len(finished)
+
+    assert benchmark(run_flows) == 500
+
+
+def test_frame_codec_encode(benchmark):
+    frame = Frame.random(100_000, np.random.default_rng(0))
+
+    payload = benchmark(frame.encode)
+    assert len(payload) == frame.nbytes
+
+
+def test_frame_codec_decode(benchmark):
+    frame = Frame.random(100_000, np.random.default_rng(0))
+    payload = frame.encode()
+
+    decoded = benchmark(Frame.decode, payload)
+    assert decoded.natoms == 100_000
+
+
+def test_lj_engine_steps_per_second(benchmark):
+    sim = LJSimulation(LJConfig(n_atoms=500, density=0.5, seed=0))
+
+    benchmark.pedantic(sim.step, args=(5,), rounds=3, iterations=1)
+    assert sim.step_index >= 15

@@ -1,0 +1,35 @@
+"""T1/T2/Fig3 — the model catalogue tables (exact reproduction checks)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import tables
+from repro.md.models import JAC, MODELS, STMV
+from repro.units import KiB, MiB
+
+
+def test_table1(benchmark):
+    result = run_once(benchmark, tables.run)
+    rows = result.table1
+    assert [r[0] for r in rows] == ["JAC", "ApoA1", "F1 ATPase", "STMV"]
+    assert rows[0][2] == "644.21 KiB"
+    assert rows[1][2] == "2.46 MiB"
+    assert rows[2][2] == "8.75 MiB"
+    assert rows[3][2] == "28.48 MiB"
+    assert rows[0][3] == "1072.92"
+
+
+def test_table2(benchmark):
+    result = run_once(benchmark, tables.run)
+    rows = result.table2
+    assert [r[3] for r in rows] == ["880", "294", "92", "28"]
+    assert [r[2] for r in rows] == ["0.93", "2.79", "8.64", "29.29"]
+
+
+def test_fig3(benchmark):
+    result = run_once(benchmark, tables.run)
+    # codec frame sizes deviate from the paper's by < 0.2% for all models
+    for row in result.fig3:
+        assert float(row[-1].rstrip("%")) < 0.2
+    # and the headline 45.3x data ratio holds
+    assert STMV.frame_bytes / JAC.frame_bytes == pytest.approx(45.3, abs=0.1)

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""A *real* in-situ analytics pipeline through the DYAD protocol.
+
+This is the paper's Fig. 1 as running code, with nothing emulated:
+
+- the producer thread runs a genuine Lennard-Jones MD simulation
+  (:mod:`repro.md.engine`), encodes each frame with the binary codec, and
+  stages it through the real-threads DYAD backend (real files, real
+  ``fcntl`` locks, a blocking KVS watch for first-touch sync);
+- the consumer thread pulls each frame as it appears, decodes it, and
+  runs the paper's style of in-situ analytics — radius of gyration plus
+  largest-eigenvalue tracking of two atom-subset contact matrices
+  ("Helix 1-2 / Helix 1-3"), flagging sudden structural changes.
+
+Run with::
+
+    python examples/insitu_analytics_pipeline.py
+"""
+
+import tempfile
+import threading
+import time
+
+from repro.backends.local import LocalDyad
+from repro.md import (
+    EigenvalueTracker,
+    Frame,
+    LJConfig,
+    LJSimulation,
+    radius_of_gyration,
+)
+
+N_FRAMES = 12
+STRIDE = 10
+
+
+def producer(dyad: LocalDyad, done: threading.Event) -> None:
+    """MD simulation: run STRIDE steps, stage a frame, repeat."""
+    sim = LJSimulation(LJConfig(
+        n_atoms=300, density=0.45, temperature=1.2, seed=7,
+    ))
+    for index, frame in enumerate(sim.run_trajectory(N_FRAMES, STRIDE)):
+        payload = frame.encode()
+        dyad.produce("node00", f"traj/frame{index:04d}.mdfr", payload)
+        print(f"[producer] staged frame {index} "
+              f"(step {frame.step}, {len(payload)} bytes, "
+              f"T={sim.instantaneous_temperature:.2f})")
+    done.set()
+
+
+def consumer(dyad: LocalDyad) -> None:
+    """In-situ analytics: consume frames as they appear."""
+    tracker = EigenvalueTracker(
+        subsets={
+            "helix-1-2": range(0, 40),
+            "helix-1-3": range(40, 80),
+        },
+        cutoff=3.0,
+        threshold=2.5,
+        warmup=4,
+    )
+    reference = None
+    for index in range(N_FRAMES):
+        payload = dyad.consume("node01", f"traj/frame{index:04d}.mdfr",
+                               timeout=60.0)
+        frame = Frame.decode(payload)
+        if reference is None:
+            reference = frame
+        events = tracker.ingest(frame)
+        rg = radius_of_gyration(frame)
+        print(f"[consumer] frame {index}: Rg={rg:.3f}  "
+              + "  ".join(
+                  f"λ({name})={series[-1]:.2f}"
+                  for name, series in tracker.series.items()
+              ))
+        for step, subset, value in events:
+            print(f"[consumer] *** sudden change in {subset} at step {step} "
+                  f"(λ={value:.2f}) — steer the simulation!")
+
+    print("\n[consumer] eigenvalue summary:")
+    for name, stats in tracker.summary().items():
+        print(f"  {name}: mean={stats['mean']:.2f} std={stats['std']:.2f} "
+              f"range=[{stats['min']:.2f}, {stats['max']:.2f}]")
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="dyad-insitu-") as root:
+        dyad = LocalDyad(root, nodes=2)
+        done = threading.Event()
+        start = time.monotonic()
+        threads = [
+            threading.Thread(target=producer, args=(dyad, done), name="prod"),
+            threading.Thread(target=consumer, args=(dyad,), name="cons"),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        print(f"\npipeline complete in {time.monotonic() - start:.2f}s "
+              f"({N_FRAMES} frames, real MD + real files + real locks)")
+
+
+if __name__ == "__main__":
+    main()

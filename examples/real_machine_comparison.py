@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Real-machine miniature of the paper's comparison — wall-clock seconds.
+
+Runs the same producer/consumer workload twice on *this* machine with real
+threads and real files:
+
+- through the DYAD-protocol local backend (staging dirs + blocking KVS
+  watch + flock fast path), and
+- through a shared directory with Pegasus-style polling discovery (the
+  traditional manual synchronization).
+
+Frames are genuine encoded MD frames. The report decomposes each path's
+time with the same Caliper instrumentation the simulator uses, so you can
+see the polling idle with your own eyes — the qualitative Finding 1 of
+the paper, reproduced in actual seconds on actual hardware.
+
+Run with::
+
+    python examples/real_machine_comparison.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.backends.local import run_local_comparison
+from repro.md import Frame
+from repro.units import fmt_time
+
+FRAMES = 10
+PAIRS = 2
+PRODUCE_PERIOD = 0.005  # "MD compute" between frames (fast producer)
+POLL_INTERVAL = 0.02    # traditional path's discovery granularity
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    payloads = {
+        (pair, k): Frame.random(2000, rng, step=k).encode()
+        for pair in range(PAIRS)
+        for k in range(FRAMES)
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-real-") as root:
+        reports = run_local_comparison(
+            root,
+            frame_source=lambda pair, k: payloads[(pair, k)],
+            frames=FRAMES,
+            pairs=PAIRS,
+            produce_period=PRODUCE_PERIOD,
+            poll_interval=POLL_INTERVAL,
+        )
+
+    print(f"{PAIRS} pairs x {FRAMES} frames of "
+          f"{len(payloads[(0, 0)])} B, produced every "
+          f"{fmt_time(PRODUCE_PERIOD)}:\n")
+    for name, report in reports.items():
+        assert report.ok, report.errors
+        idle = movement = 0.0
+        for pname, tree in report.caliper.trees().items():
+            if pname.startswith("consumer"):
+                idle += tree.total_by_category("idle")
+                movement += tree.total_by_category("movement")
+        n = PAIRS * FRAMES
+        sync_overhead = max(idle / n - PRODUCE_PERIOD, 0.0)
+        print(f"{name:11s} wall={report.elapsed:6.3f}s  "
+              f"consumer idle={fmt_time(idle / n)}/frame  "
+              f"(sync overhead ~{fmt_time(sync_overhead)})  "
+              f"movement={fmt_time(movement / n)}/frame")
+
+    print("\nDYAD's blocking watch wakes consumers the instant a frame is")
+    print("committed; the shared-dir path pays up to a poll interval of")
+    print("discovery latency per frame — the same synchronization gap the")
+    print("paper measures, here in real wall-clock time.")
+
+
+if __name__ == "__main__":
+    main()

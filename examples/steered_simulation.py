@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Simulation steering end-to-end: detect, terminate, fork.
+
+The paper's Section II-B motivation, executed for real: "researchers who
+study the data as it is generated to steer the simulation (e.g.,
+terminate or fork a trajectory)". This example runs a live LJ simulation
+through the in-situ pipeline; when the eigenvalue analytics flag a sudden
+structural change, the pipeline **terminates** the trajectory, and the
+driver **forks** it into independent replicas (perturbed velocities) that
+explore onward from the event — each through its own pipeline.
+
+Everything is real: real MD engine, real threads, real files through the
+DYAD-protocol backend, real contact-matrix eigenvalues.
+
+Run with::
+
+    python examples/steered_simulation.py
+"""
+
+from repro.insitu import (
+    EigenvalueSteering,
+    EngineSource,
+    InSituPipeline,
+    ObservableRecorder,
+)
+from repro.md import LJConfig, radius_of_gyration
+
+SUBSETS = {"helix-1-2": range(0, 40), "helix-1-3": range(40, 80)}
+
+
+def run_pipeline(source, label, max_frames=30, threshold=1.5):
+    steering = EigenvalueSteering(
+        SUBSETS, cutoff=3.0, threshold=threshold, warmup=4,
+    )
+    recorder = ObservableRecorder({"rg": radius_of_gyration})
+    pipeline = InSituPipeline(source=source, sinks=[steering, recorder])
+    report = pipeline.run(max_frames=max_frames)
+    rg = recorder.series["rg"]
+    print(f"[{label}] frames={report.frames_consumed:3d} "
+          f"terminated={report.terminated_early!s:5s} "
+          f"Rg {rg[0]:.2f} -> {rg[-1]:.2f}  "
+          f"events={len(steering.events)}")
+    for step, subset, value in steering.events[:2]:
+        print(f"[{label}]   event: {subset} jumped to λ={value:.2f} "
+              f"at step {step}")
+    return report, steering
+
+
+def main() -> None:
+    print("Phase 1: primary trajectory with steering analytics\n")
+    primary = EngineSource(
+        LJConfig(n_atoms=240, density=0.45, temperature=1.4, seed=11),
+        stride=10,
+    )
+    report, steering = run_pipeline(primary, "primary")
+
+    if not report.terminated_early:
+        print("\nno structural event detected — nothing to fork")
+        return
+
+    print("\nPhase 2: event detected -> fork the trajectory into replicas")
+    print("(same positions, perturbed velocities: independent exploration")
+    print(" of phase space around the event, per the paper's Section II-B)\n")
+    for replica in range(2):
+        fork = primary.fork(seed=100 + replica, velocity_jitter=0.08)
+        run_pipeline(fork, f"fork-{replica}", max_frames=12,
+                     threshold=6.0)  # forks just explore; steer less eagerly
+
+    print("\nThe detect->terminate->fork loop closed without any data ever")
+    print("touching a parallel file system: frames moved producer->consumer")
+    print("through node-local staging with watch-based synchronization.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Timeline tracing: *see* DYAD's pipelining vs the coarse barrier.
+
+Runs the same JAC workload through DYAD and through Lustre with the
+traditional coarse-grained synchronization, records full region timelines,
+prints producer/consumer work-overlap statistics, and exports Chrome-trace
+JSON files you can open in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Run with::
+
+    python examples/timeline_tracing.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.md import JAC
+from repro.workflow import Placement, System, WorkflowSpec, run_workflow
+from repro.workflow.spec import SyncMode
+
+
+def run(system, sync_mode=SyncMode.COARSE):
+    kwargs = {} if system is System.DYAD else {"sync_mode": sync_mode}
+    spec = WorkflowSpec(
+        system=system, model=JAC, stride=JAC.paper_stride, frames=16,
+        pairs=2, placement=Placement.SPLIT, **kwargs,
+    )
+    return run_workflow(spec, jitter_cv=0.05, trace=True)
+
+
+def report(label, result):
+    tracer = result.tracer
+    overlap = tracer.overlap("producer0000", "consumer0000")
+    print(f"{label:16s} makespan={result.makespan:7.2f}s  "
+          f"pair-0 work overlap={overlap:6.2f}s "
+          f"({overlap / result.makespan:5.1%} of the run)  "
+          f"spans={len(tracer.events)}")
+    return tracer
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    print("Tracing 16 JAC frames, 2 pairs, 2 nodes:\n")
+    runs = {
+        "dyad": run(System.DYAD),
+        "lustre-coarse": run(System.LUSTRE, SyncMode.COARSE),
+        "lustre-polling": run(System.LUSTRE, SyncMode.POLLING),
+    }
+    for label, result in runs.items():
+        tracer = report(label, result)
+        path = out_dir / f"trace-{label}.json"
+        tracer.write_chrome_trace(path)
+        print(f"{'':16s} -> {path}")
+
+    print("\nReading the traces:")
+    print("- dyad: producer and consumer lanes are busy simultaneously —")
+    print("  the consumer is always exactly one frame behind (pipelined);")
+    print("- lustre-coarse: the consumer lane is one long explicit_sync")
+    print("  block followed by reads after the producer finished — the")
+    print("  'serialized execution' the paper describes;")
+    print("- lustre-polling: overlap is back, at the price of poll_sync")
+    print("  idle slices and stat() traffic before every read.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries all metadata; this file exists so that editable
+installs work on minimal/offline environments that lack the ``wheel``
+package required by PEP 660 builds.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — a reproduction of *"Empirical Study of Molecular Dynamics
+Workflow Data Movement: DYAD vs. Traditional I/O Systems"* (Lumsden et
+al., 2024).
+
+The library contains every system the paper's study depends on, built
+from scratch:
+
+- a deterministic discrete-event simulation kernel (:mod:`repro.sim`);
+- a Corona-like cluster model — NVMe SSDs, InfiniBand-like fabric, nodes
+  (:mod:`repro.cluster`);
+- XFS-like and Lustre-like file systems behind one POSIX layer, plus
+  advisory file locks (:mod:`repro.storage`);
+- a Flux-KVS-like key-value store (:mod:`repro.kvs`);
+- the DYAD middleware — node-local staging, global metadata management,
+  multi-protocol synchronization, RDMA pulls (:mod:`repro.dyad`);
+- the MD substrate — model catalogue, binary frame codec, a real
+  Lennard-Jones engine, in-situ analytics (:mod:`repro.md`);
+- the MD-inspired producer/consumer workflow harness
+  (:mod:`repro.workflow`) and a real-threads local backend
+  (:mod:`repro.backends`);
+- Caliper/Thicket-like performance tooling (:mod:`repro.perf`);
+- the per-figure reproduction harness (:mod:`repro.experiments`).
+
+Quick start::
+
+    from repro.md import JAC
+    from repro.workflow import WorkflowSpec, System, run_workflow
+
+    spec = WorkflowSpec(system=System.DYAD, model=JAC, stride=880,
+                        frames=32, pairs=2)
+    result = run_workflow(spec)
+    print(result.consumption_time)
+"""
+
+from repro.errors import ReproError
+from repro.md.models import APOA1, F1_ATPASE, JAC, MODELS, STMV
+from repro.workflow import (
+    Placement,
+    System,
+    WorkflowResult,
+    WorkflowSpec,
+    run_repetitions,
+    run_workflow,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "APOA1",
+    "F1_ATPASE",
+    "JAC",
+    "MODELS",
+    "STMV",
+    "Placement",
+    "System",
+    "WorkflowResult",
+    "WorkflowSpec",
+    "run_repetitions",
+    "run_workflow",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Execution backends for the producer/consumer middleware protocol.
+
+Two backends implement the same conceptual transport:
+
+- the **simulated** backend is the cluster-scale DES used for every paper
+  experiment (:mod:`repro.workflow` drives it directly);
+- the **local** backend (:mod:`repro.backends.local`) runs the same DYAD
+  protocol — node-local staging directories, a key-value store with
+  watch-based first-touch synchronization, flock fast path, a pull-based
+  transfer step — with *real threads, real files, and real locks* on the
+  local machine. It exists to demonstrate the middleware logic is a real
+  protocol rather than a timing model, and powers the runnable examples.
+"""
+
+from repro.backends.local import (
+    LocalDyad,
+    LocalKVS,
+    LocalWorkflowReport,
+    run_local_workflow,
+)
+
+__all__ = [
+    "LocalDyad",
+    "LocalKVS",
+    "LocalWorkflowReport",
+    "run_local_workflow",
+]

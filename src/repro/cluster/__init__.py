@@ -1,0 +1,38 @@
+"""Simulated cluster hardware substrate.
+
+Models the hardware the paper ran on — LLNL's Corona cluster — at the level
+of detail the study's findings depend on: node-local NVMe SSDs with
+bandwidth/latency and concurrency sharing, an InfiniBand-like fabric with
+per-NIC bandwidth sharing and per-hop latency, and nodes with a bounded
+number of cores/GPUs (the paper's 8-processes-per-node placement limit
+comes from Corona's 8 GPUs per node).
+
+Public API
+----------
+- :class:`~repro.cluster.ssd.SSDModel`, :class:`~repro.cluster.ssd.SSDConfig`
+- :class:`~repro.cluster.network.Fabric`, :class:`~repro.cluster.network.FabricConfig`,
+  :class:`~repro.cluster.network.NIC`
+- :class:`~repro.cluster.node.Node`, :class:`~repro.cluster.node.NodeConfig`
+- :class:`~repro.cluster.topology.Cluster`, :class:`~repro.cluster.topology.ClusterConfig`
+- :func:`~repro.cluster.corona.corona` — the Corona machine preset.
+"""
+
+from repro.cluster.corona import CORONA_NODE, corona
+from repro.cluster.network import NIC, Fabric, FabricConfig
+from repro.cluster.node import Node, NodeConfig
+from repro.cluster.ssd import SSDConfig, SSDModel
+from repro.cluster.topology import Cluster, ClusterConfig
+
+__all__ = [
+    "CORONA_NODE",
+    "corona",
+    "NIC",
+    "Fabric",
+    "FabricConfig",
+    "Node",
+    "NodeConfig",
+    "SSDConfig",
+    "SSDModel",
+    "Cluster",
+    "ClusterConfig",
+]

@@ -1,0 +1,200 @@
+"""InfiniBand-like cluster fabric model.
+
+The fabric is a star of full-duplex NICs around an idealized switch:
+
+- every node owns a :class:`NIC` with separate egress and ingress
+  fluid-flow channels (concurrent flows share the channel);
+- a point-to-point transfer pays per-hop wire latency, then streams
+  through *both* the source egress and destination ingress channels; the
+  transfer completes when the slower of the two finishes, approximating a
+  min-rate coupled flow;
+- the switch itself is modelled with an optional aggregate bisection
+  channel; Corona's QDR switch is far from saturation in these workloads
+  so the preset leaves it effectively unconstrained.
+
+RDMA transfers (DYAD's pull protocol) use the same data path but a lower
+per-message latency and zero per-byte CPU cost, matching the "direct
+network communication" behaviour the paper credits for Finding 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ConfigError, TransferError
+from repro.sim.core import Environment
+from repro.sim.resources import SharedBandwidth
+from repro.sim.rng import RngStreams
+from repro.units import gb_per_s, usec
+
+__all__ = ["FabricConfig", "NIC", "Fabric"]
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Performance envelope of the interconnect.
+
+    Defaults approximate InfiniBand QDR (4× QDR = 32 Gbit/s ≈ 4 GB/s per
+    port) as installed on Corona.
+
+    Attributes
+    ----------
+    link_bandwidth:
+        Per-NIC, per-direction bandwidth in bytes/second.
+    hop_latency:
+        Wire+switch latency per hop in seconds; a node-to-node path is
+        ``hops`` hops long.
+    hops:
+        Number of switch hops between two compute nodes.
+    rdma_setup:
+        Extra fixed cost to post an RDMA read (QP doorbell, rendezvous);
+        paid once per transfer.
+    message_setup:
+        Fixed cost of an eager two-sided message (used for control traffic
+        such as KVS RPCs).
+    bisection_bandwidth:
+        Aggregate switch capacity shared by all in-flight transfers;
+        ``None`` disables the constraint.
+    jitter_cv:
+        Lognormal latency jitter coefficient of variation (0 = off).
+    """
+
+    link_bandwidth: float = gb_per_s(4.0)
+    hop_latency: float = usec(2.0)
+    hops: int = 2
+    rdma_setup: float = usec(5.0)
+    message_setup: float = usec(15.0)
+    bisection_bandwidth: Optional[float] = None
+    jitter_cv: float = 0.0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on non-physical values."""
+        if self.link_bandwidth <= 0:
+            raise ConfigError("link bandwidth must be positive")
+        if self.hop_latency < 0 or self.rdma_setup < 0 or self.message_setup < 0:
+            raise ConfigError("latencies must be non-negative")
+        if self.hops < 1:
+            raise ConfigError("hops must be >= 1")
+        if self.bisection_bandwidth is not None and self.bisection_bandwidth <= 0:
+            raise ConfigError("bisection bandwidth must be positive")
+        if self.jitter_cv < 0:
+            raise ConfigError("jitter_cv must be non-negative")
+
+
+class NIC:
+    """One full-duplex network port."""
+
+    def __init__(self, env: Environment, node_id: str, bandwidth: float) -> None:
+        self.node_id = node_id
+        self.egress = SharedBandwidth(env, bandwidth)
+        self.ingress = SharedBandwidth(env, bandwidth)
+
+    @property
+    def active_flows(self) -> int:
+        """In-flight flows touching this NIC (either direction)."""
+        return self.egress.active_flows + self.ingress.active_flows
+
+
+class FabricStats:
+    """Lifetime transfer counters."""
+
+    def __init__(self) -> None:
+        self.transfers = 0
+        self.rdma_transfers = 0
+        self.messages = 0
+        self.bytes_moved = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FabricStats(transfers={self.transfers}, "
+            f"rdma={self.rdma_transfers}, messages={self.messages}, "
+            f"bytes={self.bytes_moved})"
+        )
+
+
+class Fabric:
+    """The cluster interconnect: a set of NICs around a switch."""
+
+    def __init__(self, env: Environment, config: FabricConfig, rng: RngStreams) -> None:
+        config.validate()
+        self.env = env
+        self.config = config
+        self._rng = rng
+        self._nics: Dict[str, NIC] = {}
+        self._bisection: Optional[SharedBandwidth] = (
+            SharedBandwidth(env, config.bisection_bandwidth)
+            if config.bisection_bandwidth is not None
+            else None
+        )
+        self.stats = FabricStats()
+
+    # -- topology -------------------------------------------------------------
+    def attach(self, node_id: str) -> NIC:
+        """Register a node on the fabric and return its NIC."""
+        if node_id in self._nics:
+            raise ConfigError(f"node {node_id!r} already attached")
+        nic = NIC(self.env, node_id, self.config.link_bandwidth)
+        self._nics[node_id] = nic
+        return nic
+
+    def nic(self, node_id: str) -> NIC:
+        """NIC of an attached node; :class:`TransferError` if unknown."""
+        try:
+            return self._nics[node_id]
+        except KeyError:
+            raise TransferError(f"node {node_id!r} not attached to fabric") from None
+
+    def path_latency(self) -> float:
+        """Base node-to-node wire latency (before jitter)."""
+        return self.config.hop_latency * self.config.hops
+
+    # -- data path --------------------------------------------------------------
+    def _jittered(self, stream: str, base: float) -> float:
+        if self.config.jitter_cv == 0.0:
+            return base
+        return self._rng.jitter(stream, base, self.config.jitter_cv)
+
+    def _move(self, src: str, dst: str, nbytes: int, setup: float):
+        """Common generator for both transfer kinds; returns elapsed time."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if src == dst:
+            # Loopback never touches the wire: a small fixed memcpy-ish cost.
+            start = self.env.now
+            yield self.env.timeout(self._jittered("fabric.loopback", setup / 2))
+            return self.env.now - start
+        src_nic = self.nic(src)
+        dst_nic = self.nic(dst)
+        start = self.env.now
+        latency = self._jittered("fabric.latency", setup + self.path_latency())
+        yield self.env.timeout(latency)
+        if nbytes:
+            flows = [
+                src_nic.egress.transfer(nbytes),
+                dst_nic.ingress.transfer(nbytes),
+            ]
+            if self._bisection is not None:
+                flows.append(self._bisection.transfer(nbytes))
+            yield self.env.all_of(flows)
+        self.stats.bytes_moved += nbytes
+        return self.env.now - start
+
+    def transfer(self, src: str, dst: str, nbytes: int):
+        """Generator: two-sided bulk transfer; returns elapsed seconds."""
+        self.stats.transfers += 1
+        return (yield from self._move(src, dst, nbytes, self.config.message_setup))
+
+    def rdma_get(self, initiator: str, target: str, nbytes: int):
+        """Generator: RDMA read of ``nbytes`` from ``target`` into ``initiator``.
+
+        Data flows target → initiator; the initiator pays only the RDMA
+        setup cost (one-sided, no remote CPU involvement).
+        """
+        self.stats.rdma_transfers += 1
+        return (yield from self._move(target, initiator, nbytes, self.config.rdma_setup))
+
+    def message(self, src: str, dst: str, nbytes: int = 0):
+        """Generator: small control message (eager protocol)."""
+        self.stats.messages += 1
+        return (yield from self._move(src, dst, nbytes, self.config.message_setup))

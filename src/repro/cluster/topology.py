@@ -1,0 +1,73 @@
+"""Cluster assembly: environment + fabric + homogeneous nodes.
+
+A :class:`Cluster` is the root object experiments build: it owns the DES
+:class:`~repro.sim.core.Environment`, the RNG stream family for the run,
+the :class:`~repro.cluster.network.Fabric`, and the list of
+:class:`~repro.cluster.node.Node` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.cluster.network import Fabric, FabricConfig
+from repro.cluster.node import Node, NodeConfig
+from repro.errors import ConfigError
+from repro.sim.core import Environment
+from repro.sim.rng import RngStreams
+
+__all__ = ["ClusterConfig", "Cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of a homogeneous cluster."""
+
+    nodes: int = 2
+    node: NodeConfig = NodeConfig()
+    fabric: FabricConfig = FabricConfig()
+    seed: int = 0
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid values."""
+        if self.nodes < 1:
+            raise ConfigError("cluster needs at least one node")
+        self.node.validate()
+        self.fabric.validate()
+
+
+class Cluster:
+    """A running simulated cluster.
+
+    Node ids are ``node00 … nodeNN``; experiments address nodes by index
+    through :meth:`node`.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        config.validate()
+        self.config = config
+        self.env = Environment()
+        self.rng = RngStreams(config.seed)
+        self.fabric = Fabric(self.env, config.fabric, self.rng)
+        self.nodes: List[Node] = [
+            Node(self.env, f"node{i:02d}", config.node, self.fabric, self.rng)
+            for i in range(config.nodes)
+        ]
+
+    def node(self, index: int) -> Node:
+        """Node by index (supports negative indexing)."""
+        return self.nodes[index]
+
+    def node_by_id(self, node_id: str) -> Node:
+        """Node by its fabric id."""
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise ConfigError(f"no node with id {node_id!r}")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __repr__(self) -> str:
+        return f"<Cluster nodes={len(self.nodes)} seed={self.config.seed}>"

@@ -1,0 +1,39 @@
+"""DYAD-like middleware: dynamic and asynchronous data streamlining.
+
+This package implements the design of the paper's subject middleware
+(DYAD, github.com/flux-framework/dyad) on top of the simulated substrates:
+
+- **node-local staging** — producers write frames to their node's SSD
+  through an XFS-like staging file system (:mod:`repro.dyad.service`);
+- **global metadata management** — file ownership records published to a
+  Flux-KVS-like store (:mod:`repro.dyad.mdm`);
+- **multi-protocol automatic synchronization** — a consumer's first
+  touch of a not-yet-produced file blocks on a KVS watch (loosely
+  coupled); once the producer runs ahead, consumers hit the cheap
+  flock-based fast path (:mod:`repro.dyad.client`);
+- **RDMA data transfer** — remote frames are pulled by the consumer from
+  the owner node's DYAD service over the fabric's RDMA path
+  (:mod:`repro.dyad.rdma`).
+
+The client API mirrors DYAD's transparent POSIX interception: producers
+call :meth:`~repro.dyad.client.DyadProducerClient.produce` and consumers
+call :meth:`~repro.dyad.client.DyadConsumerClient.consume` with plain
+paths; synchronization and transport are automatic.
+"""
+
+from repro.dyad.client import DyadConsumerClient, DyadProducerClient
+from repro.dyad.config import DyadConfig
+from repro.dyad.mdm import MetadataManager, OwnerRecord
+from repro.dyad.rdma import RdmaTransport
+from repro.dyad.service import DyadRuntime, DyadService
+
+__all__ = [
+    "DyadConsumerClient",
+    "DyadProducerClient",
+    "DyadConfig",
+    "MetadataManager",
+    "OwnerRecord",
+    "RdmaTransport",
+    "DyadRuntime",
+    "DyadService",
+]

@@ -1,0 +1,290 @@
+"""DYAD producer/consumer clients (the POSIX-interposition layer).
+
+The clients implement the paper's Fig. 2 data path:
+
+Producer ``produce``:
+  1. ``write_single_buf`` — stage the frame on the node-local SSD under an
+     exclusive flock (plus fsync, so the service can serve it);
+  2. ``dyad_commit`` — publish the ownership record to the KVS (the
+     metadata-management overhead that makes DYAD production ~1.4× XFS).
+
+Consumer ``consume``:
+  1. ``dyad_fetch`` — look up the ownership record. On a miss (frame not
+     yet produced) fall back to the loosely-coupled KVS watch: the nested
+     ``dyad_wait_data`` region is *idle* time. Once producers run ahead,
+     this lookup always hits — the multi-protocol adaptive
+     synchronization of the paper;
+  2. ``dyad_get_data`` — if the owner is remote: ask the owner's service
+     to read the staged frame, then pull it over RDMA;
+  3. ``dyad_cons_store`` — store the pulled frame into the local staging
+     cache;
+  4. ``read_single_buf`` — read the (now local) frame under a shared
+     flock, exactly like any POSIX consumer would.
+
+Every step annotates a Caliper region so experiments and the Fig. 9 call
+trees fall out of the same instrumentation.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from typing import Generator, Optional, Tuple
+
+from repro.dyad.mdm import OwnerRecord
+from repro.dyad.service import DyadRuntime
+from repro.errors import DyadError, KeyNotFound, TransferError
+from repro.perf.caliper import Annotator, Category
+from repro.storage.locks import LockMode
+from repro.storage.posixfs import normalize
+
+__all__ = ["DyadProducerClient", "DyadConsumerClient"]
+
+
+class _Regions:
+    """Null-safe annotation helper shared by both clients."""
+
+    def __init__(self, annotator: Optional[Annotator]) -> None:
+        self._ann = annotator
+
+    def begin(self, region: str, category: Optional[str] = None) -> None:
+        if self._ann is not None:
+            self._ann.begin(region, category)
+
+    def end(self, region: str) -> None:
+        if self._ann is not None:
+            self._ann.end(region)
+
+
+class DyadProducerClient:
+    """Produces managed files from one node."""
+
+    def __init__(self, runtime: DyadRuntime, node_id: str, name: str) -> None:
+        self.runtime = runtime
+        self.node_id = node_id
+        self.name = name
+        self.service = runtime.service(node_id)
+        self.env = runtime.env
+
+    def produce(
+        self,
+        path: str,
+        nbytes: int,
+        data: Optional[bytes] = None,
+        annotator: Optional[Annotator] = None,
+    ) -> Generator:
+        """Generator: stage a frame and publish it; returns elapsed seconds.
+
+        ``path`` must live under the managed root; ``data`` is an optional
+        real payload (requires the runtime's ``store_data=True``).
+        """
+        cfg = self.runtime.config
+        path = normalize(path)
+        if not path.startswith(cfg.managed_root):
+            raise DyadError(f"{path} is outside managed root {cfg.managed_root}")
+        regions = _Regions(annotator)
+        staging = self.service.staging
+        start = self.env.now
+
+        regions.begin("dyad_produce", Category.MOVEMENT)
+        yield self.env.timeout(cfg.client_overhead)
+
+        regions.begin("write_single_buf")
+        yield self.env.timeout(cfg.flock_time)
+        lock = yield from staging.locks.acquire(
+            path, LockMode.EXCLUSIVE, owner=self.name
+        )
+        try:
+            # DYAD creates managed subdirectories on demand.
+            staging.makedirs(posixpath.dirname(path))
+            handle = yield from staging.open(path, "w", client=self.node_id)
+            try:
+                yield from handle.write(nbytes, data)
+                if cfg.fsync_on_produce:
+                    yield from handle.fsync()
+            finally:
+                yield from handle.close()
+        finally:
+            staging.locks.release(lock)
+        regions.end("write_single_buf")
+
+        regions.begin("dyad_commit")
+        yield from self.runtime.mdm.publish(self.node_id, path, nbytes)
+        regions.end("dyad_commit")
+
+        regions.end("dyad_produce")
+        return self.env.now - start
+
+
+class DyadConsumerClient:
+    """Consumes managed files on one node."""
+
+    def __init__(self, runtime: DyadRuntime, node_id: str, name: str) -> None:
+        self.runtime = runtime
+        self.node_id = node_id
+        self.name = name
+        self.service = runtime.service(node_id)
+        self.env = runtime.env
+        #: consumptions that needed the loosely-coupled KVS wait
+        self.kvs_waits = 0
+        #: consumptions served by the flock fast path
+        self.fast_hits = 0
+        #: transfer attempts retried after an injected/transient fault
+        self.transfer_retries = 0
+        #: remote consumptions served from this node's staging cache
+        self.cache_hits = 0
+
+    # -- protocol steps ------------------------------------------------------
+    def _fetch(self, path: str, regions: _Regions) -> Generator:
+        """dyad_fetch: ownership lookup with multi-protocol fallback."""
+        mdm = self.runtime.mdm
+        regions.begin("dyad_fetch")
+        try:
+            record = yield from mdm.fetch(self.node_id, path)
+            self.fast_hits += 1
+        except KeyNotFound:
+            # Loosely-coupled synchronization: block on the KVS watch. Only
+            # the blocking wait is idle time; the registration RPC cost is
+            # inside it, which matches the paper's accounting of DYAD idle
+            # as "time spent waiting for data availability".
+            self.kvs_waits += 1
+            regions.begin("dyad_wait_data", Category.IDLE)
+            record = yield from mdm.wait(self.node_id, path)
+            regions.end("dyad_wait_data")
+        regions.end("dyad_fetch")
+        return record
+
+    def _get_remote(self, record: OwnerRecord, regions: _Regions) -> Generator:
+        """dyad_get_data (+ dyad_cons_store) for a remotely-owned frame.
+
+        Transfer attempts that fail with :class:`TransferError` (injected
+        faults or transient network errors) are retried after a short
+        backoff, up to the configured budget. Returns the pulled payload
+        (``None`` in size-only mode).
+        """
+        cfg = self.runtime.config
+        owner_service = self.runtime.service(record.owner)
+
+        regions.begin("dyad_get_data")
+        attempts = cfg.max_transfer_retries + 1
+        payload = None
+        for attempt in range(attempts):
+            try:
+                # Ask the owner's service to read the staged frame...
+                yield from self.runtime.cluster.fabric.message(
+                    self.node_id, record.owner
+                )
+                _elapsed, payload = yield from owner_service.serve_get(
+                    record.path, record.size
+                )
+                # ...then pull the bytes.
+                yield from self.runtime.rdma.get(
+                    self.node_id, record.owner, record.size
+                )
+                break
+            except TransferError:
+                if attempt == attempts - 1:
+                    regions.end("dyad_get_data")
+                    raise
+                self.transfer_retries += 1
+                yield self.env.timeout(cfg.retry_backoff)
+        regions.end("dyad_get_data")
+
+        if not cfg.cache_on_consume:
+            return payload
+
+        regions.begin("dyad_cons_store")
+        staging = self.service.staging
+        yield self.env.timeout(cfg.flock_time)
+        lock = yield from staging.locks.acquire(
+            record.path, LockMode.EXCLUSIVE, owner=self.name
+        )
+        try:
+            staging.makedirs(posixpath.dirname(record.path))
+            handle = yield from staging.open(record.path, "w", client=self.node_id)
+            try:
+                yield from handle.write(record.size, payload)
+            finally:
+                yield from handle.close()
+        finally:
+            staging.locks.release(lock)
+        regions.end("dyad_cons_store")
+        return payload
+
+    def _read_local(self, record: OwnerRecord, regions: _Regions) -> Generator:
+        """read_single_buf: flock-guarded read from local staging."""
+        cfg = self.runtime.config
+        # Collocated frames are read straight from the producer's staging.
+        staging = self.runtime.service(
+            record.owner if record.owner == self.node_id else self.node_id
+        ).staging
+        regions.begin("read_single_buf", Category.MOVEMENT)
+        yield self.env.timeout(cfg.flock_time)
+        lock = yield from staging.locks.acquire(
+            record.path, LockMode.SHARED, owner=self.name
+        )
+        try:
+            handle = yield from staging.open(record.path, "r", client=self.node_id)
+            try:
+                count, payload = yield from handle.read(record.size)
+            finally:
+                yield from handle.close()
+        finally:
+            staging.locks.release(lock)
+        if count != record.size:
+            raise DyadError(
+                f"{record.path}: read {count} bytes, expected {record.size}"
+            )
+        if (cfg.unlink_after_consume
+                and record.owner != self.node_id
+                and staging is self.service.staging):
+            # drop the consumer-side cached copy to bound staging growth;
+            # the producer's original stays (it owns the data's lifetime)
+            yield from staging.unlink(record.path, client=self.node_id)
+        regions.end("read_single_buf")
+        return payload
+
+    # -- public API ------------------------------------------------------------
+    def consume(
+        self,
+        path: str,
+        annotator: Optional[Annotator] = None,
+    ) -> Generator:
+        """Generator: obtain a managed frame; returns ``(record, payload)``.
+
+        Blocks (idle) until the frame is produced when necessary. The
+        payload is ``None`` unless the runtime stores real data.
+        """
+        cfg = self.runtime.config
+        path = normalize(path)
+        if not path.startswith(cfg.managed_root):
+            raise DyadError(f"{path} is outside managed root {cfg.managed_root}")
+        regions = _Regions(annotator)
+
+        regions.begin("dyad_consume", Category.MOVEMENT)
+        yield self.env.timeout(cfg.client_overhead)
+        record = yield from self._fetch(path, regions)
+        remote = record.owner != self.node_id
+        pulled = None
+        if remote and cfg.cache_on_consume:
+            # The managed staging directory doubles as a consumer-side
+            # cache: another consumer on this node may have pulled the
+            # frame already (fan-out workloads). One stat verifies it.
+            staging = self.service.staging
+            if staging.exists(record.path):
+                st = yield from staging.stat(record.path, client=self.node_id)
+                if st.size == record.size:
+                    remote = False
+                    self.cache_hits += 1
+        if remote:
+            pulled = yield from self._get_remote(record, regions)
+        regions.end("dyad_consume")
+
+        if remote and not cfg.cache_on_consume:
+            # Uncached ablation: consume straight from the pulled buffer
+            # (a memory deserialize, not a file read).
+            regions.begin("read_single_buf", Category.MOVEMENT)
+            yield self.env.timeout(cfg.client_overhead)
+            regions.end("read_single_buf")
+            return record, pulled
+        payload = yield from self._read_local(record, regions)
+        return record, payload

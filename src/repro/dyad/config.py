@@ -1,0 +1,110 @@
+"""DYAD middleware configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.kvs.store import KVSConfig
+from repro.units import mib, usec
+
+__all__ = ["DyadConfig"]
+
+
+@dataclass(frozen=True)
+class DyadConfig:
+    """Calibration constants of the DYAD model.
+
+    Attributes
+    ----------
+    managed_root:
+        Namespace root under which DYAD manages files on every node's
+        staging file system.
+    client_overhead:
+        Per-operation cost of the client-side interposition layer (path
+        hashing, context lookup, C wrapper).
+    flock_time:
+        Cost of one advisory lock/unlock pair (the cheap fast-path sync).
+    fsync_on_produce:
+        Whether the producer fsyncs to the device before publishing.
+        Defaults to False: the service reads staged frames through the
+        page cache, so a device flush is not required for correctness and
+        the real middleware does not pay one per frame.
+    service_capacity:
+        Concurrent remote-get requests one node's service handles.
+    service_request_time:
+        Fixed service-side cost to handle one remote-get request.
+    rdma_chunk:
+        RDMA transfer granularity (per-chunk setup is charged by the
+        fabric's rdma path once per transfer; chunking bounds memory in
+        the real system and bounds per-transfer burstiness here).
+    transport:
+        ``"rdma"`` (the paper's DYAD) or ``"eager"`` — an ablation that
+        replaces one-sided pulls with two-sided eager messages in
+        ``eager_chunk`` units, paying per-chunk setup and remote-CPU
+        involvement. Quantifies the value of RDMA (paper Fig. 2).
+    eager_chunk:
+        Chunk size of the eager ablation (the typical eager/rendezvous
+        switchover point of an MPI stack).
+    eager_pipeline:
+        How many eager chunk setups overlap (sender-side pipelining).
+    cache_on_consume:
+        When False (ablation), the consumer does not stage a local copy
+        (no ``dyad_cons_store``); repeated reads of the same frame would
+        re-pull it. Quantifies the cost/benefit of consumer-side staging.
+    unlink_after_consume:
+        When True, the consumer unlinks its staged copy right after
+        reading it, bounding staging-space growth on long runs (Corona's
+        3.5 TB SSD holds ~125k STMV frames; ensembles of thousands of
+        long trajectories need cleanup). Off by default because it
+        defeats the staging cache for fan-out workloads.
+    fault_rate:
+        Probability that one remote get attempt fails with a transfer
+        error (fault injection for resilience testing). The client
+        retries up to ``max_transfer_retries`` times.
+    max_transfer_retries:
+        Retry budget per remote get before the error propagates.
+    retry_backoff:
+        Delay before each retry attempt.
+    kvs:
+        Configuration of the underlying key-value store.
+    """
+
+    managed_root: str = "/dyad"
+    client_overhead: float = usec(10.0)
+    flock_time: float = usec(12.0)
+    fsync_on_produce: bool = False
+    service_capacity: int = 4
+    service_request_time: float = usec(30.0)
+    rdma_chunk: int = mib(4)
+    transport: str = "rdma"
+    eager_chunk: int = 64 * 1024
+    eager_pipeline: int = 4
+    cache_on_consume: bool = True
+    unlink_after_consume: bool = False
+    fault_rate: float = 0.0
+    max_transfer_retries: int = 3
+    retry_backoff: float = usec(500.0)
+    kvs: KVSConfig = KVSConfig()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` on invalid values."""
+        if not self.managed_root.startswith("/"):
+            raise ConfigError("managed_root must be absolute")
+        if self.client_overhead < 0 or self.flock_time < 0:
+            raise ConfigError("client costs must be non-negative")
+        if self.service_capacity < 1:
+            raise ConfigError("service_capacity must be >= 1")
+        if self.service_request_time < 0:
+            raise ConfigError("service_request_time must be non-negative")
+        if self.rdma_chunk <= 0:
+            raise ConfigError("rdma_chunk must be positive")
+        if self.transport not in ("rdma", "eager"):
+            raise ConfigError(f"unknown transport {self.transport!r}")
+        if self.eager_chunk <= 0 or self.eager_pipeline < 1:
+            raise ConfigError("eager_chunk/eager_pipeline must be positive")
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise ConfigError("fault_rate must be in [0, 1)")
+        if self.max_transfer_retries < 0 or self.retry_backoff < 0:
+            raise ConfigError("retry settings must be non-negative")
+        self.kvs.validate()

@@ -1,0 +1,126 @@
+"""DYAD per-node service and cluster-wide runtime.
+
+Every node participating in a DYAD workflow runs a :class:`DyadService`:
+it owns the node's staging file system (an XFS-like mount on the node's
+SSD under ``managed_root``) and serves remote-get requests — reading a
+staged frame from local storage so the requesting consumer can pull it
+over RDMA.
+
+The :class:`DyadRuntime` wires the per-node services to the shared KVS
+(metadata) and the fabric (data), and hands out producer/consumer clients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.cluster.node import Node
+from repro.cluster.topology import Cluster
+from repro.dyad.config import DyadConfig
+from repro.dyad.mdm import MetadataManager, OwnerRecord
+from repro.dyad.rdma import make_transport
+from repro.errors import DyadError
+from repro.kvs.store import KVS
+from repro.sim.resources import Resource
+from repro.storage.locks import LockMode
+from repro.storage.xfs import XFSFileSystem
+
+__all__ = ["DyadService", "DyadRuntime"]
+
+
+class DyadService:
+    """The DYAD module running on one node."""
+
+    def __init__(self, node: Node, config: DyadConfig, store_data: bool) -> None:
+        self.node = node
+        self.config = config
+        self.staging = XFSFileSystem(node, store_data=store_data)
+        self.staging.makedirs(config.managed_root)
+        self.requests = Resource(node.env, config.service_capacity)
+        self.env = node.env
+
+    def serve_get(self, path: str, nbytes: int) -> Generator:
+        """Generator: handle one remote-get — lock, read, return payload.
+
+        Runs on the owner node; the caller (consumer client) then pulls the
+        bytes over RDMA. Returns ``(elapsed, payload_or_None)``.
+        """
+        start = self.env.now
+        waited = yield from self.requests.acquire(self.config.service_request_time)
+        # Fast-path synchronization: shared flock guarantees the producer's
+        # exclusive lock was dropped, i.e. the write completed.
+        yield self.env.timeout(self.config.flock_time)
+        lock = yield from self.staging.locks.acquire(
+            path, LockMode.SHARED, owner=f"{self.node.node_id}.dyad"
+        )
+        try:
+            handle = yield from self.staging.open(path, "r", client=self.node.node_id)
+            try:
+                count, payload = yield from handle.read(nbytes)
+            finally:
+                yield from handle.close()
+        finally:
+            self.staging.locks.release(lock)
+        if count != nbytes:
+            raise DyadError(
+                f"{self.node.node_id}: staged file {path} has {count} bytes, "
+                f"expected {nbytes}"
+            )
+        return self.env.now - start, payload
+
+
+class DyadRuntime:
+    """DYAD deployed across a cluster: services + MDM + RDMA transport."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: Optional[DyadConfig] = None,
+        kvs_node: Optional[str] = None,
+        store_data: bool = False,
+    ) -> None:
+        self.cluster = cluster
+        self.config = config or DyadConfig()
+        self.config.validate()
+        self.store_data = store_data
+        # The KVS broker runs on the first compute node (Flux rank 0), so
+        # single-node workflows pay loopback — not wire — latency for
+        # metadata, exactly as the paper's single-node configuration does.
+        server_node = kvs_node or cluster.node(0).node_id
+        self.kvs = KVS(
+            cluster.env,
+            cluster.fabric,
+            server_node,
+            self.config.kvs,
+            attach=False,  # compute nodes are already on the fabric
+        )
+        self.mdm = MetadataManager(self.kvs)
+        self.rdma = make_transport(self.config, cluster.fabric, cluster.rng)
+        self.services: Dict[str, DyadService] = {
+            node.node_id: DyadService(node, self.config, store_data)
+            for node in cluster.nodes
+        }
+
+    @property
+    def env(self):
+        """The cluster's simulation environment."""
+        return self.cluster.env
+
+    def service(self, node_id: str) -> DyadService:
+        """The service on a node; :class:`DyadError` when absent."""
+        try:
+            return self.services[node_id]
+        except KeyError:
+            raise DyadError(f"no DYAD service on node {node_id!r}") from None
+
+    def producer(self, node_id: str, name: str) -> "DyadProducerClient":
+        """A producer client bound to ``node_id``."""
+        from repro.dyad.client import DyadProducerClient
+
+        return DyadProducerClient(self, node_id, name)
+
+    def consumer(self, node_id: str, name: str) -> "DyadConsumerClient":
+        """A consumer client bound to ``node_id``."""
+        from repro.dyad.client import DyadConsumerClient
+
+        return DyadConsumerClient(self, node_id, name)

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate between subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """Error inside the discrete-event simulation kernel."""
+
+
+class DeadlockError(SimulationError):
+    """The event loop ran out of events while processes were still waiting.
+
+    Raised by :meth:`repro.sim.core.Environment.run` when ``until`` has not
+    been reached but no future event exists, which means at least one process
+    is blocked forever (a classic producer/consumer deadlock).
+    """
+
+
+class Interrupt(SimulationError):
+    """Thrown *into* a simulated process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`repro.sim.core.Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StorageError(ReproError):
+    """Base class for file-system errors (simulated POSIX layer)."""
+
+
+class FileNotFound(StorageError):
+    """Path does not exist in the simulated namespace (ENOENT)."""
+
+
+class FileExists(StorageError):
+    """Exclusive create hit an existing path (EEXIST)."""
+
+
+class IsADirectory(StorageError):
+    """Data operation attempted on a directory (EISDIR)."""
+
+
+class NotADirectory(StorageError):
+    """Path component used as directory is a regular file (ENOTDIR)."""
+
+
+class InvalidHandle(StorageError):
+    """Operation on a closed or foreign file handle (EBADF)."""
+
+
+class LockError(StorageError):
+    """Advisory lock acquisition failed (non-blocking flock on held lock)."""
+
+
+class KVSError(ReproError):
+    """Key-value store failure (missing key, bad namespace, ...)."""
+
+
+class KeyNotFound(KVSError):
+    """Lookup of a key that has not been committed."""
+
+
+class DyadError(ReproError):
+    """DYAD middleware failure (metadata miss, transfer failure, ...)."""
+
+
+class TransferError(DyadError):
+    """An RDMA/remote transfer could not be completed."""
+
+
+class WorkflowError(ReproError):
+    """Invalid workflow specification or orchestration failure."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value (negative bandwidth, zero stride, ...)."""
+
+
+class PerfError(ReproError):
+    """Performance-tooling failure (malformed call path, bad query, ...)."""
+
+
+class QuerySyntaxError(PerfError):
+    """A call-path query string could not be parsed."""

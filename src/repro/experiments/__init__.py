@@ -1,0 +1,24 @@
+"""Reproduction harness: one module per table/figure of the paper.
+
+Every experiment module exposes
+
+- ``run(runs=None, frames=None, quick=False)`` returning a structured
+  result object, and
+- ``main()`` printing the same rows/series the paper reports (the
+  textual equivalent of the figure) plus the headline ratios with the
+  paper's values alongside.
+
+Run from the command line::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig5 [--runs N] [--frames N] [--quick]
+    python -m repro.experiments all --quick
+
+Environment variables ``REPRO_RUNS`` and ``REPRO_FRAMES`` override the
+defaults globally (the paper uses 10 runs × 128 frames; the default here
+is 3 runs × 128 frames to keep a full reproduction under a few minutes).
+"""
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all
+
+__all__ = ["EXPERIMENTS", "get_experiment", "run_all"]

@@ -1,0 +1,67 @@
+"""CLI for the reproduction harness: ``python -m repro.experiments …``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_all
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name, 'list', 'all', or 'report'",
+    )
+    parser.add_argument("--runs", type=int, default=None,
+                        help="repetitions per configuration (paper: 10)")
+    parser.add_argument("--frames", type=int, default=None,
+                        help="frames per producer (paper: 128)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced grid for a fast smoke run")
+    parser.add_argument("--output", default="EXPERIMENTS.md",
+                        help="output path for 'report'")
+    parser.add_argument("--svg-dir", default=None,
+                        help="also render the figure's panels as SVG files")
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    if args.experiment == "all":
+        run_all(quick=args.quick)
+        return 0
+    if args.experiment == "report":
+        from repro.experiments.report import generate
+
+        generate(args.output, runs=args.runs, frames=args.frames,
+                 quick=args.quick)
+        print(f"wrote {args.output}")
+        return 0
+    module = get_experiment(args.experiment)
+    if args.experiment == "tables":
+        result = module.run()
+    else:
+        result = module.run(runs=args.runs, frames=args.frames, quick=args.quick)
+    print(result.render())
+    if args.svg_dir and hasattr(result, "cells") and hasattr(result, "systems"):
+        from repro.experiments.svgplot import save_figure_svg
+
+        for path in save_figure_svg(result, args.svg_dir):
+            print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Shared experiment machinery: repetition, aggregation, reporting.
+
+The paper runs every configuration 10 times and reports means (with
+whiskers) of per-frame production and consumption time, decomposed into
+data movement and idle. :class:`Cell` holds those four statistics for one
+(x-value, system) combination; :class:`FigureResult` holds a whole
+figure's grid plus ratio helpers used by the textual reports, the
+benchmarks' shape assertions, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.perf.report import fmt_sig, table
+from repro.units import to_msec, to_usec
+from repro.workflow.runner import WorkflowResult, run_repetitions
+from repro.workflow.spec import WorkflowSpec
+
+__all__ = [
+    "Stat",
+    "Cell",
+    "FigureResult",
+    "default_runs",
+    "default_frames",
+    "measure",
+    "JITTER_CV",
+]
+
+#: Device/compute jitter used by all experiments (gives the paper's
+#: run-to-run whiskers; unit tests use 0 for determinism).
+JITTER_CV = 0.05
+
+
+def default_runs(override: Optional[int] = None) -> int:
+    """Repetitions per configuration (paper: 10; default here: 3)."""
+    if override is not None:
+        return max(1, int(override))
+    return max(1, int(os.environ.get("REPRO_RUNS", "3")))
+
+
+def default_frames(override: Optional[int] = None) -> int:
+    """Frames per producer (paper: 128)."""
+    if override is not None:
+        return max(1, int(override))
+    return max(1, int(os.environ.get("REPRO_FRAMES", "128")))
+
+
+@dataclass(frozen=True)
+class Stat:
+    """Mean and standard deviation over repetitions."""
+
+    mean: float
+    std: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Stat":
+        arr = np.asarray(list(values), dtype=float)
+        return cls(
+            mean=float(arr.mean()) if arr.size else 0.0,
+            std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        )
+
+
+@dataclass(frozen=True)
+class Cell:
+    """Per-frame metrics of one configuration, aggregated over runs."""
+
+    production_movement: Stat
+    production_idle: Stat
+    consumption_movement: Stat
+    consumption_idle: Stat
+
+    @property
+    def production_time(self) -> float:
+        """Mean production time (movement + idle)."""
+        return self.production_movement.mean + self.production_idle.mean
+
+    @property
+    def consumption_time(self) -> float:
+        """Mean consumption time (movement + idle)."""
+        return self.consumption_movement.mean + self.consumption_idle.mean
+
+    @classmethod
+    def of(cls, results: Sequence[WorkflowResult]) -> "Cell":
+        return cls(
+            production_movement=Stat.of([r.production_movement for r in results]),
+            production_idle=Stat.of([r.production_idle for r in results]),
+            consumption_movement=Stat.of([r.consumption_movement for r in results]),
+            consumption_idle=Stat.of([r.consumption_idle for r in results]),
+        )
+
+
+def measure(spec: WorkflowSpec, runs: int, jitter_cv: float = JITTER_CV,
+            **system_configs) -> Tuple[Cell, List[WorkflowResult]]:
+    """Run one spec ``runs`` times; returns the aggregated cell and raw runs."""
+    results = run_repetitions(spec, runs=runs, jitter_cv=jitter_cv, **system_configs)
+    return Cell.of(results), results
+
+
+@dataclass
+class FigureResult:
+    """One paper figure worth of measurements."""
+
+    figure_id: str
+    title: str
+    x_name: str                       # e.g. "pairs", "model", "stride"
+    xs: List[object]
+    systems: List[str]
+    cells: Dict[Tuple[object, str], Cell]
+    runs: int = 0
+    frames: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    # -- access ------------------------------------------------------------
+    def cell(self, x: object, system: str) -> Cell:
+        """Cell for one x-value and system."""
+        return self.cells[(x, system)]
+
+    def ratio(self, metric: str, numerator: str, denominator: str,
+              x: Optional[object] = None) -> float:
+        """Ratio of a metric between two systems.
+
+        ``metric`` is one of ``production_movement``, ``production_time``,
+        ``consumption_movement``, ``consumption_time``. Without ``x`` the
+        ratio of across-x means is returned (how the paper states most of
+        its headline factors).
+        """
+        def value(system: str, x_val: object) -> float:
+            cell = self.cell(x_val, system)
+            attr = getattr(cell, metric)
+            return attr.mean if isinstance(attr, Stat) else float(attr)
+
+        if x is not None:
+            return value(numerator, x) / value(denominator, x)
+        num = np.mean([value(numerator, xv) for xv in self.xs])
+        den = np.mean([value(denominator, xv) for xv in self.xs])
+        return float(num / den)
+
+    # -- reporting ------------------------------------------------------------
+    def production_table(self, unit: str = "us") -> str:
+        """Fixed-width table of production movement/idle (Fig. Na panels)."""
+        return self._table("production", unit)
+
+    def consumption_table(self, unit: str = "ms") -> str:
+        """Fixed-width table of consumption movement/idle (Fig. Nb panels)."""
+        return self._table("consumption", unit)
+
+    def _table(self, which: str, unit: str) -> str:
+        conv = to_usec if unit == "us" else to_msec
+        headers = [self.x_name, "system", f"movement ({unit})",
+                   f"idle ({unit})", f"total ({unit})", f"±std ({unit})"]
+        rows = []
+        for x in self.xs:
+            for system in self.systems:
+                cell = self.cell(x, system)
+                move = getattr(cell, f"{which}_movement")
+                idle = getattr(cell, f"{which}_idle")
+                rows.append([
+                    str(x), system,
+                    fmt_sig(conv(move.mean)),
+                    fmt_sig(conv(idle.mean)),
+                    fmt_sig(conv(move.mean + idle.mean)),
+                    fmt_sig(conv(np.hypot(move.std, idle.std))),
+                ])
+        return table(headers, rows,
+                     title=f"{self.figure_id} {which} time per frame")
+
+    def render(self) -> str:
+        """Full textual report of the figure."""
+        parts = [f"=== {self.figure_id}: {self.title} ===",
+                 f"(runs={self.runs}, frames={self.frames})",
+                 self.production_table(),
+                 "",
+                 self.consumption_table()]
+        if self.notes:
+            parts.append("")
+            parts.extend(self.notes)
+        return "\n".join(parts)

@@ -1,0 +1,104 @@
+"""Fig. 7 — large-scale distributed workflow (2→64 nodes): DYAD vs Lustre.
+
+JAC, stride 880, 128 frames, 8 processes per node, ensembles of
+8/16/32/64/128/256 pairs on 2/4/8/16/32/64 nodes (half producers, half
+consumers).
+
+Paper's headline numbers:
+- (a) production time stable with ensemble size for both systems; DYAD
+  ≈ 5.3× faster; Lustre shows more run-to-run variability at 128/256
+  pairs (shared-facility interference);
+- (b) DYAD consumer data movement ≈ 5.8× faster; overall ≈ 192.0×.
+
+Repetitions scale down with ensemble size so a full reproduction stays
+tractable (the mean over pairs is already an average over hundreds of
+processes at the large end).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.common import FigureResult, default_frames, default_runs, measure
+from repro.md.models import JAC
+from repro.workflow.spec import Placement, System, WorkflowSpec
+
+__all__ = ["PAIRS", "PAPER", "run", "main"]
+
+PAIRS = (8, 16, 32, 64, 128, 256)
+
+PAPER = {
+    "production_ratio_lustre_over_dyad": 5.3,
+    "consumption_movement_ratio_lustre_over_dyad": 5.8,
+    "consumption_ratio_lustre_over_dyad": 192.0,
+}
+
+
+def _runs_for(pairs: int, base_runs: int) -> int:
+    """Fewer repetitions for the largest ensembles."""
+    if pairs >= 128:
+        return max(1, base_runs // 3)
+    if pairs >= 64:
+        return max(1, base_runs // 2)
+    return base_runs
+
+
+def run(runs: Optional[int] = None, frames: Optional[int] = None,
+        quick: bool = False) -> FigureResult:
+    """Measure the Fig. 7 grid."""
+    base_runs = default_runs(1 if quick else runs)
+    frames = default_frames(16 if quick else frames)
+    xs = PAIRS[:3] if quick else PAIRS
+    cells = {}
+    for pairs in xs:
+        for system in (System.DYAD, System.LUSTRE):
+            spec = WorkflowSpec(
+                system=system, model=JAC, stride=JAC.paper_stride,
+                frames=frames, pairs=pairs, placement=Placement.SPLIT,
+            )
+            cell, _ = measure(spec, runs=_runs_for(pairs, base_runs))
+            cells[(pairs, system.value)] = cell
+    fig = FigureResult(
+        figure_id="Fig7",
+        title="multi-node ensemble scaling, JAC (DYAD vs Lustre)",
+        x_name="pairs",
+        xs=list(xs),
+        systems=[System.DYAD.value, System.LUSTRE.value],
+        cells=cells,
+        runs=base_runs,
+        frames=frames,
+    )
+    first, last = xs[0], xs[-1]
+    dyad_growth = (
+        cells[(last, "dyad")].production_movement.mean
+        / cells[(first, "dyad")].production_movement.mean
+    )
+    lustre_growth = (
+        cells[(last, "lustre")].production_movement.mean
+        / cells[(first, "lustre")].production_movement.mean
+    )
+    fig.notes = [
+        f"production movement lustre/dyad = "
+        f"{fig.ratio('production_movement', 'lustre', 'dyad'):.2f}x "
+        f"(paper: {PAPER['production_ratio_lustre_over_dyad']}x)",
+        f"consumption movement lustre/dyad = "
+        f"{fig.ratio('consumption_movement', 'lustre', 'dyad'):.2f}x "
+        f"(paper: {PAPER['consumption_movement_ratio_lustre_over_dyad']}x)",
+        f"overall consumption lustre/dyad = "
+        f"{fig.ratio('consumption_time', 'lustre', 'dyad'):.1f}x "
+        f"(paper: {PAPER['consumption_ratio_lustre_over_dyad']}x)",
+        f"production growth {first}->{last} pairs: dyad {dyad_growth:.2f}x, "
+        f"lustre {lustre_growth:.2f}x (paper: stable for both)",
+    ]
+    return fig
+
+
+def main(quick: bool = False) -> FigureResult:
+    """Run and print Fig. 7."""
+    fig = run(quick=quick)
+    print(fig.render())
+    return fig
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,259 @@
+"""Dependency-free SVG rendering of figure results.
+
+Produces the visual equivalent of the paper's bar charts: grouped,
+stacked bars (data movement + idle per frame) with error whiskers, one
+group per x-value, one bar per system — as standalone SVG files.
+No plotting library required (the environment is offline).
+
+Used by the CLI: ``python -m repro.experiments fig8 --svg-dir figures/``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.experiments.common import FigureResult
+from repro.units import to_msec
+
+__all__ = ["render_figure_svg", "save_figure_svg", "BarChart"]
+
+# Paper-like styling: red-striped movement, blue-striped idle is rendered
+# as solid fills with distinguishable lightness per system.
+_SYSTEM_COLORS = {
+    "dyad": ("#c23b22", "#e8a79b"),      # movement, idle
+    "xfs": ("#1f5fa6", "#9ec1e3"),
+    "lustre": ("#3a7d44", "#a9d3b0"),
+}
+_FALLBACK_COLORS = [("#555555", "#bbbbbb"), ("#8a6d3b", "#d9c9a3")]
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+@dataclass
+class BarChart:
+    """A grouped stacked-bar chart, rendered to SVG text."""
+
+    title: str
+    x_labels: Sequence[str]
+    series: Sequence[str]                       # one bar per series per group
+    movement: Sequence[Sequence[float]]         # [series][group] values
+    idle: Sequence[Sequence[float]]
+    whisker: Optional[Sequence[Sequence[float]]] = None
+    y_label: str = "ms per frame"
+    log_scale: bool = False
+    width: int = 760
+    height: int = 420
+
+    def validate(self) -> None:
+        """Raise :class:`ReproError` on ragged input."""
+        n_series, n_groups = len(self.series), len(self.x_labels)
+        for grid, name in ((self.movement, "movement"), (self.idle, "idle")):
+            if len(grid) != n_series or any(len(row) != n_groups for row in grid):
+                raise ReproError(f"{name} grid must be [series][group]")
+        if self.whisker is not None and (
+            len(self.whisker) != n_series
+            or any(len(row) != n_groups for row in self.whisker)
+        ):
+            raise ReproError("whisker grid must be [series][group]")
+
+    # -- scales ------------------------------------------------------------
+    def _totals(self) -> List[List[float]]:
+        return [
+            [m + i for m, i in zip(mrow, irow)]
+            for mrow, irow in zip(self.movement, self.idle)
+        ]
+
+    def _y_transform(self):
+        totals = [v for row in self._totals() for v in row]
+        vmax = max(totals) if totals else 1.0
+        if vmax <= 0:
+            vmax = 1.0
+        if self.log_scale:
+            positives = [v for v in totals if v > 0]
+            vmin = min(positives) if positives else 0.1
+            lo = math.floor(math.log10(vmin))
+            hi = math.ceil(math.log10(vmax * 1.05))
+            if hi <= lo:
+                hi = lo + 1
+
+            def scale(value: float) -> float:
+                if value <= 0:
+                    return 0.0
+                return (math.log10(value) - lo) / (hi - lo)
+
+            ticks = [10.0 ** e for e in range(lo, hi + 1)]
+            return scale, ticks
+        top = vmax * 1.1
+
+        def scale(value: float) -> float:
+            return max(value, 0.0) / top
+
+        n_ticks = 5
+        ticks = [top * i / n_ticks for i in range(n_ticks + 1)]
+        return scale, ticks
+
+    # -- rendering ------------------------------------------------------------
+    def to_svg(self) -> str:
+        """Render the chart as an SVG document string."""
+        self.validate()
+        margin_l, margin_r, margin_t, margin_b = 70, 20, 48, 64
+        plot_w = self.width - margin_l - margin_r
+        plot_h = self.height - margin_t - margin_b
+        scale, ticks = self._y_transform()
+
+        def y_of(value: float) -> float:
+            return margin_t + plot_h * (1.0 - scale(value))
+
+        parts: List[str] = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{self.width}" '
+            f'height="{self.height}" font-family="sans-serif">',
+            f'<rect width="{self.width}" height="{self.height}" fill="white"/>',
+            f'<text x="{self.width / 2}" y="24" text-anchor="middle" '
+            f'font-size="15" font-weight="bold">{_esc(self.title)}</text>',
+            # y axis label
+            f'<text x="16" y="{margin_t + plot_h / 2}" text-anchor="middle" '
+            f'font-size="12" transform="rotate(-90 16 {margin_t + plot_h / 2})">'
+            f'{_esc(self.y_label)}</text>',
+        ]
+        # gridlines + tick labels
+        for tick in ticks:
+            y = y_of(tick)
+            parts.append(
+                f'<line x1="{margin_l}" y1="{y:.1f}" '
+                f'x2="{margin_l + plot_w}" y2="{y:.1f}" '
+                'stroke="#dddddd" stroke-width="1"/>'
+            )
+            label = f"{tick:g}"
+            parts.append(
+                f'<text x="{margin_l - 6}" y="{y + 4:.1f}" text-anchor="end" '
+                f'font-size="11">{_esc(label)}</text>'
+            )
+
+        n_groups = len(self.x_labels)
+        n_series = len(self.series)
+        group_w = plot_w / max(n_groups, 1)
+        bar_w = group_w * 0.7 / max(n_series, 1)
+
+        for gi, x_label in enumerate(self.x_labels):
+            group_x = margin_l + gi * group_w + group_w * 0.15
+            for si, series in enumerate(self.series):
+                move_color, idle_color = _SYSTEM_COLORS.get(
+                    series, _FALLBACK_COLORS[si % len(_FALLBACK_COLORS)]
+                )
+                x = group_x + si * bar_w
+                move = self.movement[si][gi]
+                total = move + self.idle[si][gi]
+                y_total, y_move = y_of(total), y_of(move)
+                base = margin_t + plot_h
+                # idle segment on top of movement
+                if total > move:
+                    parts.append(
+                        f'<rect x="{x:.1f}" y="{y_total:.1f}" '
+                        f'width="{bar_w * 0.9:.1f}" '
+                        f'height="{max(y_move - y_total, 0.5):.1f}" '
+                        f'fill="{idle_color}" stroke="#444" stroke-width="0.5"/>'
+                    )
+                if move > 0:
+                    parts.append(
+                        f'<rect x="{x:.1f}" y="{y_move:.1f}" '
+                        f'width="{bar_w * 0.9:.1f}" '
+                        f'height="{max(base - y_move, 0.5):.1f}" '
+                        f'fill="{move_color}" stroke="#444" stroke-width="0.5"/>'
+                    )
+                if self.whisker is not None:
+                    err = self.whisker[si][gi]
+                    if err > 0:
+                        cx = x + bar_w * 0.45
+                        y_hi, y_lo = y_of(total + err), y_of(max(total - err, 0))
+                        parts.append(
+                            f'<line x1="{cx:.1f}" y1="{y_hi:.1f}" '
+                            f'x2="{cx:.1f}" y2="{y_lo:.1f}" '
+                            'stroke="#111" stroke-width="1"/>'
+                        )
+            parts.append(
+                f'<text x="{margin_l + gi * group_w + group_w / 2:.1f}" '
+                f'y="{margin_t + plot_h + 18}" text-anchor="middle" '
+                f'font-size="12">{_esc(x_label)}</text>'
+            )
+
+        # axis line + legend
+        parts.append(
+            f'<line x1="{margin_l}" y1="{margin_t + plot_h}" '
+            f'x2="{margin_l + plot_w}" y2="{margin_t + plot_h}" '
+            'stroke="#000" stroke-width="1"/>'
+        )
+        legend_x = margin_l
+        legend_y = self.height - 20
+        for si, series in enumerate(self.series):
+            move_color, idle_color = _SYSTEM_COLORS.get(
+                series, _FALLBACK_COLORS[si % len(_FALLBACK_COLORS)]
+            )
+            x = legend_x + si * 190
+            parts.append(
+                f'<rect x="{x}" y="{legend_y - 10}" width="12" height="12" '
+                f'fill="{move_color}"/>'
+                f'<text x="{x + 16}" y="{legend_y}" font-size="11">'
+                f'{_esc(series)} movement</text>'
+                f'<rect x="{x + 104}" y="{legend_y - 10}" width="12" '
+                f'height="12" fill="{idle_color}"/>'
+                f'<text x="{x + 120}" y="{legend_y}" font-size="11">idle</text>'
+            )
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+
+def render_figure_svg(fig: FigureResult, which: str = "consumption",
+                      log_scale: bool = True) -> str:
+    """SVG for one panel (``production`` or ``consumption``) of a figure."""
+    if which not in ("production", "consumption"):
+        raise ReproError(f"unknown panel {which!r}")
+    movement, idle, whisker = [], [], []
+    for system in fig.systems:
+        movement.append([
+            to_msec(getattr(fig.cell(x, system), f"{which}_movement").mean)
+            for x in fig.xs
+        ])
+        idle.append([
+            to_msec(getattr(fig.cell(x, system), f"{which}_idle").mean)
+            for x in fig.xs
+        ])
+        whisker.append([
+            to_msec(math.hypot(
+                getattr(fig.cell(x, system), f"{which}_movement").std,
+                getattr(fig.cell(x, system), f"{which}_idle").std,
+            ))
+            for x in fig.xs
+        ])
+    chart = BarChart(
+        title=f"{fig.figure_id} {which} time per frame — {fig.title}",
+        x_labels=[str(x) for x in fig.xs],
+        series=list(fig.systems),
+        movement=movement,
+        idle=idle,
+        whisker=whisker,
+        y_label="ms per frame (log)" if log_scale else "ms per frame",
+        log_scale=log_scale,
+    )
+    return chart.to_svg()
+
+
+def save_figure_svg(fig: FigureResult, directory, log_scale: bool = True) -> List[str]:
+    """Write both panels of a figure; returns the file paths."""
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for which in ("production", "consumption"):
+        path = os.path.join(
+            directory, f"{fig.figure_id.lower()}_{which}.svg"
+        )
+        with open(path, "w") as fh:
+            fh.write(render_figure_svg(fig, which, log_scale=log_scale))
+        paths.append(path)
+    return paths

@@ -1,0 +1,63 @@
+"""In-situ analytics pipelines with simulation steering.
+
+The paper's Section II motivates the whole study with this loop:
+simulations produce frames, in-situ analytics consume them *as they are
+generated*, and researchers "steer the simulation (e.g., terminate or
+fork a trajectory) and annotate the events". This package provides that
+loop as a composable API over the real-concurrency backend:
+
+- **sources** (:mod:`repro.insitu.sources`) produce frames: the real LJ
+  engine, a replay of a stored trajectory, or a synthetic generator;
+- **sinks** (:mod:`repro.insitu.sinks`) consume frames and may emit
+  steering decisions: eigenvalue-event steering, observable recording,
+  trajectory capture;
+- the **pipeline** (:mod:`repro.insitu.pipeline`) wires one source to
+  many sinks through the DYAD-protocol local backend (real threads,
+  files, locks), delivers steering decisions *back to the producer*,
+  and reports what happened.
+
+Example::
+
+    from repro.insitu import (InSituPipeline, EngineSource,
+                              EigenvalueSteering, ObservableRecorder)
+    from repro.md import LJConfig, radius_of_gyration
+
+    pipeline = InSituPipeline(
+        source=EngineSource(LJConfig(n_atoms=300), stride=10),
+        sinks=[
+            EigenvalueSteering({"h1": range(40)}, cutoff=3.0),
+            ObservableRecorder({"rg": radius_of_gyration}),
+        ],
+    )
+    report = pipeline.run(max_frames=100)
+    report.terminated_early, report.observables["rg"]
+"""
+
+from repro.insitu.pipeline import InSituPipeline, PipelineReport
+from repro.insitu.sinks import (
+    AnalyticsSink,
+    EigenvalueSteering,
+    ObservableRecorder,
+    Steering,
+    TrajectoryCapture,
+)
+from repro.insitu.sources import (
+    EngineSource,
+    FrameSource,
+    SyntheticSource,
+    TrajectoryReplay,
+)
+
+__all__ = [
+    "InSituPipeline",
+    "PipelineReport",
+    "AnalyticsSink",
+    "EigenvalueSteering",
+    "ObservableRecorder",
+    "Steering",
+    "TrajectoryCapture",
+    "EngineSource",
+    "FrameSource",
+    "SyntheticSource",
+    "TrajectoryReplay",
+]

@@ -1,0 +1,184 @@
+"""The in-situ pipeline: source → middleware → sinks, with steering.
+
+Producer and consumer run as real threads connected by the DYAD-protocol
+local backend (staging directories, blocking KVS watch, flock): the same
+data path as the paper's workflows, carrying real encoded frames. The
+consumer decodes each frame and fans it out to the sinks; any sink
+returning :attr:`~repro.insitu.sinks.Steering.TERMINATE` flips a stop
+event the producer checks before generating the next frame — closing the
+steering loop the paper's Section II-B describes.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.backends.local import LocalDyad
+from repro.errors import ReproError
+from repro.insitu.sinks import AnalyticsSink, ObservableRecorder, Steering
+from repro.insitu.sources import FrameSource
+from repro.md.frame import Frame
+
+__all__ = ["InSituPipeline", "PipelineReport"]
+
+
+@dataclass
+class PipelineReport:
+    """What one pipeline run did."""
+
+    frames_produced: int
+    frames_consumed: int
+    terminated_early: bool
+    elapsed: float
+    errors: List[BaseException] = field(default_factory=list)
+    observables: Dict[str, List[float]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when no thread raised."""
+        return not self.errors
+
+
+class InSituPipeline:
+    """One producer (source) feeding analytics sinks through the middleware."""
+
+    def __init__(
+        self,
+        source: FrameSource,
+        sinks: Sequence[AnalyticsSink],
+        workdir: Optional[str] = None,
+        consume_timeout: float = 30.0,
+    ) -> None:
+        if not sinks:
+            raise ReproError("need at least one sink")
+        self.source = source
+        self.sinks = list(sinks)
+        self.workdir = workdir
+        self.consume_timeout = consume_timeout
+
+    def run(self, max_frames: int = 64) -> PipelineReport:
+        """Run the pipeline to completion (or early termination)."""
+        if max_frames < 1:
+            raise ReproError("max_frames must be >= 1")
+        owns_dir = self.workdir is None
+        tmp = tempfile.TemporaryDirectory(prefix="insitu-") if owns_dir else None
+        root = tmp.name if owns_dir else self.workdir
+        try:
+            return self._run_in(root, max_frames)
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+
+    # -- internals ------------------------------------------------------------
+    def _run_in(self, root: str, max_frames: int) -> PipelineReport:
+        dyad = LocalDyad(root, nodes=2)
+        stop = threading.Event()
+        errors: List[BaseException] = []
+        counts = {"produced": 0, "consumed": 0}
+        lock = threading.Lock()
+
+        def producer() -> None:
+            try:
+                iterator = iter(self.source)
+                for index in range(max_frames):
+                    if stop.is_set():
+                        break  # steering: the consumer asked us to stop
+                    try:
+                        frame = next(iterator)
+                    except StopIteration:
+                        break
+                    dyad.produce("node00", f"frame{index:06d}.mdfr",
+                                 frame.encode())
+                    with lock:
+                        counts["produced"] += 1
+            except BaseException as exc:  # noqa: BLE001 - reported
+                with lock:
+                    errors.append(exc)
+            finally:
+                # sentinel: zero-length payload means end-of-stream
+                dyad.produce("node00", "frame-end", b"")
+
+        def consumer() -> None:
+            index = 0
+            try:
+                while True:
+                    payload = self._next_payload(dyad, index, stop)
+                    if payload is None:
+                        break
+                    frame = Frame.decode(payload)
+                    with lock:
+                        counts["consumed"] += 1
+                    verdict = Steering.CONTINUE
+                    for sink in self.sinks:
+                        if sink.on_frame(index, frame) is Steering.TERMINATE:
+                            verdict = Steering.TERMINATE
+                    if verdict is Steering.TERMINATE:
+                        stop.set()
+                    index += 1
+            except BaseException as exc:  # noqa: BLE001
+                with lock:
+                    errors.append(exc)
+            finally:
+                for sink in self.sinks:
+                    try:
+                        sink.on_end()
+                    except BaseException as exc:  # noqa: BLE001
+                        with lock:
+                            errors.append(exc)
+
+        start = time.monotonic()
+        threads = [threading.Thread(target=producer, name="insitu-prod"),
+                   threading.Thread(target=consumer, name="insitu-cons")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.monotonic() - start
+
+        observables: Dict[str, List[float]] = {}
+        for sink in self.sinks:
+            if isinstance(sink, ObservableRecorder):
+                observables.update(sink.series)
+        return PipelineReport(
+            frames_produced=counts["produced"],
+            frames_consumed=counts["consumed"],
+            terminated_early=stop.is_set(),
+            elapsed=elapsed,
+            errors=errors,
+            observables=observables,
+        )
+
+    def _next_payload(self, dyad: LocalDyad, index: int,
+                      stop: threading.Event) -> Optional[bytes]:
+        """Next frame's bytes, or None at end-of-stream.
+
+        Races the per-frame watch against the end-of-stream sentinel: when
+        the producer stops early (steering), the pending frame never
+        arrives and the sentinel breaks the wait.
+        """
+        deadline = time.monotonic() + self.consume_timeout
+        name = f"frame{index:06d}.mdfr"
+        while True:
+            try:
+                return dyad.consume("node01", name, timeout=0.05)
+            except TimeoutError:
+                try:
+                    dyad.kvs.lookup("dyad/frame-end")
+                except Exception:
+                    pass
+                else:
+                    # stream ended; one last chance in case the frame
+                    # landed just before the sentinel
+                    try:
+                        return dyad.consume("node01", name, timeout=0.05)
+                    except TimeoutError:
+                        return None
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"frame {index} never arrived within "
+                        f"{self.consume_timeout}s"
+                    )

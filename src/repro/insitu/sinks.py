@@ -1,0 +1,119 @@
+"""Analytics sinks for in-situ pipelines.
+
+A sink receives each consumed frame (already decoded) and returns a
+:class:`Steering` decision. Returning :attr:`Steering.TERMINATE` stops
+the producer — the paper's "terminate a trajectory" steering action —
+delivered through the pipeline's backchannel.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.md.analytics import EigenvalueTracker
+from repro.md.frame import Frame
+from repro.md.trajectory import TrajectoryWriter
+
+__all__ = [
+    "Steering",
+    "AnalyticsSink",
+    "EigenvalueSteering",
+    "ObservableRecorder",
+    "TrajectoryCapture",
+]
+
+
+class Steering(enum.Enum):
+    """A sink's verdict on the running simulation."""
+
+    CONTINUE = "continue"
+    TERMINATE = "terminate"
+
+
+class AnalyticsSink:
+    """Base class: override :meth:`on_frame` (and optionally :meth:`on_end`)."""
+
+    def on_frame(self, index: int, frame: Frame) -> Steering:
+        """Process one frame; return a steering decision."""
+        raise NotImplementedError
+
+    def on_end(self) -> None:
+        """Called once after the last frame (normal end or termination)."""
+
+
+class EigenvalueSteering(AnalyticsSink):
+    """The paper's Fig. 1 analytics with steering.
+
+    Tracks the largest eigenvalue of contact matrices of named atom
+    subsets; when a sudden change is detected (the event the paper's
+    in-situ analytics exist to catch), requests termination after
+    ``events_to_terminate`` events (default 1). Set it to 0 to only
+    annotate events without steering.
+    """
+
+    def __init__(
+        self,
+        subsets: Dict[str, Sequence[int]],
+        cutoff: float = 8.0,
+        threshold: float = 3.0,
+        warmup: int = 5,
+        events_to_terminate: int = 1,
+    ) -> None:
+        if events_to_terminate < 0:
+            raise ReproError("events_to_terminate must be >= 0")
+        self.tracker = EigenvalueTracker(
+            subsets, cutoff=cutoff, threshold=threshold, warmup=warmup,
+        )
+        self.events_to_terminate = events_to_terminate
+
+    @property
+    def events(self):
+        """All (step, subset, value) events annotated so far."""
+        return self.tracker.events
+
+    def on_frame(self, index: int, frame: Frame) -> Steering:
+        """Ingest the frame; terminate once enough events accumulated."""
+        self.tracker.ingest(frame)
+        if (self.events_to_terminate
+                and len(self.tracker.events) >= self.events_to_terminate):
+            return Steering.TERMINATE
+        return Steering.CONTINUE
+
+
+class ObservableRecorder(AnalyticsSink):
+    """Records named per-frame observables (`name -> f(frame) -> float`)."""
+
+    def __init__(self, observables: Dict[str, Callable[[Frame], float]]) -> None:
+        if not observables:
+            raise ReproError("need at least one observable")
+        self.observables = dict(observables)
+        self.series: Dict[str, List[float]] = {k: [] for k in observables}
+        self.steps: List[int] = []
+
+    def on_frame(self, index: int, frame: Frame) -> Steering:
+        """Evaluate every observable on the frame."""
+        self.steps.append(frame.step)
+        for name, fn in self.observables.items():
+            self.series[name].append(float(fn(frame)))
+        return Steering.CONTINUE
+
+
+class TrajectoryCapture(AnalyticsSink):
+    """Writes every consumed frame into a trajectory container."""
+
+    def __init__(self, stream) -> None:
+        self.writer = TrajectoryWriter(stream)
+        self._closed = False
+
+    def on_frame(self, index: int, frame: Frame) -> Steering:
+        """Append the frame to the trajectory."""
+        self.writer.append(frame)
+        return Steering.CONTINUE
+
+    def on_end(self) -> None:
+        """Finalize the trajectory index (idempotent)."""
+        if not self._closed:
+            self.writer.finalize()
+            self._closed = True

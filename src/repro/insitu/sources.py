@@ -1,0 +1,108 @@
+"""Frame sources for in-situ pipelines.
+
+A source is any iterable of :class:`~repro.md.frame.Frame`. Three
+implementations cover the practical cases:
+
+- :class:`EngineSource` — frames from a live Lennard-Jones simulation
+  (the "GROMACS + Plumed" role in the paper's Fig. 1), with support for
+  *forking*: cloning the running simulation into an independent source
+  with perturbed velocities, the second steering action the paper names;
+- :class:`TrajectoryReplay` — frames replayed from a stored trajectory
+  container (post-hoc analysis through the same pipeline);
+- :class:`SyntheticSource` — deterministic random frames (testing and
+  load generation).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.md.engine import LJConfig, LJSimulation
+from repro.md.frame import Frame
+from repro.md.trajectory import TrajectoryReader
+
+__all__ = ["FrameSource", "EngineSource", "TrajectoryReplay", "SyntheticSource"]
+
+
+@runtime_checkable
+class FrameSource(Protocol):
+    """Anything that yields frames."""
+
+    def __iter__(self) -> Iterator[Frame]:  # pragma: no cover - protocol
+        ...
+
+
+class EngineSource:
+    """Frames from a live LJ simulation, one every ``stride`` steps."""
+
+    def __init__(self, config: LJConfig, stride: int = 10,
+                 simulation: Optional[LJSimulation] = None) -> None:
+        if stride < 1:
+            raise ReproError(f"stride must be >= 1, got {stride}")
+        self.config = config
+        self.stride = stride
+        self.simulation = simulation or LJSimulation(config)
+
+    def __iter__(self) -> Iterator[Frame]:
+        while True:
+            self.simulation.step(self.stride)
+            yield self.simulation.frame()
+
+    def fork(self, seed: int, velocity_jitter: float = 0.05) -> "EngineSource":
+        """Clone the running simulation into an independent trajectory.
+
+        The paper's second steering action: "fork a trajectory". The fork
+        starts from the current positions with slightly perturbed
+        velocities (an independent exploration of nearby phase space).
+        """
+        if velocity_jitter < 0:
+            raise ReproError("velocity_jitter must be non-negative")
+        clone = LJSimulation(self.config)
+        clone.positions = self.simulation.positions.copy()
+        rng = np.random.default_rng(seed)
+        clone.velocities = self.simulation.velocities.copy()
+        if velocity_jitter:
+            clone.velocities += rng.normal(
+                0.0, velocity_jitter, clone.velocities.shape
+            )
+        clone.velocities -= clone.velocities.mean(axis=0)
+        clone.step_index = self.simulation.step_index
+        clone.time = self.simulation.time
+        clone.forces, clone.potential = clone._forces(clone.positions)
+        return EngineSource(self.config, self.stride, simulation=clone)
+
+
+class TrajectoryReplay:
+    """Frames replayed from a trajectory container file."""
+
+    def __init__(self, path) -> None:
+        self.path = path
+
+    def __iter__(self) -> Iterator[Frame]:
+        with open(self.path, "rb") as fh:
+            reader = TrajectoryReader(fh)
+            for frame in reader:
+                yield frame
+
+
+class SyntheticSource:
+    """Deterministic random frames of a fixed size."""
+
+    def __init__(self, natoms: int, box: float = 50.0, seed: int = 0,
+                 count: Optional[int] = None) -> None:
+        if natoms < 1:
+            raise ReproError("natoms must be >= 1")
+        self.natoms = natoms
+        self.box = box
+        self.seed = seed
+        self.count = count
+
+    def __iter__(self) -> Iterator[Frame]:
+        rng = np.random.default_rng(self.seed)
+        index = 0
+        while self.count is None or index < self.count:
+            yield Frame.random(self.natoms, rng, box=self.box, step=index)
+            index += 1

@@ -1,0 +1,16 @@
+"""Flux-KVS-like key-value store substrate.
+
+DYAD's loosely-coupled synchronization and global metadata management are
+built on the workload manager's key-value store (Flux KVS in the real
+system). This package models that store: a single server with a FIFO
+service queue reachable over the cluster fabric, supporting ``commit``,
+``lookup``, and blocking ``wait_for`` (watch) operations.
+
+The server queue is the contention point behind the paper's Fig. 9
+observation that KVS stress drops when data movement grows (larger frames
+spread the consumers' lookups in time).
+"""
+
+from repro.kvs.store import KVS, KVSConfig
+
+__all__ = ["KVS", "KVSConfig"]

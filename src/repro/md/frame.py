@@ -1,0 +1,165 @@
+"""Binary MD frame codec.
+
+A frame is the atom list with 3-D positions (plus per-atom metadata) that
+the simulation emits every *stride* steps. The on-disk layout is
+
+- a 44-byte header: magic, version, flags, atom count, step index,
+  simulation time, periodic box lengths;
+- one 28-byte record per atom (:data:`ATOM_DTYPE`).
+
+``44 + 28 × natoms`` reproduces the paper's Table I frame sizes to two
+decimals for all four molecular models, so the emulated workloads move
+exactly the byte counts the paper reports.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["ATOM_DTYPE", "FRAME_HEADER_BYTES", "Frame", "frame_size"]
+
+#: Per-atom record: 28 bytes.
+ATOM_DTYPE = np.dtype(
+    [
+        ("atom_id", "<u4"),
+        ("type_id", "<u2"),
+        ("residue_id", "<u2"),
+        ("position", "<f4", (3,)),
+        ("charge", "<f4"),
+        ("mass", "<f4"),
+    ]
+)
+assert ATOM_DTYPE.itemsize == 28
+
+_MAGIC = b"MDFR"
+_VERSION = 1
+#: Header: magic(4s) version(H) flags(H) natoms(Q) step(Q) time(d) box(3f)
+_HEADER = struct.Struct("<4sHHQQd3f")
+FRAME_HEADER_BYTES = _HEADER.size
+assert FRAME_HEADER_BYTES == 44
+
+def frame_size(natoms: int) -> int:
+    """Encoded size in bytes of a frame with ``natoms`` atoms."""
+    if natoms < 0:
+        raise ValueError(f"negative atom count: {natoms}")
+    return FRAME_HEADER_BYTES + ATOM_DTYPE.itemsize * natoms
+
+
+@dataclass
+class Frame:
+    """One simulation snapshot.
+
+    ``atoms`` is a structured array of :data:`ATOM_DTYPE`; ``box`` is the
+    periodic box edge lengths (cubic/orthorhombic).
+    """
+
+    atoms: np.ndarray
+    step: int = 0
+    time: float = 0.0
+    box: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.atoms = np.ascontiguousarray(self.atoms, dtype=ATOM_DTYPE)
+        if self.box is None:
+            self.box = np.zeros(3, dtype=np.float32)
+        else:
+            self.box = np.asarray(self.box, dtype=np.float32).reshape(3)
+        if self.step < 0:
+            raise ValueError(f"negative step: {self.step}")
+
+    # -- convenience -------------------------------------------------------------
+    @property
+    def natoms(self) -> int:
+        """Number of atoms."""
+        return int(self.atoms.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded size in bytes."""
+        return frame_size(self.natoms)
+
+    @property
+    def positions(self) -> np.ndarray:
+        """(natoms, 3) float32 view of positions."""
+        return self.atoms["position"]
+
+    @classmethod
+    def zeros(cls, natoms: int, step: int = 0, time: float = 0.0) -> "Frame":
+        """All-zero frame of a given size (workload emulation)."""
+        return cls(np.zeros(natoms, dtype=ATOM_DTYPE), step=step, time=time)
+
+    @classmethod
+    def random(cls, natoms: int, rng: np.random.Generator, box: float = 100.0,
+               step: int = 0, time: float = 0.0) -> "Frame":
+        """Random frame (testing and synthetic workloads)."""
+        atoms = np.zeros(natoms, dtype=ATOM_DTYPE)
+        atoms["atom_id"] = np.arange(natoms, dtype=np.uint32)
+        atoms["type_id"] = rng.integers(0, 16, natoms, dtype=np.uint16)
+        atoms["residue_id"] = (np.arange(natoms, dtype=np.uint32) // 10).astype(np.uint16)
+        atoms["position"] = rng.uniform(0, box, (natoms, 3)).astype(np.float32)
+        atoms["charge"] = rng.normal(0, 0.4, natoms).astype(np.float32)
+        atoms["mass"] = rng.uniform(1.0, 16.0, natoms).astype(np.float32)
+        return cls(atoms, step=step, time=time, box=np.full(3, box, np.float32))
+
+    # -- codec -------------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialize to exactly :attr:`nbytes` bytes."""
+        flags = 0
+        header = _HEADER.pack(
+            _MAGIC,
+            _VERSION,
+            flags,
+            self.natoms,
+            self.step,
+            float(self.time),
+            float(self.box[0]),
+            float(self.box[1]),
+            float(self.box[2]),
+        )
+        return header + self.atoms.tobytes()
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Frame":
+        """Deserialize; raises :class:`ReproError` on malformed input."""
+        if len(payload) < FRAME_HEADER_BYTES:
+            raise ReproError(
+                f"frame too short: {len(payload)} < {FRAME_HEADER_BYTES}"
+            )
+        magic, version, _flags, natoms, step, time, bx, by, bz = _HEADER.unpack_from(
+            payload
+        )
+        if magic != _MAGIC:
+            raise ReproError(f"bad frame magic {magic!r}")
+        if version != _VERSION:
+            raise ReproError(f"unsupported frame version {version}")
+        expected = frame_size(natoms)
+        if len(payload) != expected:
+            raise ReproError(
+                f"frame size mismatch: {len(payload)} != {expected} "
+                f"for {natoms} atoms"
+            )
+        atoms = np.frombuffer(
+            payload, dtype=ATOM_DTYPE, count=natoms, offset=FRAME_HEADER_BYTES
+        ).copy()
+        return cls(
+            atoms,
+            step=step,
+            time=time,
+            box=np.array([bx, by, bz], dtype=np.float32),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Frame):
+            return NotImplemented
+        return (
+            self.step == other.step
+            and self.time == other.time
+            and np.array_equal(self.box, other.box)
+            and np.array_equal(self.atoms, other.atoms)
+        )

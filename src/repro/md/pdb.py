@@ -1,0 +1,61 @@
+"""Minimal PDB export of frames (interoperability with MD viewers).
+
+Writes standard fixed-column ``ATOM``/``CRYST1``/``MODEL`` records so
+frames and trajectories from the engine (or from the middleware pipeline)
+open directly in VMD/PyMOL/nglview. Export-only by design — the library's
+native formats are the binary frame codec and the trajectory container.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.md.frame import Frame
+
+__all__ = ["frame_to_pdb", "write_pdb"]
+
+_ELEMENTS = ("C", "N", "O", "S", "H", "P", "FE", "MG")
+
+
+def _atom_line(serial: int, name: str, resid: int, x: float, y: float,
+               z: float, element: str) -> str:
+    # PDB fixed columns (v3.3): ATOM record
+    return (
+        f"ATOM  {serial % 100000:5d} {name:<4s}"
+        f"{'LIG':>4s} A{resid % 10000:4d}    "
+        f"{x:8.3f}{y:8.3f}{z:8.3f}{1.0:6.2f}{0.0:6.2f}"
+        f"          {element:>2s}"
+    )
+
+
+def frame_to_pdb(frame: Frame, model_number: int = 1) -> str:
+    """One frame as a PDB ``MODEL`` block (with CRYST1 when boxed)."""
+    lines: List[str] = []
+    box = float(frame.box[0])
+    if box > 0:
+        lines.append(
+            f"CRYST1{box:9.3f}{float(frame.box[1]):9.3f}"
+            f"{float(frame.box[2]):9.3f}{90.0:7.2f}{90.0:7.2f}{90.0:7.2f} P 1"
+        )
+    lines.append(f"MODEL {model_number:8d}")
+    atoms = frame.atoms
+    for i in range(frame.natoms):
+        element = _ELEMENTS[int(atoms["type_id"][i]) % len(_ELEMENTS)]
+        x, y, z = (float(v) for v in atoms["position"][i])
+        lines.append(
+            _atom_line(i + 1, element, int(atoms["residue_id"][i]) + 1,
+                       x, y, z, element)
+        )
+    lines.append("ENDMDL")
+    return "\n".join(lines) + "\n"
+
+
+def write_pdb(path, frames: Iterable[Frame]) -> int:
+    """Write frames as a multi-MODEL PDB file; returns the model count."""
+    count = 0
+    with open(path, "w") as fh:
+        for i, frame in enumerate(frames, start=1):
+            fh.write(frame_to_pdb(frame, model_number=i))
+            count += 1
+        fh.write("END\n")
+    return count

@@ -1,0 +1,153 @@
+"""Trajectory container format.
+
+The paper (Section II-A): "Each MD job reproduces the evolution of the
+relevant molecular model by computing and writing to storage the model's
+atomic coordinates (frame) ... The sequence of molecular conformations
+(the trajectory) is written to disk."
+
+This module provides that on-disk container: a sequence of encoded frames
+with a footer index for O(1) random access (the layout used by practical
+trajectory formats — data first, index last, so writers never seek):
+
+```
+[frame 0][frame 1]...[frame N-1][index: N x (offset, length)][footer]
+```
+
+The footer carries a magic, the frame count, and the index offset.
+:class:`TrajectoryWriter` appends frames to any binary stream;
+:class:`TrajectoryReader` supports length, indexing, slicing, and
+iteration. Both work with real files and in-memory buffers.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+from repro.md.frame import Frame
+
+__all__ = ["TrajectoryWriter", "TrajectoryReader", "write_trajectory",
+           "read_trajectory"]
+
+_FOOTER_MAGIC = b"MDTRAJIX"
+#: footer: magic(8s) version(H) reserved(H) nframes(Q) index_offset(Q)
+_FOOTER = struct.Struct("<8sHHQQ")
+_INDEX_ENTRY = struct.Struct("<QQ")
+_VERSION = 1
+
+
+class TrajectoryWriter:
+    """Appends frames to a binary stream; finalizes with the index."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self._index: List[Tuple[int, int]] = []
+        self._finalized = False
+        self._start = stream.tell()
+
+    @property
+    def frames_written(self) -> int:
+        """Frames appended so far."""
+        return len(self._index)
+
+    def append(self, frame: Frame) -> int:
+        """Append one frame; returns its index in the trajectory."""
+        if self._finalized:
+            raise ReproError("trajectory already finalized")
+        payload = frame.encode()
+        offset = self._stream.tell()  # absolute: readers use the same stream
+        self._stream.write(payload)
+        self._index.append((offset, len(payload)))
+        return len(self._index) - 1
+
+    def extend(self, frames) -> None:
+        """Append many frames."""
+        for frame in frames:
+            self.append(frame)
+
+    def finalize(self) -> int:
+        """Write index + footer; returns total trajectory bytes."""
+        if self._finalized:
+            raise ReproError("trajectory already finalized")
+        index_offset = self._stream.tell()
+        for offset, length in self._index:
+            self._stream.write(_INDEX_ENTRY.pack(offset, length))
+        self._stream.write(
+            _FOOTER.pack(_FOOTER_MAGIC, _VERSION, 0, len(self._index),
+                         index_offset)
+        )
+        self._finalized = True
+        return self._stream.tell() - self._start
+
+    def __enter__(self) -> "TrajectoryWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._finalized:
+            self.finalize()
+
+
+class TrajectoryReader:
+    """Random access over a finalized trajectory stream."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        stream.seek(0, io.SEEK_END)
+        end = stream.tell()
+        if end < _FOOTER.size:
+            raise ReproError("not a trajectory: too short for footer")
+        stream.seek(end - _FOOTER.size)
+        magic, version, _reserved, nframes, index_offset = _FOOTER.unpack(
+            stream.read(_FOOTER.size)
+        )
+        if magic != _FOOTER_MAGIC:
+            raise ReproError(f"bad trajectory magic {magic!r}")
+        if version != _VERSION:
+            raise ReproError(f"unsupported trajectory version {version}")
+        expected_index_end = index_offset + nframes * _INDEX_ENTRY.size
+        if expected_index_end != end - _FOOTER.size:
+            raise ReproError("corrupt trajectory: index size mismatch")
+        stream.seek(index_offset)
+        raw = stream.read(nframes * _INDEX_ENTRY.size)
+        self._index = [
+            _INDEX_ENTRY.unpack_from(raw, i * _INDEX_ENTRY.size)
+            for i in range(nframes)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def __getitem__(self, key: Union[int, slice]):
+        if isinstance(key, slice):
+            return [self[i] for i in range(*key.indices(len(self)))]
+        if key < 0:
+            key += len(self)
+        if not 0 <= key < len(self):
+            raise IndexError(f"frame {key} of {len(self)}")
+        offset, length = self._index[key]
+        self._stream.seek(offset)
+        return Frame.decode(self._stream.read(length))
+
+    def __iter__(self) -> Iterator[Frame]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def frame_sizes(self) -> List[int]:
+        """Encoded size of each frame (no decoding)."""
+        return [length for _offset, length in self._index]
+
+
+def write_trajectory(path, frames) -> int:
+    """Write frames to a file; returns total bytes."""
+    with open(path, "wb") as fh:
+        writer = TrajectoryWriter(fh)
+        writer.extend(frames)
+        return writer.finalize()
+
+
+def read_trajectory(path) -> List[Frame]:
+    """Load all frames of a trajectory file."""
+    with open(path, "rb") as fh:
+        return list(TrajectoryReader(fh))

@@ -1,0 +1,44 @@
+"""Performance instrumentation and analysis tools.
+
+The paper collects data with Caliper and analyzes it with Thicket and the
+Hatchet call-path query language. This package provides working equivalents:
+
+- :mod:`repro.perf.calltree` — the call-tree data model (hierarchical
+  regions with per-node metrics);
+- :mod:`repro.perf.caliper` — region annotation for simulated (and real)
+  processes: ``begin``/``end`` pairs build a per-process call tree with
+  inclusive times, visit counts, and a movement/idle/compute category;
+- :mod:`repro.perf.thicket` — an ensemble of call trees (many processes ×
+  many runs) with statistical aggregation across the ensemble;
+- :mod:`repro.perf.query` — a small call-path query language
+  (``"*" / name / {"name": "regex"}`` path patterns, Hatchet-style);
+- :mod:`repro.perf.report` — text rendering of trees and figure tables;
+- :mod:`repro.perf.trace` — timeline tracing with Chrome-trace export
+  (see producer/consumer overlap, not just totals);
+- :mod:`repro.perf.compare` — bootstrap confidence intervals for speedup
+  factors.
+"""
+
+from repro.perf.caliper import Annotator, Caliper, Category
+from repro.perf.compare import SpeedupEstimate, bootstrap_speedup
+from repro.perf.trace import SpanEvent, Tracer, TracingAnnotator
+from repro.perf.calltree import CallTree, CallTreeNode, diff_trees
+from repro.perf.query import parse_query, query
+from repro.perf.thicket import Thicket
+
+__all__ = [
+    "Annotator",
+    "Caliper",
+    "Category",
+    "CallTree",
+    "CallTreeNode",
+    "diff_trees",
+    "parse_query",
+    "query",
+    "Thicket",
+    "SpeedupEstimate",
+    "bootstrap_speedup",
+    "SpanEvent",
+    "Tracer",
+    "TracingAnnotator",
+]

@@ -1,0 +1,261 @@
+"""Call-tree data model.
+
+A :class:`CallTree` is a rooted tree of named regions. Each node carries a
+metrics dictionary; the annotation layer populates ``time`` (inclusive
+seconds), ``count`` (visits), and ``category``. Trees support deep merging
+(summing metrics) — used to aggregate the per-iteration structure within a
+process — and traversal/serialization used by Thicket and the reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import PerfError
+
+__all__ = ["CallTreeNode", "CallTree", "diff_trees"]
+
+
+class CallTreeNode:
+    """One region in a call tree."""
+
+    __slots__ = ("name", "parent", "children", "metrics")
+
+    def __init__(self, name: str, parent: Optional["CallTreeNode"] = None) -> None:
+        self.name = name
+        self.parent = parent
+        self.children: Dict[str, "CallTreeNode"] = {}
+        self.metrics: Dict[str, Any] = {}
+
+    # -- structure ------------------------------------------------------------
+    def child(self, name: str) -> "CallTreeNode":
+        """Get-or-create a child region."""
+        node = self.children.get(name)
+        if node is None:
+            node = CallTreeNode(name, parent=self)
+            self.children[name] = node
+        return node
+
+    def path(self) -> Tuple[str, ...]:
+        """Names from the root (exclusive) down to this node."""
+        parts: List[str] = []
+        node: Optional[CallTreeNode] = self
+        while node is not None and node.parent is not None:
+            parts.append(node.name)
+            node = node.parent
+        return tuple(reversed(parts))
+
+    def walk(self) -> Iterator["CallTreeNode"]:
+        """Pre-order traversal of this subtree, children in name order."""
+        yield self
+        for name in sorted(self.children):
+            yield from self.children[name].walk()
+
+    # -- metrics ------------------------------------------------------------
+    def add_metric(self, key: str, value: float) -> None:
+        """Accumulate a numeric metric."""
+        self.metrics[key] = self.metrics.get(key, 0.0) + value
+
+    @property
+    def time(self) -> float:
+        """Inclusive time in seconds (0 when never visited)."""
+        return float(self.metrics.get("time", 0.0))
+
+    @property
+    def count(self) -> int:
+        """Number of visits."""
+        return int(self.metrics.get("count", 0))
+
+    @property
+    def category(self) -> Optional[str]:
+        """Region category ('movement' / 'idle' / 'compute'), if annotated."""
+        return self.metrics.get("category")
+
+    def exclusive_time(self) -> float:
+        """Inclusive time minus the children's inclusive time."""
+        return self.time - sum(c.time for c in self.children.values())
+
+    def __repr__(self) -> str:
+        return f"<CallTreeNode {'/'.join(self.path()) or '<root>'} t={self.time:.6f}>"
+
+
+class CallTree:
+    """A rooted call tree with helpers for lookup, merge, and flattening."""
+
+    def __init__(self, label: str = "") -> None:
+        self.label = label
+        self.root = CallTreeNode("<root>")
+
+    # -- lookup ------------------------------------------------------------
+    def node(self, *path: str) -> CallTreeNode:
+        """Node at ``path``, creating intermediate nodes as needed."""
+        node = self.root
+        for name in path:
+            node = node.child(name)
+        return node
+
+    def find(self, *path: str) -> Optional[CallTreeNode]:
+        """Node at ``path`` or ``None`` (never creates)."""
+        node = self.root
+        for name in path:
+            node = node.children.get(name)
+            if node is None:
+                return None
+        return node
+
+    def nodes(self) -> Iterator[CallTreeNode]:
+        """All nodes except the synthetic root, pre-order."""
+        for node in self.root.walk():
+            if node.parent is not None:
+                yield node
+
+    def paths(self) -> List[Tuple[str, ...]]:
+        """All node paths, pre-order."""
+        return [n.path() for n in self.nodes()]
+
+    # -- combination ------------------------------------------------------------
+    def merge(self, other: "CallTree") -> "CallTree":
+        """Deep-merge ``other`` into this tree.
+
+        Numeric metrics are summed; non-numeric metrics (e.g. ``category``)
+        must agree, otherwise :class:`PerfError` is raised — a category
+        clash means two semantically different regions share a path.
+        """
+
+        def _merge(dst: CallTreeNode, src: CallTreeNode) -> None:
+            for key, value in src.metrics.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    dst.add_metric(key, value)
+                elif key in dst.metrics and dst.metrics[key] != value:
+                    raise PerfError(
+                        f"metric {key!r} clash at {'/'.join(src.path())}: "
+                        f"{dst.metrics[key]!r} != {value!r}"
+                    )
+                else:
+                    dst.metrics[key] = value
+            for name in src.children:
+                _merge(dst.child(name), src.children[name])
+
+        _merge(self.root, other.root)
+        return self
+
+    def copy(self) -> "CallTree":
+        """Deep copy."""
+        clone = CallTree(self.label)
+        clone.merge(self)
+        return clone
+
+    # -- reductions ------------------------------------------------------------
+    def total(self, metric: str = "time", where: Optional[Callable[[CallTreeNode], bool]] = None) -> float:
+        """Sum a metric over top-level regions (or a filtered set of nodes).
+
+        With ``where`` given, sums over **all** matching nodes; without it,
+        sums only direct children of the root (avoiding double counting of
+        nested inclusive times).
+        """
+        if where is None:
+            return float(
+                sum(c.metrics.get(metric, 0.0) for c in self.root.children.values())
+            )
+        return float(
+            sum(n.metrics.get(metric, 0.0) for n in self.nodes() if where(n))
+        )
+
+    def total_by_category(self, category: str) -> float:
+        """Sum of *exclusive* time over nodes in a category.
+
+        Exclusive time is used so a category total never double-counts a
+        parent and its child.
+        """
+        return float(
+            sum(
+                max(n.exclusive_time(), 0.0)
+                for n in self.nodes()
+                if n.category == category
+            )
+        )
+
+    def flat(self, metric: str = "time") -> Dict[Tuple[str, ...], float]:
+        """Mapping path -> metric for every node."""
+        return {
+            n.path(): float(n.metrics.get(metric, 0.0)) for n in self.nodes()
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation."""
+
+        def _node(node: CallTreeNode) -> Dict[str, Any]:
+            return {
+                "name": node.name,
+                "metrics": dict(node.metrics),
+                "children": [
+                    _node(node.children[k]) for k in sorted(node.children)
+                ],
+            }
+
+        return {"label": self.label, "tree": _node(self.root)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "CallTree":
+        """Inverse of :meth:`to_dict`."""
+        tree = cls(payload.get("label", ""))
+
+        def _load(dst: CallTreeNode, src: Dict[str, Any]) -> None:
+            dst.metrics.update(src.get("metrics", {}))
+            for child in src.get("children", []):
+                _load(dst.child(child["name"]), child)
+
+        _load(tree.root, payload["tree"])
+        return tree
+
+    def render(self, metric: str = "time", unit: float = 1.0, fmt: str = "{:.3f}") -> str:
+        """ASCII rendering of the tree (Thicket-style, cf. Figs. 9-10)."""
+        lines: List[str] = [self.label or "<calltree>"]
+
+        def _render(node: CallTreeNode, prefix: str) -> None:
+            names = sorted(node.children)
+            for i, name in enumerate(names):
+                child = node.children[name]
+                last = i == len(names) - 1
+                stem = "`- " if last else "|- "
+                value = child.metrics.get(metric, 0.0) / unit if unit else 0.0
+                cat = child.category
+                suffix = f" [{cat}]" if cat else ""
+                lines.append(
+                    f"{prefix}{stem}{name}: {fmt.format(value)}{suffix}"
+                )
+                _render(child, prefix + ("   " if last else "|  "))
+
+        _render(self.root, "")
+        return "\n".join(lines)
+
+
+def diff_trees(numerator: CallTree, denominator: CallTree,
+               metric: str = "time") -> CallTree:
+    """Per-node ratio tree: ``numerator[path] / denominator[path]``.
+
+    The Thicket-style speedup view: apply to two aggregated consumer trees
+    (e.g. STMV vs JAC, or Lustre vs DYAD) to see *which region* grew. A
+    node missing on either side gets a ``ratio`` of ``inf`` (only in the
+    numerator) or 0 (only in the denominator); both sides' raw values are
+    kept as ``lhs``/``rhs`` metrics.
+    """
+    out = CallTree(label=f"{numerator.label or 'lhs'} / "
+                         f"{denominator.label or 'rhs'}")
+    paths = set(numerator.flat(metric)) | set(denominator.flat(metric))
+    for path in sorted(paths):
+        lhs_node = numerator.find(*path)
+        rhs_node = denominator.find(*path)
+        lhs = float(lhs_node.metrics.get(metric, 0.0)) if lhs_node else 0.0
+        rhs = float(rhs_node.metrics.get(metric, 0.0)) if rhs_node else 0.0
+        node = out.node(*path)
+        node.metrics["lhs"] = lhs
+        node.metrics["rhs"] = rhs
+        if rhs > 0:
+            node.metrics["ratio"] = lhs / rhs
+        else:
+            node.metrics["ratio"] = float("inf") if lhs > 0 else 0.0
+        source = lhs_node or rhs_node
+        if source is not None and source.category is not None:
+            node.metrics["category"] = source.category
+    return out

@@ -1,0 +1,162 @@
+"""Call-path query language (Hatchet/Thicket-query-language style).
+
+The paper analyses its Caliper data with Thicket and the Hatchet call-path
+query language (their refs [22]-[23]). This module implements the subset
+those analyses need:
+
+String dialect — a ``/``-separated path pattern::
+
+    "dyad_consume/dyad_fetch"     exact path from the root
+    "*/read_single_buf"           one arbitrary level, then a name
+    "**/dyad_get_data"            any depth, then a name
+    "dyad_consume/*"              all direct children
+    "**/dyad_*"                   fnmatch-style wildcards inside names
+
+Object dialect — a list of element specs, each either
+
+- a plain string (exact name, or fnmatch pattern),
+- ``"*"`` / ``"**"`` quantifiers (one level / any number of levels),
+- a dict ``{"name": regex}`` and/or ``{"category": "idle"}`` and/or
+  numeric guards ``{"time>": 0.5}``, ``{"count>=": 10}``.
+
+:func:`query` returns the matched **nodes** (the node matched by the final
+element of the pattern), de-duplicated, in pre-order.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import Any, Callable, Dict, List, Sequence, Union
+
+from repro.errors import QuerySyntaxError
+from repro.perf.calltree import CallTree, CallTreeNode
+
+__all__ = ["parse_query", "query", "match_path"]
+
+_NUMERIC_GUARD = re.compile(r"^(?P<metric>\w+)(?P<op>>=|<=|>|<|==)$")
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": lambda a, b: a > b,
+    "<": lambda a, b: a < b,
+    ">=": lambda a, b: a >= b,
+    "<=": lambda a, b: a <= b,
+    "==": lambda a, b: a == b,
+}
+
+
+class _Element:
+    """One compiled pattern element: quantifier + node predicate."""
+
+    __slots__ = ("many", "predicate", "source")
+
+    def __init__(self, many: bool, predicate: Callable[[CallTreeNode], bool], source: Any) -> None:
+        self.many = many  # True for '**' (matches a chain of >= 0 nodes)
+        self.predicate = predicate
+        self.source = source
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Element {'**' if self.many else ''}{self.source!r}>"
+
+
+def _name_predicate(pattern: str) -> Callable[[CallTreeNode], bool]:
+    if any(ch in pattern for ch in "*?["):
+        return lambda node: fnmatch.fnmatchcase(node.name, pattern)
+    return lambda node: node.name == pattern
+
+
+def _dict_predicate(spec: Dict[str, Any]) -> Callable[[CallTreeNode], bool]:
+    checks: List[Callable[[CallTreeNode], bool]] = []
+    for key, value in spec.items():
+        if key == "name":
+            regex = re.compile(str(value))
+            checks.append(lambda n, rx=regex: rx.fullmatch(n.name) is not None)
+        elif key == "category":
+            checks.append(lambda n, v=value: n.category == v)
+        else:
+            guard = _NUMERIC_GUARD.match(key)
+            if not guard:
+                raise QuerySyntaxError(f"unknown query key {key!r}")
+            metric = guard.group("metric")
+            op = _OPS[guard.group("op")]
+            threshold = float(value)
+            checks.append(
+                lambda n, m=metric, op=op, t=threshold: op(
+                    float(n.metrics.get(m, 0.0)), t
+                )
+            )
+    return lambda node: all(check(node) for check in checks)
+
+
+def _compile_element(spec: Any) -> _Element:
+    if isinstance(spec, str):
+        if spec == "**":
+            return _Element(True, lambda n: True, spec)
+        if spec == "*":
+            return _Element(False, lambda n: True, spec)
+        return _Element(False, _name_predicate(spec), spec)
+    if isinstance(spec, dict):
+        return _Element(False, _dict_predicate(spec), spec)
+    if isinstance(spec, tuple) and len(spec) == 2:
+        quant, inner = spec
+        if quant not in ("*", "**", "."):
+            raise QuerySyntaxError(f"unknown quantifier {quant!r}")
+        element = _compile_element(inner)
+        return _Element(quant == "**", element.predicate, spec)
+    raise QuerySyntaxError(f"cannot compile query element {spec!r}")
+
+
+def parse_query(pattern: Union[str, Sequence[Any]]) -> List[_Element]:
+    """Compile a string or object dialect query into matcher elements."""
+    if isinstance(pattern, str):
+        text = pattern.strip()
+        if not text:
+            raise QuerySyntaxError("empty query")
+        parts = [p for p in text.split("/") if p != ""]
+        if not parts:
+            raise QuerySyntaxError(f"no path elements in {pattern!r}")
+        return [_compile_element(p) for p in parts]
+    elements = [_compile_element(spec) for spec in pattern]
+    if not elements:
+        raise QuerySyntaxError("empty query")
+    return elements
+
+
+def match_path(nodes: Sequence[CallTreeNode], elements: Sequence[_Element]) -> bool:
+    """True when a root-to-node chain matches the compiled pattern."""
+
+    def _match(ni: int, ei: int) -> bool:
+        if ei == len(elements):
+            return ni == len(nodes)
+        element = elements[ei]
+        if element.many:
+            # '**' with predicate true-for-all: match 0..k nodes.
+            if _match(ni, ei + 1):
+                return True
+            return (
+                ni < len(nodes)
+                and element.predicate(nodes[ni])
+                and _match(ni + 1, ei)
+            )
+        return (
+            ni < len(nodes)
+            and element.predicate(nodes[ni])
+            and _match(ni + 1, ei + 1)
+        )
+
+    return _match(0, 0)
+
+
+def query(tree: CallTree, pattern: Union[str, Sequence[Any]]) -> List[CallTreeNode]:
+    """All nodes whose root path matches ``pattern``, pre-order."""
+    elements = parse_query(pattern)
+    matches: List[CallTreeNode] = []
+    for node in tree.nodes():
+        chain: List[CallTreeNode] = []
+        cursor = node
+        while cursor is not None and cursor.parent is not None:
+            chain.append(cursor)
+            cursor = cursor.parent
+        chain.reverse()
+        if match_path(chain, elements):
+            matches.append(node)
+    return matches

@@ -1,0 +1,50 @@
+"""Text rendering helpers for experiment reports.
+
+Experiments print their results as fixed-width tables (the textual
+equivalent of the paper's bar charts) plus rendered call trees for the
+Thicket figures. Keeping the renderer here keeps the experiment modules
+focused on workload logic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = ["table", "ratio", "fmt_sig"]
+
+
+def fmt_sig(value: float, digits: int = 4) -> str:
+    """Format with a fixed number of significant digits."""
+    if value == 0:
+        return "0"
+    return f"{value:.{digits}g}"
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio ``a/b`` (0 when b is 0)."""
+    return a / b if b else 0.0
+
+
+def table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    fmt: Callable[[Any], str] = lambda v: v if isinstance(v, str) else fmt_sig(float(v)),
+) -> str:
+    """Render a fixed-width table.
+
+    Numeric cells are formatted with :func:`fmt_sig`; strings pass through.
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([fmt(v) for v in row])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,391 @@
+"""Event loop, events, and coroutine processes for the DES kernel.
+
+Design notes
+------------
+The kernel follows the classic event-list architecture: a binary heap of
+``(time, priority, sequence, event)`` entries. Determinism matters more than
+raw speed here — simultaneous events are ordered by priority then by
+scheduling sequence, so two runs with the same seeds produce bit-identical
+timelines. That determinism is what makes the experiment suite and the
+hypothesis tests reproducible.
+
+A :class:`Process` wraps a generator. The generator yields :class:`Event`
+objects; when an event fires, the process resumes with the event's value (or
+has the event's exception thrown into it). A process is itself an event that
+fires when the generator returns, so processes can wait on each other.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+from repro.errors import DeadlockError, Interrupt, SimulationError
+
+__all__ = ["Environment", "Event", "Timeout", "Process", "AllOf", "AnyOf"]
+
+# Priorities for simultaneous events: urgent (interrupts) fire before normal
+# ones so an interrupted process never consumes the event it was waiting on.
+URGENT = 0
+NORMAL = 1
+
+_PENDING = object()  # sentinel: event value not yet decided
+
+
+class Event:
+    """A happening that processes can wait for.
+
+    An event starts *pending*, becomes *triggered* once scheduled with a
+    value or an exception, and is *processed* after its callbacks ran.
+    Callbacks are ``fn(event)`` callables; :class:`Process` registers its
+    ``_resume`` bound method as a callback.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value/exception scheduled."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if self._value is _PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay=delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Schedule this event to fire by raising ``exception`` in waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay=delay)
+        return self
+
+    def __repr__(self) -> str:
+        state = (
+            "pending"
+            if not self.triggered
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal: kicks off a freshly created process at the current time."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        env._schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running simulated activity wrapping a generator.
+
+    The process is an event that triggers when the generator finishes; its
+    value is the generator's return value. ``yield`` an :class:`Event` from
+    inside the generator to wait for it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None  # event we are waiting on
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._value is _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`repro.errors.Interrupt` into the process.
+
+        The process stops waiting on its current target (the target event
+        stays valid for other waiters) and resumes immediately with the
+        exception. Interrupting a finished process is an error.
+        """
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process during init")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        # Stop listening to the old target, listen to the interrupt instead.
+        if self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._target = event
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, priority=URGENT)
+
+    # -- machinery ---------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_proc = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        target = self._generator.send(event._value)
+                    else:
+                        target = self._generator.throw(event._value)
+                except StopIteration as exc:
+                    self._ok = True
+                    self._value = exc.value
+                    self.env._schedule(self)
+                    break
+                except BaseException as exc:
+                    self._ok = False
+                    self._value = exc
+                    self.env._schedule(self)
+                    break
+
+                if not isinstance(target, Event):
+                    exc = SimulationError(
+                        f"process yielded non-event {target!r}"
+                    )
+                    event = Event(self.env)
+                    event._ok = False
+                    event._value = exc
+                    continue  # throw into generator on next loop
+                if target.env is not self.env:
+                    exc = SimulationError("event belongs to another Environment")
+                    event = Event(self.env)
+                    event._ok = False
+                    event._value = exc
+                    continue
+
+                if target.callbacks is not None:
+                    # Event still pending / not processed: wait for it.
+                    self._target = target
+                    target.callbacks.append(self._resume)
+                    break
+                # Already processed: resume synchronously with its value.
+                event = target
+        finally:
+            self.env._active_proc = None
+
+
+class ConditionValue(dict):
+    """Mapping of event -> value returned by :class:`AllOf`/:class:`AnyOf`."""
+
+
+class _Condition(Event):
+    """Base for composite events over a fixed set of sub-events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        for ev in self._events:
+            if ev.env is not self.env:
+                raise SimulationError("event belongs to another Environment")
+        self._unfired = len(self._events)
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self._events and not self.triggered:
+            self.succeed(ConditionValue())
+
+    def _collect(self) -> ConditionValue:
+        return ConditionValue(
+            (ev, ev._value) for ev in self._events if ev.callbacks is None
+        )
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when *all* sub-events fired; fails fast on the first failure."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._unfired -= 1
+        if self._unfired <= 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires when *any* sub-event fired (or fails with the first failure)."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event heap."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._heap: List = []
+        self._seq = count()
+        self._active_proc: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_proc
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new :class:`Process` running ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all ``events`` fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        heapq.heappush(
+            self._heap, (self._now + delay, priority, next(self._seq), event)
+        )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        Raises :class:`repro.errors.DeadlockError` when the heap is empty.
+        """
+        if not self._heap:
+            raise DeadlockError("no scheduled events")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None  # mark processed
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not callbacks:
+            # A failed event (including a crashed process) nobody waited for
+            # would silently vanish; surface it so bugs do not hide.
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until no events remain), a number
+        (run until the clock reaches it), or an :class:`Event` (run until it
+        fires, returning its value). Running until a number never raises
+        :class:`DeadlockError`; an empty heap simply advances the clock.
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            result: List[Any] = []
+
+            def _capture(ev: Event) -> None:
+                result.append(ev)
+
+            if until.callbacks is None:
+                if not until._ok:
+                    raise until._value
+                return until._value
+            until.callbacks.append(_capture)
+            while not result:
+                if not self._heap:
+                    raise DeadlockError(
+                        "simulation ran out of events before target fired"
+                    )
+                self.step()
+            if not until._ok:
+                raise until._value
+            return until._value
+        # numeric horizon
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError("cannot run backwards in time")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

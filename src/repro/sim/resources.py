@@ -1,0 +1,313 @@
+"""Shared-resource primitives for the DES kernel.
+
+Four primitives cover every contention point in the simulated cluster:
+
+- :class:`Resource` — a FIFO server with integer capacity. Used for RPC
+  service queues (Lustre MDS/OSS, the KVS server) and mutual exclusion
+  (file locks use capacity 1).
+- :class:`Store` — unbounded FIFO queue of items. Used for message passing
+  between DYAD clients and services.
+- :class:`SharedBandwidth` — a fluid-flow *processor sharing* channel:
+  total bandwidth is divided equally among concurrent transfers, and
+  completion times are recomputed whenever a flow starts or ends. Used for
+  SSD channels, fabric links, and aggregate OSS bandwidth; this is the
+  mechanism behind the contention effects in Figs. 7, 8, and 12.
+- :class:`Signal` — a broadcast condition that wakes *all* current waiters.
+  Used for KVS watches (DYAD's loosely-coupled first-touch sync).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event, Process
+
+__all__ = ["Resource", "Store", "SharedBandwidth", "Signal"]
+
+
+class Request(Event):
+    """Pending grant of one capacity unit of a :class:`Resource`."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """FIFO server with ``capacity`` simultaneous users.
+
+    Usage from inside a process generator::
+
+        req = server.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            server.release(req)
+
+    The :meth:`acquire` helper wraps request+service+release for the common
+    "queued fixed-cost operation" pattern.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: List[Request] = []
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of current users."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Ask for one capacity unit; the returned event fires when granted."""
+        req = Request(self)
+        if len(self._users) < self.capacity:
+            self._users.append(req)
+            req.succeed()
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit and wake the next waiter."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            # Request may still be queued (released before grant = cancel).
+            try:
+                self._queue.remove(request)
+                return
+            except ValueError:
+                raise SimulationError("release of a non-held request") from None
+        while self._queue and len(self._users) < self.capacity:
+            nxt = self._queue.popleft()
+            self._users.append(nxt)
+            nxt.succeed()
+
+    def acquire(self, service_time: float):
+        """Generator: queue for the server, hold it ``service_time``, release.
+
+        Yields the queueing delay *plus* the service time; returns the time
+        spent waiting in the queue (used by instrumentation to separate
+        contention from service).
+        """
+        start = self.env.now
+        req = self.request()
+        yield req
+        waited = self.env.now - start
+        try:
+            yield self.env.timeout(service_time)
+        finally:
+            self.release(req)
+        return waited
+
+
+class Store:
+    """Unbounded FIFO queue of items with blocking ``get``."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Deposit an item, waking the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that fires with the next item (immediately if available)."""
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
+        return event
+
+
+class Signal:
+    """Broadcast condition: ``wait()`` events all fire on ``fire(value)``.
+
+    Unlike :class:`Store`, every waiter observes the value. A Signal can
+    fire many times; waiters registered after a firing wait for the next
+    one. :meth:`fire_once` latches: late waiters complete immediately —
+    that latching is what a KVS watch on an already-committed key needs.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._waiters: List[Event] = []
+        self._latched = False
+        self._latched_value: Any = None
+
+    @property
+    def latched(self) -> bool:
+        """True once :meth:`fire_once` has been called."""
+        return self._latched
+
+    def wait(self) -> Event:
+        """Event firing at the next :meth:`fire` (or now, if latched)."""
+        event = Event(self.env)
+        if self._latched:
+            event.succeed(self._latched_value)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def fire(self, value: Any = None) -> int:
+        """Wake all current waiters; returns how many were woken."""
+        waiters, self._waiters = self._waiters, []
+        for event in waiters:
+            event.succeed(value)
+        return len(waiters)
+
+    def fire_once(self, value: Any = None) -> int:
+        """Wake all waiters and latch so future waits complete immediately."""
+        if self._latched:
+            raise SimulationError("Signal already latched")
+        self._latched = True
+        self._latched_value = value
+        return self.fire(value)
+
+
+class _Flow:
+    """Internal: one active transfer on a :class:`SharedBandwidth`."""
+
+    __slots__ = ("total", "remaining", "done", "started")
+
+    def __init__(self, nbytes: float, done: Event, started: float) -> None:
+        self.total = float(nbytes)
+        self.remaining = float(nbytes)
+        self.done = done
+        self.started = started
+
+
+class SharedBandwidth:
+    """Fluid-flow processor-sharing channel of ``bandwidth`` bytes/second.
+
+    Each concurrent transfer receives an equal share of the total bandwidth
+    (capped at ``per_flow_cap`` if given). Whenever the set of active flows
+    changes, remaining byte counts are advanced and the next completion is
+    rescheduled. This reproduces the first-order behaviour of a shared NIC,
+    SSD channel, or storage server under concurrent load, and is the source
+    of the emergent contention effects in the multi-pair experiments.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        per_flow_cap: Optional[float] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if per_flow_cap is not None and per_flow_cap <= 0:
+            raise ValueError(f"per_flow_cap must be positive, got {per_flow_cap}")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.per_flow_cap = per_flow_cap
+        self._flows: List[_Flow] = []
+        self._last_update = env.now
+        self._epoch = 0  # invalidates stale completion wake-ups
+        self._bytes_moved = 0.0  # lifetime accounting, for tests/metrics
+
+    # -- public ------------------------------------------------------------
+    @property
+    def active_flows(self) -> int:
+        """Number of in-flight transfers."""
+        return len(self._flows)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes fully delivered over the lifetime of the channel."""
+        return self._bytes_moved
+
+    def current_rate(self) -> float:
+        """Per-flow rate right now (``inf`` when idle)."""
+        if not self._flows:
+            return float("inf")
+        rate = self.bandwidth / len(self._flows)
+        if self.per_flow_cap is not None:
+            rate = min(rate, self.per_flow_cap)
+        return rate
+
+    def transfer(self, nbytes: float) -> Event:
+        """Begin moving ``nbytes``; the returned event fires at completion."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        done = Event(self.env)
+        if nbytes == 0:
+            done.succeed(0.0)
+            return done
+        self._advance()
+        self._flows.append(_Flow(nbytes, done, self.env.now))
+        self._reschedule()
+        return done
+
+    # -- machinery ----------------------------------------------------------
+    # Flows whose residue drops below this many bytes are complete. The
+    # residue comes from float rounding when a wake-up fires at the
+    # projected completion instant; without a tolerance the channel can
+    # spin on nanobyte remainders with zero-delay wake-ups.
+    _RESIDUE = 1e-6
+
+    def _advance(self) -> None:
+        """Drain bytes for the elapsed interval at the prevailing rate."""
+        now = self.env.now
+        if not self._flows:
+            self._last_update = now
+            return
+        elapsed = now - self._last_update
+        self._last_update = now
+        rate = self.current_rate()
+        drained = max(rate * elapsed, 0.0)
+        finished: List[_Flow] = []
+        for flow in self._flows:
+            flow.remaining -= drained
+            if flow.remaining <= self._RESIDUE:
+                finished.append(flow)
+        for flow in finished:
+            self._flows.remove(flow)
+            self._bytes_moved += flow.total
+            flow.done.succeed(now - flow.started)
+
+    def _reschedule(self) -> None:
+        """Schedule a wake-up at the earliest projected completion."""
+        self._epoch += 1
+        if not self._flows:
+            return
+        rate = self.current_rate()
+        soonest = min(flow.remaining for flow in self._flows)
+        eta = soonest / rate
+        # A wake-up must land strictly after `now` in float arithmetic, or
+        # `_advance` sees zero elapsed time and the channel spins forever on
+        # a sub-ULP residue. The clamp is ~1e-12 relative — far below any
+        # modelled device time.
+        min_step = max(abs(self.env.now), 1.0) * 1e-12
+        if eta < min_step:
+            eta = min_step
+        epoch = self._epoch
+        wake = self.env.timeout(eta)
+        wake.callbacks.append(lambda _ev, epoch=epoch: self._on_wake(epoch))
+
+    def _on_wake(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # flow set changed since this wake-up was scheduled
+        self._advance()
+        self._reschedule()

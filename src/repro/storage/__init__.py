@@ -1,0 +1,37 @@
+"""Simulated storage systems: the POSIX layer, XFS, Lustre, and file locks.
+
+The paper compares three data-management paths; two of them are plain file
+systems accessed "using POSIX APIs". This package provides:
+
+- :mod:`repro.storage.posixfs` — the shared POSIX-like namespace and
+  file-handle machinery both file systems implement;
+- :mod:`repro.storage.xfs` — a node-local XFS-like file system on the
+  node's NVMe SSD model;
+- :mod:`repro.storage.lustre` — a Lustre-like parallel file system with a
+  metadata server (MDS), object storage servers (OSS) fronting object
+  storage targets (OST), striping, and cross-client contention;
+- :mod:`repro.storage.locks` — advisory whole-file reader/writer locks
+  (DYAD's flock fast-path synchronization uses these).
+"""
+
+from repro.storage.locks import LockMode, LockTable
+from repro.storage.lustre import (
+    LustreConfig,
+    LustreFileSystem,
+    LustreServers,
+)
+from repro.storage.posixfs import FileHandle, FileStat, PosixFileSystem
+from repro.storage.xfs import XFSConfig, XFSFileSystem
+
+__all__ = [
+    "LockMode",
+    "LockTable",
+    "LustreConfig",
+    "LustreFileSystem",
+    "LustreServers",
+    "FileHandle",
+    "FileStat",
+    "PosixFileSystem",
+    "XFSConfig",
+    "XFSFileSystem",
+]

@@ -1,0 +1,356 @@
+"""POSIX-like namespace and file-handle layer shared by XFS and Lustre.
+
+The namespace is a real hierarchical tree (directories, regular files,
+``mkdir -p`` semantics, ENOENT/EEXIST/EISDIR errors) so workflow code using
+these file systems behaves like code written against real POSIX. Timing is
+delegated to subclasses through the ``_t_*`` generator hooks; the base class
+never advances the clock itself.
+
+Payload storage is optional: the simulated experiments move *sizes* (a
+28 MiB STMV frame as an integer), while integration tests enable
+``store_data=True`` and move real bytes end-to-end to validate protocol
+correctness.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.errors import (
+    FileExists,
+    FileNotFound,
+    InvalidHandle,
+    IsADirectory,
+    NotADirectory,
+    StorageError,
+)
+from repro.sim.core import Environment
+
+__all__ = ["FileStat", "FileHandle", "PosixFileSystem", "normalize"]
+
+
+def normalize(path: str) -> str:
+    """Normalize to an absolute, ``/``-separated path."""
+    if not path:
+        raise StorageError("empty path")
+    if not path.startswith("/"):
+        path = "/" + path
+    norm = posixpath.normpath(path)
+    return norm
+
+
+@dataclass
+class FileStat:
+    """Subset of ``struct stat`` the workflows need."""
+
+    path: str
+    size: int
+    is_dir: bool
+    version: int  # bumped on every completed write; used by polling sync
+    ctime: float
+    mtime: float
+
+
+class _Inode:
+    """Internal node of the namespace tree."""
+
+    __slots__ = ("name", "is_dir", "size", "payload", "children", "version",
+                 "ctime", "mtime", "nlink")
+
+    def __init__(self, name: str, is_dir: bool, now: float) -> None:
+        self.name = name
+        self.is_dir = is_dir
+        self.size = 0
+        self.payload: Optional[bytearray] = None
+        self.children: Dict[str, "_Inode"] = {}
+        self.version = 0
+        self.ctime = now
+        self.mtime = now
+        self.nlink = 1  # open handles keep unlinked files alive
+
+
+class FileHandle:
+    """An open file description (offset + mode), as returned by ``open``.
+
+    All data operations are generators; drive them with ``yield from`` from
+    a simulation process. Reads return ``(nbytes, payload_or_None)``.
+    """
+
+    _WRITE_MODES = {"w", "a", "r+", "w+"}
+
+    def __init__(
+        self,
+        fs: "PosixFileSystem",
+        path: str,
+        inode: _Inode,
+        mode: str,
+        client: Optional[str],
+    ) -> None:
+        self.fs = fs
+        self.path = path
+        self.mode = mode
+        self.client = client
+        self._inode = inode
+        self._offset = inode.size if mode == "a" else 0
+        self._open = True
+
+    # -- guards ------------------------------------------------------------
+    def _check_open(self) -> None:
+        if not self._open:
+            raise InvalidHandle(f"{self.path}: handle is closed")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self.mode not in self._WRITE_MODES:
+            raise InvalidHandle(f"{self.path}: opened read-only ({self.mode})")
+
+    def _check_readable(self) -> None:
+        self._check_open()
+        if self.mode in ("w", "a"):
+            raise InvalidHandle(f"{self.path}: opened write-only ({self.mode})")
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` completed."""
+        return not self._open
+
+    @property
+    def offset(self) -> int:
+        """Current file offset in bytes."""
+        return self._offset
+
+    def seek(self, offset: int) -> None:
+        """Absolute seek (no device time — it only moves the offset)."""
+        self._check_open()
+        if offset < 0:
+            raise StorageError(f"negative seek offset: {offset}")
+        self._offset = offset
+
+    # -- data plane -----------------------------------------------------------
+    def write(self, nbytes: int, data: Optional[bytes] = None) -> Generator:
+        """Write ``nbytes`` at the current offset; returns elapsed seconds.
+
+        ``data`` (optional real payload) must match ``nbytes`` when given
+        and is only retained when the file system stores payloads.
+        """
+        self._check_writable()
+        if nbytes < 0:
+            raise StorageError(f"negative write size: {nbytes}")
+        if data is not None and len(data) != nbytes:
+            raise StorageError(
+                f"payload length {len(data)} != declared size {nbytes}"
+            )
+        elapsed = yield from self.fs._t_write(self, nbytes)
+        end = self._offset + nbytes
+        grow = end - self._inode.size
+        if grow > 0:
+            self.fs._account_growth(grow)
+            self._inode.size = end
+        if self.fs.store_data:
+            if self._inode.payload is None:
+                self._inode.payload = bytearray(self._inode.size)
+            elif len(self._inode.payload) < self._inode.size:
+                self._inode.payload.extend(
+                    b"\0" * (self._inode.size - len(self._inode.payload))
+                )
+            if data is not None:
+                self._inode.payload[self._offset:end] = data
+        self._offset = end
+        self._inode.version += 1
+        self._inode.mtime = self.fs.env.now
+        return elapsed
+
+    def read(self, nbytes: Optional[int] = None) -> Generator:
+        """Read up to ``nbytes`` (default: to EOF) from the current offset.
+
+        Returns ``(count, payload)`` where payload is ``None`` unless the
+        file system stores payloads.
+        """
+        self._check_readable()
+        if nbytes is not None and nbytes < 0:
+            raise StorageError(f"negative read size: {nbytes}")
+        avail = max(self._inode.size - self._offset, 0)
+        count = avail if nbytes is None else min(nbytes, avail)
+        yield from self.fs._t_read(self, count)
+        payload: Optional[bytes] = None
+        if self.fs.store_data and self._inode.payload is not None:
+            payload = bytes(self._inode.payload[self._offset:self._offset + count])
+        self._offset += count
+        return count, payload
+
+    def fsync(self) -> Generator:
+        """Force data to stable storage; returns elapsed seconds."""
+        self._check_open()
+        return (yield from self.fs._t_fsync(self))
+
+    def close(self) -> Generator:
+        """Close the handle; returns elapsed seconds."""
+        if not self._open:
+            return 0.0
+        elapsed = yield from self.fs._t_close(self)
+        self._open = False
+        self._inode.nlink -= 1
+        self.fs._reap(self._inode)
+        return elapsed
+
+
+class PosixFileSystem:
+    """Namespace bookkeeping common to XFS and Lustre models.
+
+    Subclasses implement the ``_t_*`` timing hooks (generators returning
+    elapsed seconds) and may override :meth:`_account_growth` to track
+    device capacity.
+    """
+
+    #: human-readable name used in traces ("xfs", "lustre")
+    kind = "posix"
+
+    def __init__(self, env: Environment, store_data: bool = False) -> None:
+        self.env = env
+        self.store_data = store_data
+        self._root = _Inode("/", is_dir=True, now=env.now)
+
+    # -- namespace helpers ------------------------------------------------------
+    def _walk(self, path: str) -> Tuple[Optional[_Inode], _Inode, List[str]]:
+        """Resolve ``path``; returns (inode_or_None, parent, parts)."""
+        norm = normalize(path)
+        if norm == "/":
+            return self._root, self._root, []
+        parts = norm.strip("/").split("/")
+        parent = self._root
+        for part in parts[:-1]:
+            child = parent.children.get(part)
+            if child is None:
+                raise FileNotFound(f"{path}: no such directory component {part!r}")
+            if not child.is_dir:
+                raise NotADirectory(f"{path}: {part!r} is not a directory")
+            parent = child
+        return parent.children.get(parts[-1]), parent, parts
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` resolves (no device time: dcache hit)."""
+        try:
+            inode, _, _ = self._walk(path)
+        except (FileNotFound, NotADirectory):
+            return False
+        return inode is not None
+
+    def makedirs(self, path: str) -> None:
+        """Create directories recursively; existing directories are fine."""
+        norm = normalize(path)
+        if norm == "/":
+            return
+        parent = self._root
+        for part in norm.strip("/").split("/"):
+            child = parent.children.get(part)
+            if child is None:
+                child = _Inode(part, is_dir=True, now=self.env.now)
+                parent.children[part] = child
+            elif not child.is_dir:
+                raise NotADirectory(f"{path}: {part!r} is a regular file")
+            parent = child
+
+    def listdir(self, path: str) -> List[str]:
+        """Names in a directory, sorted."""
+        inode, _, _ = self._walk(path)
+        if inode is None:
+            raise FileNotFound(path)
+        if not inode.is_dir:
+            raise NotADirectory(path)
+        return sorted(inode.children)
+
+    # -- metadata plane (timed) ------------------------------------------------
+    def open(self, path: str, mode: str = "r", client: Optional[str] = None) -> Generator:
+        """Open (and with ``w``/``a``/``w+``, maybe create) a file.
+
+        Generator returning a :class:`FileHandle`. Modes: ``r``, ``r+``,
+        ``w`` (truncate/create), ``w+``, ``a`` (append/create), ``x``
+        (exclusive create, returned handle is write-only).
+        """
+        if mode not in ("r", "r+", "w", "w+", "a", "x"):
+            raise StorageError(f"unsupported open mode {mode!r}")
+        inode, parent, parts = self._walk(path)
+        creating = inode is None
+        if inode is not None and inode.is_dir:
+            raise IsADirectory(path)
+        if mode in ("r", "r+") and creating:
+            raise FileNotFound(path)
+        if mode == "x":
+            if not creating:
+                raise FileExists(path)
+            mode = "w"
+        yield from self._t_open(path, creating=creating, client=client)
+        if creating:
+            inode = _Inode(parts[-1], is_dir=False, now=self.env.now)
+            parent.children[parts[-1]] = inode
+        assert inode is not None
+        if mode in ("w", "w+") and inode.size:
+            self._account_growth(-inode.size)
+            inode.size = 0
+            inode.payload = bytearray() if self.store_data else None
+            inode.version += 1
+        inode.nlink += 1
+        return FileHandle(self, normalize(path), inode, mode, client)
+
+    def stat(self, path: str, client: Optional[str] = None) -> Generator:
+        """Timed stat; returns a :class:`FileStat`."""
+        yield from self._t_stat(path, client=client)
+        inode, _, _ = self._walk(path)
+        if inode is None:
+            raise FileNotFound(path)
+        return FileStat(
+            path=normalize(path),
+            size=inode.size,
+            is_dir=inode.is_dir,
+            version=inode.version,
+            ctime=inode.ctime,
+            mtime=inode.mtime,
+        )
+
+    def unlink(self, path: str, client: Optional[str] = None) -> Generator:
+        """Timed unlink of a regular file."""
+        inode, parent, parts = self._walk(path)
+        if inode is None:
+            raise FileNotFound(path)
+        if inode.is_dir:
+            raise IsADirectory(path)
+        yield from self._t_unlink(path, client=client)
+        del parent.children[parts[-1]]
+        inode.nlink -= 1
+        self._reap(inode)
+        return None
+
+    # -- accounting hooks --------------------------------------------------------
+    def _account_growth(self, delta: int) -> None:
+        """Capacity accounting hook; default: unlimited."""
+
+    def _reap(self, inode: _Inode) -> None:
+        """Free space when the last reference to an unlinked file drops."""
+        if inode.nlink <= 0 and not inode.is_dir:
+            self._account_growth(-inode.size)
+            inode.size = 0
+            inode.payload = None
+
+    # -- timing hooks (subclass responsibility) -----------------------------------
+    def _t_open(self, path: str, creating: bool, client: Optional[str]) -> Generator:
+        raise NotImplementedError
+
+    def _t_write(self, handle: FileHandle, nbytes: int) -> Generator:
+        raise NotImplementedError
+
+    def _t_read(self, handle: FileHandle, nbytes: int) -> Generator:
+        raise NotImplementedError
+
+    def _t_close(self, handle: FileHandle) -> Generator:
+        raise NotImplementedError
+
+    def _t_fsync(self, handle: FileHandle) -> Generator:
+        raise NotImplementedError
+
+    def _t_stat(self, path: str, client: Optional[str]) -> Generator:
+        raise NotImplementedError
+
+    def _t_unlink(self, path: str, client: Optional[str]) -> Generator:
+        raise NotImplementedError

@@ -1,0 +1,114 @@
+"""CLI for ad-hoc workflow runs: ``python -m repro.workflow …``.
+
+Examples::
+
+    python -m repro.workflow --system dyad --model jac --pairs 8
+    python -m repro.workflow --system lustre --model stmv --stride 10 \\
+        --frames 64 --sync polling --runs 3
+    python -m repro.workflow --system dyad --trace /tmp/run.trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.md.models import model_by_name
+from repro.perf.report import table
+from repro.units import to_msec, to_usec
+from repro.workflow.runner import run_repetitions, run_workflow
+from repro.workflow.spec import Placement, SyncMode, System, WorkflowSpec
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workflow",
+        description="Run one MD-workflow configuration and print its "
+                    "movement/idle decomposition.",
+    )
+    parser.add_argument("--system", required=True,
+                        choices=[s.value for s in System])
+    parser.add_argument("--model", default="jac",
+                        help="jac | apoa1 | f1 | stmv")
+    parser.add_argument("--stride", type=int, default=None,
+                        help="MD steps per frame (default: the model's "
+                             "Table II stride)")
+    parser.add_argument("--frames", type=int, default=64)
+    parser.add_argument("--pairs", type=int, default=4)
+    parser.add_argument("--placement", default=None,
+                        choices=[p.value for p in Placement],
+                        help="default: single-node for xfs, split otherwise")
+    parser.add_argument("--sync", default="coarse",
+                        choices=[m.value for m in SyncMode],
+                        help="manual sync for xfs/lustre (ignored by dyad)")
+    parser.add_argument("--runs", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--jitter", type=float, default=0.05,
+                        help="device/compute jitter cv")
+    parser.add_argument("--trace", default=None,
+                        help="write a Chrome trace JSON of run 0 here")
+    return parser
+
+
+def build_spec(args) -> WorkflowSpec:
+    """Translate CLI arguments into a :class:`WorkflowSpec`."""
+    system = System(args.system)
+    model = model_by_name(args.model)
+    if args.placement is not None:
+        placement = Placement(args.placement)
+    else:
+        placement = (Placement.SINGLE_NODE if system is System.XFS
+                     else Placement.SPLIT)
+    extras = {}
+    if system is not System.DYAD:
+        extras["sync_mode"] = SyncMode(args.sync)
+    return WorkflowSpec(
+        system=system,
+        model=model,
+        stride=args.stride if args.stride is not None else model.paper_stride,
+        frames=args.frames,
+        pairs=args.pairs,
+        placement=placement,
+        **extras,
+    )
+
+
+def main(argv=None) -> int:
+    """Entry point."""
+    args = build_parser().parse_args(argv)
+    spec = build_spec(args)
+    print(f"running: {spec.describe()} (runs={args.runs})")
+
+    results = run_repetitions(
+        spec, runs=args.runs, base_seed=args.seed, jitter_cv=args.jitter,
+    )
+    if args.trace:
+        traced = run_workflow(spec, seed=args.seed, jitter_cv=args.jitter,
+                              trace=True)
+        traced.tracer.write_chrome_trace(args.trace)
+        print(f"wrote {args.trace}")
+
+    def stat(metric):
+        values = [getattr(r, metric) for r in results]
+        return float(np.mean(values)), float(np.std(values))
+
+    rows = []
+    for label, metric, conv, unit in [
+        ("production movement", "production_movement", to_usec, "us"),
+        ("production idle", "production_idle", to_usec, "us"),
+        ("consumption movement", "consumption_movement", to_msec, "ms"),
+        ("consumption idle", "consumption_idle", to_msec, "ms"),
+        ("consumption total", "consumption_time", to_msec, "ms"),
+    ]:
+        mean, std = stat(metric)
+        rows.append([label, f"{conv(mean):.3f} {unit}", f"{conv(std):.3f} {unit}"])
+    rows.append(["makespan", f"{np.mean([r.makespan for r in results]):.2f} s", ""])
+    print(table(["metric (per frame)", "mean", "std over runs"], rows))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

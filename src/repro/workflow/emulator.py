@@ -1,0 +1,262 @@
+"""Producer/consumer process bodies for each data-management system.
+
+The emulation follows the paper exactly (Section IV-C):
+
+- a producer runs ``stride`` MD steps (a fixed-duration *MD sleep*), then
+  serializes a frame and writes it through the system under test;
+- a consumer reads a frame, deserializes it, then runs an analytics sleep
+  matched to the frame-generation frequency;
+- with XFS/Lustre, synchronization is the *coarse-grained* manual pattern
+  the paper describes ("serialized execution of the producer and
+  consumer"): the consumer's iterations begin only after its producer
+  completes, and all of that waiting is accounted to one
+  ``explicit_sync`` idle region — so per-iteration consumer idle equals
+  the frame-production period, while the producer (whose partner is
+  already waiting) never blocks;
+- with DYAD, producer and consumer run pipelined, and synchronization is
+  DYAD's automatic multi-protocol mechanism (KVS watch on first touch,
+  flock fast path after).
+
+Region names match the paper's Figs. 9-10 call trees
+(``dyad_consume/dyad_fetch/dyad_get_data/dyad_cons_store``,
+``read_single_buf``, ``FilesystemReader::read_single_buf``,
+``explicit_sync``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.dyad.client import DyadConsumerClient, DyadProducerClient
+from repro.perf.caliper import Annotator, Category
+from repro.sim.core import Environment
+from repro.sim.resources import Signal
+from repro.sim.rng import RngStreams
+from repro.storage.posixfs import PosixFileSystem
+from repro.workflow.spec import SyncMode, WorkflowSpec
+
+
+class ComputeModel:
+    """Per-process compute-time sampling for MD and analytics sleeps.
+
+    Real MD steps are not metronome-exact; a small coefficient of
+    variation decorrelates the otherwise-lockstep pairs of the ensemble
+    (with cv=0 every producer would hit the storage system at the same
+    instant forever, overstating contention relative to the paper's
+    measurements).
+
+    The stream key is shared by a pair's producer MD sleep and consumer
+    analytics sleep for the same frame index, mirroring the paper's
+    harness where the consumer sleep is *set equal to* the production
+    period: the pair stays phase-locked (the producer runs exactly one
+    frame ahead after the first synchronization), while different pairs
+    drift apart through their independent per-frame draws.
+    """
+
+    def __init__(self, rng: Optional[RngStreams] = None, cv: float = 0.0) -> None:
+        if cv < 0:
+            raise ValueError(f"compute cv must be non-negative, got {cv}")
+        self.rng = rng
+        self.cv = cv
+
+    def sample(self, stream: str, mean: float) -> float:
+        """One sleep duration around ``mean``."""
+        if self.rng is None or self.cv == 0.0:
+            return mean
+        return self.rng.jitter(stream, mean, self.cv)
+
+
+_EXACT = ComputeModel()
+
+__all__ = [
+    "ComputeModel",
+    "dyad_producer",
+    "dyad_consumer",
+    "posix_producer",
+    "posix_consumer",
+    "posix_consumer_polling",
+    "frame_path",
+    "READ_REGION",
+    "WRITE_REGION",
+    "SYNC_REGION",
+    "POLL_REGION",
+]
+
+#: Region names matching the paper's call trees.
+READ_REGION = "FilesystemReader::read_single_buf"
+WRITE_REGION = "write_single_buf"
+SYNC_REGION = "explicit_sync"
+POLL_REGION = "poll_sync"
+
+
+def frame_path(root: str, pair: int, frame: int) -> str:
+    """Canonical managed path of one frame of one pair."""
+    return f"{root}/pair{pair:04d}/frame{frame:05d}.mdfr"
+
+
+# ---------------------------------------------------------------------------
+# DYAD workflow: concurrent, pipelined, automatic synchronization.
+# ---------------------------------------------------------------------------
+
+
+def dyad_producer(
+    env: Environment,
+    spec: WorkflowSpec,
+    client: DyadProducerClient,
+    annotator: Annotator,
+    pair: int,
+    compute: ComputeModel = _EXACT,
+) -> Generator:
+    """Generator: MD-sleep then produce, ``spec.frames`` times."""
+    root = client.runtime.config.managed_root
+    for k in range(spec.frames):
+        annotator.begin("md_sleep", Category.COMPUTE)
+        yield env.timeout(compute.sample(f"pair{pair}.frame{k}", spec.stride_time))
+        annotator.end("md_sleep")
+        yield from client.produce(
+            frame_path(root, pair, k), spec.frame_bytes, annotator=annotator
+        )
+
+
+def dyad_consumer(
+    env: Environment,
+    spec: WorkflowSpec,
+    client: DyadConsumerClient,
+    annotator: Annotator,
+    pair: int,
+    compute: ComputeModel = _EXACT,
+) -> Generator:
+    """Generator: consume then analytics-sleep, ``spec.frames`` times."""
+    root = client.runtime.config.managed_root
+    for k in range(spec.frames):
+        yield from client.consume(frame_path(root, pair, k), annotator=annotator)
+        annotator.begin("analytics_sleep", Category.COMPUTE)
+        yield env.timeout(compute.sample(f"pair{pair}.frame{k}", spec.analytics_time))
+        annotator.end("analytics_sleep")
+
+
+# ---------------------------------------------------------------------------
+# Traditional POSIX workflow (XFS / Lustre): coarse-grained manual sync.
+# ---------------------------------------------------------------------------
+
+
+def posix_producer(
+    env: Environment,
+    spec: WorkflowSpec,
+    fs: PosixFileSystem,
+    node_id: str,
+    barrier: Signal,
+    annotator: Annotator,
+    pair: int,
+    root: str = "/data",
+    compute: ComputeModel = _EXACT,
+) -> Generator:
+    """Generator: produce all frames, then release the pair barrier.
+
+    The producer never waits: by the time it finishes, its consumer is
+    already parked in the barrier (matching the paper's observation that
+    producers show no significant idle time).
+    """
+    for k in range(spec.frames):
+        annotator.begin("md_sleep", Category.COMPUTE)
+        yield env.timeout(compute.sample(f"pair{pair}.frame{k}", spec.stride_time))
+        annotator.end("md_sleep")
+        annotator.begin(WRITE_REGION, Category.MOVEMENT)
+        handle = yield from fs.open(frame_path(root, pair, k), "w", client=node_id)
+        try:
+            yield from handle.write(spec.frame_bytes)
+        finally:
+            yield from handle.close()
+        annotator.end(WRITE_REGION)
+    barrier.fire_once(env.now)
+
+
+def posix_consumer(
+    env: Environment,
+    spec: WorkflowSpec,
+    fs: PosixFileSystem,
+    node_id: str,
+    barrier: Signal,
+    annotator: Annotator,
+    pair: int,
+    root: str = "/data",
+    compute: ComputeModel = _EXACT,
+) -> Generator:
+    """Generator: wait for the producer phase, then read + analyze each frame."""
+    annotator.begin(SYNC_REGION, Category.IDLE)
+    yield barrier.wait()
+    annotator.end(SYNC_REGION)
+    for k in range(spec.frames):
+        annotator.begin(READ_REGION, Category.MOVEMENT)
+        handle = yield from fs.open(frame_path(root, pair, k), "r", client=node_id)
+        try:
+            count, _payload = yield from handle.read()
+        finally:
+            yield from handle.close()
+        annotator.end(READ_REGION)
+        if count != spec.frame_bytes:
+            raise AssertionError(
+                f"pair {pair} frame {k}: read {count} bytes, "
+                f"expected {spec.frame_bytes}"
+            )
+        annotator.begin("analytics_sleep", Category.COMPUTE)
+        yield env.timeout(compute.sample(f"pair{pair}.frame{k}", spec.analytics_time))
+        annotator.end("analytics_sleep")
+
+
+def posix_consumer_polling(
+    env: Environment,
+    spec: WorkflowSpec,
+    fs: PosixFileSystem,
+    node_id: str,
+    annotator: Annotator,
+    pair: int,
+    root: str = "/data",
+    compute: ComputeModel = _EXACT,
+) -> Generator:
+    """Generator: Pegasus-style polling consumer (fine-grained manual sync).
+
+    Instead of one coarse barrier, the consumer discovers each frame by
+    polling ``stat()`` every ``spec.poll_interval`` seconds until the file
+    exists with a stable size, then reads it. This overlaps producer and
+    consumer (unlike the coarse pattern) at the price of discovery latency
+    (~half the poll interval per frame) and a metadata-request load on the
+    file system — the trade-off the paper's Section III describes for
+    workflow managers.
+
+    Note a correctness subtlety the coarse barrier does not have: a poller
+    can observe a file mid-write. Stability is checked by requiring two
+    consecutive polls to report the same version, which is why discovery
+    costs at least one full poll interval after creation.
+    """
+    from repro.errors import FileNotFound
+
+    for k in range(spec.frames):
+        path = frame_path(root, pair, k)
+        annotator.begin(POLL_REGION, Category.IDLE)
+        last_version = None
+        while True:
+            try:
+                st = yield from fs.stat(path, client=node_id)
+            except FileNotFound:
+                st = None
+            if st is not None and st.version == last_version:
+                break  # two consecutive identical observations: stable
+            last_version = st.version if st is not None else None
+            yield env.timeout(spec.poll_interval)
+        annotator.end(POLL_REGION)
+        annotator.begin(READ_REGION, Category.MOVEMENT)
+        handle = yield from fs.open(path, "r", client=node_id)
+        try:
+            count, _payload = yield from handle.read()
+        finally:
+            yield from handle.close()
+        annotator.end(READ_REGION)
+        if count != spec.frame_bytes:
+            raise AssertionError(
+                f"pair {pair} frame {k}: read {count} bytes, "
+                f"expected {spec.frame_bytes}"
+            )
+        annotator.begin("analytics_sleep", Category.COMPUTE)
+        yield env.timeout(compute.sample(f"pair{pair}.frame{k}", spec.analytics_time))
+        annotator.end("analytics_sleep")

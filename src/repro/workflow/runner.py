@@ -1,0 +1,249 @@
+"""Workflow orchestration: build, run, and summarize one configuration.
+
+:func:`run_workflow` assembles a Corona-like cluster sized for the spec,
+instantiates the system under test (DYAD runtime, an XFS mount, or Lustre
+servers + client FS), spawns one producer and one consumer process per
+pair with Caliper annotation, runs the simulation to completion, and
+returns a :class:`WorkflowResult` with the per-process call trees and the
+paper's headline metrics (per-frame production/consumption time split into
+data movement and idle).
+
+:func:`run_repetitions` repeats a spec with different seeds (the paper
+runs every configuration 10 times) and returns the list of results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.corona import corona
+from repro.dyad.config import DyadConfig
+from repro.dyad.service import DyadRuntime
+from repro.errors import WorkflowError
+from repro.perf.caliper import Caliper, Category
+from repro.perf.calltree import CallTree
+from repro.perf.thicket import Thicket
+from repro.perf.trace import Tracer
+from repro.sim.resources import Signal
+from repro.storage.lustre import LustreConfig, LustreFileSystem, LustreServers
+from repro.storage.xfs import XFSConfig, XFSFileSystem
+from repro.workflow import emulator
+from repro.workflow.spec import Placement, SyncMode, System, WorkflowSpec
+
+__all__ = ["WorkflowResult", "run_workflow", "run_repetitions"]
+
+
+@dataclass
+class WorkflowResult:
+    """Instrumented outcome of one workflow run."""
+
+    spec: WorkflowSpec
+    seed: int
+    makespan: float
+    producer_trees: List[CallTree]
+    consumer_trees: List[CallTree]
+    #: populated when run_workflow(..., trace=True): the full timeline
+    tracer: Optional[Tracer] = None
+    #: system-level counters of the run (network transfers, bytes, ...)
+    system_stats: Dict[str, float] = field(default_factory=dict)
+
+    # -- the paper's metrics ------------------------------------------------------
+    def _per_frame(self, trees: List[CallTree], category: str) -> float:
+        """Mean per-frame seconds of a category across processes."""
+        if not trees:
+            return 0.0
+        totals = [t.total_by_category(category) for t in trees]
+        return float(np.mean(totals)) / self.spec.frames
+
+    @property
+    def production_movement(self) -> float:
+        """Mean data-movement seconds per produced frame."""
+        return self._per_frame(self.producer_trees, Category.MOVEMENT)
+
+    @property
+    def production_idle(self) -> float:
+        """Mean idle (synchronization) seconds per produced frame."""
+        return self._per_frame(self.producer_trees, Category.IDLE)
+
+    @property
+    def production_time(self) -> float:
+        """Movement + idle per produced frame (the paper's bar height)."""
+        return self.production_movement + self.production_idle
+
+    @property
+    def consumption_movement(self) -> float:
+        """Mean data-movement seconds per consumed frame."""
+        return self._per_frame(self.consumer_trees, Category.MOVEMENT)
+
+    @property
+    def consumption_idle(self) -> float:
+        """Mean idle (synchronization) seconds per consumed frame."""
+        return self._per_frame(self.consumer_trees, Category.IDLE)
+
+    @property
+    def consumption_time(self) -> float:
+        """Movement + idle per consumed frame."""
+        return self.consumption_movement + self.consumption_idle
+
+    def thicket(self, **extra_tags) -> Thicket:
+        """All trees of this run as a Thicket ensemble."""
+        ensemble = Thicket()
+        for i, tree in enumerate(self.producer_trees):
+            ensemble.add(
+                tree, role="producer", pair=i, seed=self.seed,
+                system=self.spec.system.value, model=self.spec.model.name,
+                stride=self.spec.stride, pairs=self.spec.pairs, **extra_tags,
+            )
+        for i, tree in enumerate(self.consumer_trees):
+            ensemble.add(
+                tree, role="consumer", pair=i, seed=self.seed,
+                system=self.spec.system.value, model=self.spec.model.name,
+                stride=self.spec.stride, pairs=self.spec.pairs, **extra_tags,
+            )
+        return ensemble
+
+
+def run_workflow(
+    spec: WorkflowSpec,
+    seed: int = 0,
+    jitter_cv: float = 0.0,
+    compute_cv: Optional[float] = None,
+    dyad_config: Optional[DyadConfig] = None,
+    xfs_config: Optional[XFSConfig] = None,
+    lustre_config: Optional[LustreConfig] = None,
+    trace: bool = False,
+) -> WorkflowResult:
+    """Run one workflow configuration on a fresh simulated cluster.
+
+    ``jitter_cv`` controls device-time jitter; ``compute_cv`` (defaulting
+    to ``jitter_cv``) controls MD/analytics sleep jitter, which
+    decorrelates the ensemble's otherwise perfectly lockstep pairs.
+    With ``trace=True`` the result additionally carries a
+    :class:`~repro.perf.trace.Tracer` with the full region timeline
+    (Chrome-trace exportable).
+    """
+    cluster = corona(nodes=spec.nodes_required, seed=seed, jitter_cv=jitter_cv)
+    env = cluster.env
+    compute = emulator.ComputeModel(
+        cluster.rng, jitter_cv if compute_cv is None else compute_cv
+    )
+    tracer = Tracer(clock=lambda: env.now) if trace else None
+    caliper = Caliper(clock=lambda: env.now)
+    annotate = tracer.annotator if tracer else caliper.annotator
+    placements = spec.placements()
+
+    producer_anns = [annotate(f"producer{p:04d}") for p in range(spec.pairs)]
+    consumer_anns = [annotate(f"consumer{p:04d}") for p in range(spec.pairs)]
+
+    # claim one GPU per process, as the paper's placement does
+    for (pn, cn) in placements:
+        cluster.node(pn).claim_gpu()
+        cluster.node(cn).claim_gpu()
+
+    if spec.system is System.DYAD:
+        runtime = DyadRuntime(cluster, config=dyad_config)
+        for pair, (pn, cn) in enumerate(placements):
+            producer = runtime.producer(cluster.node(pn).node_id, f"prod{pair}")
+            consumer = runtime.consumer(cluster.node(cn).node_id, f"cons{pair}")
+            env.process(
+                emulator.dyad_producer(
+                    env, spec, producer, producer_anns[pair], pair, compute
+                )
+            )
+            env.process(
+                emulator.dyad_consumer(
+                    env, spec, consumer, consumer_anns[pair], pair, compute
+                )
+            )
+    elif spec.system is System.XFS:
+        fs = XFSFileSystem(cluster.node(0), config=xfs_config)
+        fs.makedirs("/data")
+        _spawn_posix(
+            env, spec, fs, cluster, placements, producer_anns, consumer_anns, compute
+        )
+    elif spec.system is System.LUSTRE:
+        servers = LustreServers(env, cluster.fabric, lustre_config, cluster.rng)
+        fs = LustreFileSystem(servers)
+        fs.makedirs("/data")
+        _spawn_posix(
+            env, spec, fs, cluster, placements, producer_anns, consumer_anns, compute
+        )
+    else:  # pragma: no cover - enum is exhaustive
+        raise WorkflowError(f"unknown system {spec.system!r}")
+
+    env.run()
+    fabric = cluster.fabric
+    system_stats = {
+        "fabric_transfers": float(fabric.stats.transfers),
+        "fabric_rdma_transfers": float(fabric.stats.rdma_transfers),
+        "fabric_messages": float(fabric.stats.messages),
+        "fabric_bytes_moved": float(fabric.stats.bytes_moved),
+        "ssd_bytes_written": float(
+            sum(node.ssd.stats.bytes_written for node in cluster.nodes)
+        ),
+        "ssd_bytes_read": float(
+            sum(node.ssd.stats.bytes_read for node in cluster.nodes)
+        ),
+    }
+    return WorkflowResult(
+        spec=spec,
+        seed=seed,
+        makespan=env.now,
+        producer_trees=[ann.finish() for ann in producer_anns],
+        consumer_trees=[ann.finish() for ann in consumer_anns],
+        tracer=tracer,
+        system_stats=system_stats,
+    )
+
+
+def _spawn_posix(env, spec, fs, cluster, placements, producer_anns, consumer_anns,
+                 compute):
+    """Spawn traditional producer/consumer pairs with per-pair barriers.
+
+    The subdirectory tree is created up front (the paper's harness sets up
+    its staging directories before the timed phase)."""
+    for pair in range(spec.pairs):
+        fs.makedirs(f"/data/pair{pair:04d}")
+    for pair, (pn, cn) in enumerate(placements):
+        barrier = Signal(env)
+        env.process(
+            emulator.posix_producer(
+                env, spec, fs, cluster.node(pn).node_id, barrier,
+                producer_anns[pair], pair, compute=compute,
+            )
+        )
+        if spec.sync_mode is SyncMode.POLLING:
+            env.process(
+                emulator.posix_consumer_polling(
+                    env, spec, fs, cluster.node(cn).node_id,
+                    consumer_anns[pair], pair, compute=compute,
+                )
+            )
+        else:
+            env.process(
+                emulator.posix_consumer(
+                    env, spec, fs, cluster.node(cn).node_id, barrier,
+                    consumer_anns[pair], pair, compute=compute,
+                )
+            )
+
+
+def run_repetitions(
+    spec: WorkflowSpec,
+    runs: int = 10,
+    base_seed: int = 0,
+    jitter_cv: float = 0.05,
+    **system_configs,
+) -> List[WorkflowResult]:
+    """Run ``runs`` repetitions with distinct seeds (paper: 10 runs)."""
+    if runs < 1:
+        raise WorkflowError(f"runs must be >= 1, got {runs}")
+    return [
+        run_workflow(
+            spec, seed=base_seed + 1000 * r, jitter_cv=jitter_cv, **system_configs
+        )
+        for r in range(runs)
+    ]

@@ -1,0 +1,150 @@
+"""Workflow specification: workload, system, and placement.
+
+Encodes the paper's experimental parameters (Section IV-C):
+
+- equal numbers of producer and consumer processes, linked pairwise;
+- at most 8 processes per node (one per GPU on Corona);
+- single-node placement (DYAD or XFS) collocates each pair; split
+  placement (DYAD or Lustre) puts all producers on one half of the nodes
+  and all consumers on the other;
+- each producer runs ``frames × stride`` MD steps and writes ``frames``
+  frames; each consumer runs ``frames`` iterations of read + analytics
+  sleep, with the sleep matched to the frame-generation period.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import WorkflowError
+from repro.md.models import JAC, MolecularModel
+
+__all__ = ["System", "Placement", "SyncMode", "WorkflowSpec", "PROCS_PER_NODE"]
+
+#: The paper's placement cap: 8 GPUs per Corona node.
+PROCS_PER_NODE = 8
+
+
+class System(enum.Enum):
+    """Data-management system under test."""
+
+    DYAD = "dyad"
+    XFS = "xfs"
+    LUSTRE = "lustre"
+
+
+class Placement(enum.Enum):
+    """Where producers and consumers run."""
+
+    SINGLE_NODE = "single-node"   # every pair collocated on node 0
+    SPLIT = "split"               # producers on one half, consumers on the other
+
+
+class SyncMode(enum.Enum):
+    """Manual synchronization pattern for the traditional (POSIX) systems.
+
+    The paper (Section III) lists the manual mechanisms workflows use when
+    the storage system provides none: MPI primitives / coarse barriers,
+    and file-system polling in workflow managers like Pegasus. DYAD's
+    automatic synchronization ignores this field.
+    """
+
+    COARSE = "coarse"      # consumer phase starts after the producer phase
+    POLLING = "polling"    # consumer polls stat() per frame (Pegasus-style)
+
+
+@dataclass(frozen=True)
+class WorkflowSpec:
+    """One workflow configuration (= one bar group in a paper figure)."""
+
+    system: System
+    model: MolecularModel = JAC
+    stride: int = 880
+    frames: int = 128
+    pairs: int = 1
+    placement: Placement = Placement.SINGLE_NODE
+    sync_mode: SyncMode = SyncMode.COARSE
+    poll_interval: float = 0.25   # seconds between stat() polls (POLLING)
+
+    def __post_init__(self) -> None:
+        if self.stride < 1:
+            raise WorkflowError(f"stride must be >= 1, got {self.stride}")
+        if self.frames < 1:
+            raise WorkflowError(f"frames must be >= 1, got {self.frames}")
+        if self.pairs < 1:
+            raise WorkflowError(f"pairs must be >= 1, got {self.pairs}")
+        if self.system is System.XFS and self.placement is not Placement.SINGLE_NODE:
+            raise WorkflowError(
+                "XFS cannot move data between nodes; use single-node placement"
+            )
+        if self.system is System.LUSTRE and self.placement is not Placement.SPLIT:
+            raise WorkflowError(
+                "the Lustre configuration of the paper is distributed; "
+                "use split placement"
+            )
+        if self.placement is Placement.SINGLE_NODE and self.pairs * 2 > PROCS_PER_NODE:
+            raise WorkflowError(
+                f"single-node placement fits at most {PROCS_PER_NODE // 2} pairs "
+                f"(8 GPUs, 2 per pair); got {self.pairs}"
+            )
+        if self.poll_interval <= 0:
+            raise WorkflowError(
+                f"poll_interval must be positive, got {self.poll_interval}"
+            )
+        if self.system is System.DYAD and self.sync_mode is SyncMode.POLLING:
+            raise WorkflowError(
+                "DYAD synchronizes automatically; sync_mode applies only to "
+                "XFS/Lustre workflows"
+            )
+
+    # -- derived workload quantities ------------------------------------------------
+    @property
+    def stride_time(self) -> float:
+        """Seconds of MD compute between consecutive frames."""
+        return self.model.stride_time(self.stride)
+
+    @property
+    def analytics_time(self) -> float:
+        """Consumer per-iteration analytics sleep (matched to frequency)."""
+        return self.stride_time
+
+    @property
+    def frame_bytes(self) -> int:
+        """Bytes per frame."""
+        return self.model.frame_bytes
+
+    @property
+    def total_steps(self) -> int:
+        """MD steps each producer runs."""
+        return self.model.steps_for_frames(self.frames, self.stride)
+
+    # -- placement ------------------------------------------------------------
+    @property
+    def nodes_required(self) -> int:
+        """Compute nodes the ensemble needs."""
+        if self.placement is Placement.SINGLE_NODE:
+            return 1
+        per_side = -(-self.pairs // PROCS_PER_NODE)
+        return 2 * per_side
+
+    def placements(self) -> List[Tuple[int, int]]:
+        """``(producer_node_index, consumer_node_index)`` per pair."""
+        if self.placement is Placement.SINGLE_NODE:
+            return [(0, 0) for _ in range(self.pairs)]
+        per_side = self.nodes_required // 2
+        out: List[Tuple[int, int]] = []
+        for pair in range(self.pairs):
+            producer_node = pair // PROCS_PER_NODE
+            consumer_node = per_side + pair // PROCS_PER_NODE
+            out.append((producer_node, consumer_node))
+        return out
+
+    def describe(self) -> str:
+        """One-line human description."""
+        return (
+            f"{self.system.value} | {self.model.name} | stride={self.stride} "
+            f"| pairs={self.pairs} | frames={self.frames} "
+            f"| {self.placement.value} ({self.nodes_required} node(s))"
+        )

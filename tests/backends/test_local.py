@@ -1,0 +1,171 @@
+"""Tests for the real-threads local backend (real files, real locks)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.backends.local import LocalDyad, LocalKVS, run_local_workflow
+from repro.errors import DyadError, KeyNotFound
+from repro.perf.caliper import Caliper
+
+
+# ---------------------------------------------------------------------------
+# LocalKVS
+# ---------------------------------------------------------------------------
+
+
+def test_kvs_commit_lookup():
+    kvs = LocalKVS()
+    kvs.commit("k", 1)
+    assert kvs.lookup("k") == 1
+    assert len(kvs) == 1
+
+
+def test_kvs_lookup_missing():
+    with pytest.raises(KeyNotFound):
+        LocalKVS().lookup("nope")
+
+
+def test_kvs_wait_blocks_until_commit():
+    kvs = LocalKVS()
+    got = []
+
+    def waiter():
+        got.append(kvs.wait_for("late", timeout=5.0))
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    time.sleep(0.05)
+    kvs.commit("late", "value")
+    thread.join(timeout=5.0)
+    assert got == ["value"]
+
+
+def test_kvs_wait_timeout():
+    with pytest.raises(TimeoutError):
+        LocalKVS().wait_for("never", timeout=0.05)
+
+
+def test_kvs_wait_existing_returns_immediately():
+    kvs = LocalKVS()
+    kvs.commit("k", 7)
+    assert kvs.wait_for("k", timeout=0.01) == 7
+
+
+# ---------------------------------------------------------------------------
+# LocalDyad
+# ---------------------------------------------------------------------------
+
+
+def test_staging_dirs_created(tmp_path):
+    dyad = LocalDyad(tmp_path, nodes=3)
+    for node in ("node00", "node01", "node02"):
+        assert (tmp_path / node).is_dir()
+    with pytest.raises(DyadError):
+        dyad.staging_dir("node99")
+
+
+def test_nodes_validation(tmp_path):
+    with pytest.raises(DyadError):
+        LocalDyad(tmp_path, nodes=0)
+
+
+def test_produce_consume_roundtrip_remote(tmp_path):
+    dyad = LocalDyad(tmp_path, nodes=2)
+    payload = b"frame-bytes" * 100
+    dyad.produce("node00", "p0/f0.mdfr", payload)
+    got = dyad.consume("node01", "p0/f0.mdfr")
+    assert got == payload
+    # consumer cached a local copy
+    assert (tmp_path / "node01" / "p0" / "f0.mdfr").exists()
+
+
+def test_consume_collocated_no_copy(tmp_path):
+    dyad = LocalDyad(tmp_path, nodes=2)
+    dyad.produce("node00", "f.mdfr", b"abc")
+    got = dyad.consume("node00", "f.mdfr")
+    assert got == b"abc"
+
+
+def test_consume_blocks_for_producer_thread(tmp_path):
+    dyad = LocalDyad(tmp_path, nodes=2)
+    results = []
+
+    def consumer():
+        results.append(dyad.consume("node01", "late.mdfr", timeout=5.0))
+
+    thread = threading.Thread(target=consumer)
+    thread.start()
+    time.sleep(0.05)
+    dyad.produce("node00", "late.mdfr", b"worth-the-wait")
+    thread.join(timeout=5.0)
+    assert results == [b"worth-the-wait"]
+
+
+def test_consume_timeout(tmp_path):
+    dyad = LocalDyad(tmp_path, nodes=2)
+    with pytest.raises(TimeoutError):
+        dyad.consume("node01", "never.mdfr", timeout=0.05)
+
+
+def test_annotation_collected(tmp_path):
+    dyad = LocalDyad(tmp_path, nodes=2)
+    caliper = Caliper(clock=time.monotonic)
+    ann = caliper.annotator("c")
+    dyad.produce("node00", "a.mdfr", b"xyz")
+    dyad.consume("node01", "a.mdfr", annotator=ann)
+    tree = ann.finish()
+    assert tree.find("dyad_consume", "dyad_get_data") is not None
+    assert tree.find("read_single_buf").time >= 0
+
+
+# ---------------------------------------------------------------------------
+# run_local_workflow
+# ---------------------------------------------------------------------------
+
+
+def test_workflow_end_to_end_integrity(tmp_path):
+    def frame_source(pair, k):
+        return bytes([pair, k]) * 500
+
+    def check(pair, k, payload):
+        return payload == bytes([pair, k]) * 500
+
+    report = run_local_workflow(
+        tmp_path, frame_source, frames=6, pairs=3, consumer_check=check,
+    )
+    assert report.ok, report.errors
+    assert report.checksums_ok
+    assert report.elapsed > 0
+
+
+def test_workflow_reports_consumer_check_failures(tmp_path):
+    report = run_local_workflow(
+        tmp_path,
+        frame_source=lambda pair, k: b"data",
+        frames=2,
+        pairs=1,
+        consumer_check=lambda pair, k, payload: False,
+    )
+    assert not report.checksums_ok
+    assert not report.ok
+
+
+def test_workflow_collects_producer_exceptions(tmp_path):
+    def bad_source(pair, k):
+        raise RuntimeError("generator exploded")
+
+    report = run_local_workflow(tmp_path, bad_source, frames=1, pairs=1,
+                                consume_timeout=0.2)
+    assert report.errors
+    assert not report.ok
+
+
+def test_workflow_caliper_trees_per_process(tmp_path):
+    report = run_local_workflow(
+        tmp_path, lambda pair, k: b"x" * 64, frames=3, pairs=2,
+    )
+    trees = report.caliper.trees()
+    assert set(trees) == {"producer0", "producer1", "consumer0", "consumer1"}
+    assert trees["consumer0"].find("dyad_consume").count == 3

@@ -1,0 +1,137 @@
+"""Unit tests for the SSD device model."""
+
+import pytest
+
+from repro.cluster.ssd import SSDConfig, SSDModel
+from repro.errors import ConfigError, StorageError
+from repro.sim.rng import RngStreams
+from repro.units import usec
+
+
+@pytest.fixture
+def ssd(env):
+    config = SSDConfig(
+        read_bandwidth=1000.0,
+        write_bandwidth=500.0,
+        read_latency=usec(10),
+        write_latency=usec(20),
+        capacity=10_000,
+        jitter_cv=0.0,
+    )
+    return SSDModel(env, config, RngStreams(0))
+
+
+def _drive(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+def test_write_time_latency_plus_bandwidth(env, ssd):
+    elapsed = _drive(env, ssd.write(500))
+    assert elapsed == pytest.approx(usec(20) + 1.0)
+
+
+def test_read_time_latency_plus_bandwidth(env, ssd):
+    elapsed = _drive(env, ssd.read(1000))
+    assert elapsed == pytest.approx(usec(10) + 1.0)
+
+
+def test_zero_byte_ops_pay_latency_only(env, ssd):
+    elapsed = _drive(env, ssd.write(0))
+    assert elapsed == pytest.approx(usec(20))
+
+
+def test_concurrent_writes_share_bandwidth(env, ssd):
+    times = {}
+
+    def writer(name):
+        t = yield from ssd.write(500)
+        times[name] = t
+
+    env.process(writer("a"))
+    env.process(writer("b"))
+    env.run()
+    assert times["a"] == pytest.approx(usec(20) + 2.0)
+    assert times["b"] == pytest.approx(usec(20) + 2.0)
+
+
+def test_reads_and_writes_use_separate_channels(env, ssd):
+    times = {}
+
+    def writer():
+        t = yield from ssd.write(500)
+        times["w"] = t
+
+    def reader():
+        t = yield from ssd.read(1000)
+        times["r"] = t
+
+    env.process(writer())
+    env.process(reader())
+    env.run()
+    # no cross-interference: each finishes at its solo time
+    assert times["w"] == pytest.approx(usec(20) + 1.0)
+    assert times["r"] == pytest.approx(usec(10) + 1.0)
+
+
+def test_capacity_accounting(env, ssd):
+    ssd.allocate(6000)
+    assert ssd.used == 6000 and ssd.free == 4000
+    ssd.release(1000)
+    assert ssd.used == 5000
+
+
+def test_capacity_overflow_raises(env, ssd):
+    with pytest.raises(StorageError):
+        ssd.allocate(10_001)
+
+
+def test_release_more_than_allocated_raises(env, ssd):
+    ssd.allocate(100)
+    with pytest.raises(StorageError):
+        ssd.release(200)
+
+
+def test_negative_sizes_rejected(env, ssd):
+    with pytest.raises(ValueError):
+        ssd.allocate(-1)
+    with pytest.raises(ValueError):
+        _drive(env, ssd.write(-1))
+
+
+def test_stats_counters(env, ssd):
+    _drive(env, ssd.write(100))
+    env2_proc = env.process(ssd.read(200))
+    env.run()
+    assert ssd.stats.writes == 1
+    assert ssd.stats.reads == 1
+    assert ssd.stats.bytes_written == 100
+    assert ssd.stats.bytes_read == 200
+
+
+def test_jitter_changes_latency(env):
+    config = SSDConfig(jitter_cv=0.2)
+    ssd = SSDModel(env, config, RngStreams(5))
+    times = []
+
+    def op():
+        t = yield from ssd.write(0)
+        times.append(t)
+
+    for _ in range(10):
+        env.process(op())
+    env.run()
+    assert len(set(times)) > 1  # jitter produced distinct latencies
+    assert all(t > 0 for t in times)
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        SSDConfig(read_bandwidth=0).validate()
+    with pytest.raises(ConfigError):
+        SSDConfig(write_latency=-1).validate()
+    with pytest.raises(ConfigError):
+        SSDConfig(capacity=0).validate()
+    with pytest.raises(ConfigError):
+        SSDConfig(jitter_cv=-0.1).validate()

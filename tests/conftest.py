@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.corona import corona
+from repro.sim.core import Environment
+from repro.sim.rng import RngStreams
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh deterministic simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def rng() -> RngStreams:
+    """A deterministic RNG family."""
+    return RngStreams(seed=1234)
+
+
+@pytest.fixture
+def two_node_cluster():
+    """A two-node Corona-like cluster without jitter."""
+    return corona(nodes=2, seed=0)
+
+
+@pytest.fixture
+def one_node_cluster():
+    """A single-node Corona-like cluster without jitter."""
+    return corona(nodes=1, seed=0)
+
+
+def drive(env: Environment, generator):
+    """Run a generator as a process to completion; return its value."""
+    proc = env.process(generator)
+    env.run(proc)
+    return proc.value
+
+
+@pytest.fixture
+def run_process():
+    """Fixture exposing the :func:`drive` helper."""
+    return drive

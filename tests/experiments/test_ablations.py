@@ -1,0 +1,64 @@
+"""Tests for the ablation experiment."""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ablations.run(runs=1, frames=12)
+
+
+def test_all_variants_measured(result):
+    for model in ("JAC", "STMV"):
+        assert set(result.cells[model]) == set(ablations.VARIANTS)
+
+
+def test_eager_costs_movement(result):
+    for model in ("JAC", "STMV"):
+        base = result.cell(model, "dyad").consumption_movement.mean
+        eager = result.cell(model, "dyad-eager").consumption_movement.mean
+        assert eager > base
+
+
+def test_eager_hurts_large_frames_more(result):
+    def overhead(model):
+        base = result.cell(model, "dyad").consumption_movement.mean
+        eager = result.cell(model, "dyad-eager").consumption_movement.mean
+        return eager - base
+
+    assert overhead("STMV") > overhead("JAC")
+
+
+def test_nocache_saves_movement(result):
+    for model in ("JAC", "STMV"):
+        base = result.cell(model, "dyad").consumption_movement.mean
+        nocache = result.cell(model, "dyad-nocache").consumption_movement.mean
+        assert nocache < base
+
+
+def test_fsync_costs_production_only(result):
+    for model in ("JAC", "STMV"):
+        base = result.cell(model, "dyad")
+        fsync = result.cell(model, "dyad-fsync")
+        assert fsync.production_time > base.production_time
+        assert fsync.consumption_movement.mean == pytest.approx(
+            base.consumption_movement.mean, rel=0.1
+        )
+
+
+def test_polling_beats_coarse_but_not_dyad(result):
+    for model in ("JAC", "STMV"):
+        coarse = result.cell(model, "lustre-coarse")
+        polling = result.cell(model, "lustre-polling")
+        dyad = result.cell(model, "dyad")
+        assert polling.consumption_idle.mean < coarse.consumption_idle.mean
+        assert dyad.consumption_time < polling.consumption_time
+
+
+def test_render_mentions_variants(result):
+    text = result.render()
+    for variant in ablations.VARIANTS:
+        assert variant in text
+    assert "JAC" in text and "STMV" in text

@@ -1,0 +1,124 @@
+"""Tests for the fan-out extension experiment and the staging cache."""
+
+import pytest
+
+from repro.cluster.corona import corona
+from repro.dyad.service import DyadRuntime
+from repro.experiments import extension_fanout
+
+
+def _drive(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+# ---------------------------------------------------------------------------
+# the staging-cache behaviour underlying the experiment
+# ---------------------------------------------------------------------------
+
+
+def test_second_consumer_on_node_hits_cache():
+    cluster = corona(nodes=2, seed=0)
+    runtime = DyadRuntime(cluster)
+    producer = runtime.producer("node00", "p")
+    first = runtime.consumer("node01", "c1")
+    second = runtime.consumer("node01", "c2")
+
+    def flow():
+        yield from producer.produce("/dyad/f", 100_000)
+        yield from first.consume("/dyad/f")
+        yield from second.consume("/dyad/f")
+
+    before = cluster.fabric.stats.rdma_transfers
+    _drive(cluster.env, flow())
+    assert first.cache_hits == 0
+    assert second.cache_hits == 1
+    # only the first consumer transferred
+    assert cluster.fabric.stats.rdma_transfers == before + 1
+
+
+def test_cache_ignored_when_disabled():
+    from repro.dyad.config import DyadConfig
+
+    cluster = corona(nodes=2, seed=0)
+    runtime = DyadRuntime(cluster, config=DyadConfig(cache_on_consume=False))
+    producer = runtime.producer("node00", "p")
+    first = runtime.consumer("node01", "c1")
+    second = runtime.consumer("node01", "c2")
+
+    def flow():
+        yield from producer.produce("/dyad/f", 50_000)
+        yield from first.consume("/dyad/f")
+        yield from second.consume("/dyad/f")
+
+    _drive(cluster.env, flow())
+    assert second.cache_hits == 0
+    assert cluster.fabric.stats.rdma_transfers == 2
+
+
+def test_cache_hit_consumption_cheaper():
+    cluster = corona(nodes=2, seed=0)
+    runtime = DyadRuntime(cluster)
+    producer = runtime.producer("node00", "p")
+    first = runtime.consumer("node01", "c1")
+    second = runtime.consumer("node01", "c2")
+    times = {}
+
+    def flow():
+        yield from producer.produce("/dyad/f", 10_000_000)
+        start = cluster.env.now
+        yield from first.consume("/dyad/f")
+        times["pull"] = cluster.env.now - start
+        start = cluster.env.now
+        yield from second.consume("/dyad/f")
+        times["hit"] = cluster.env.now - start
+
+    _drive(cluster.env, flow())
+    assert times["hit"] < 0.5 * times["pull"]
+
+
+# ---------------------------------------------------------------------------
+# the experiment module
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def result():
+    return extension_fanout.run(runs=1, frames=16)
+
+
+def test_grid_complete(result):
+    assert set(result.grid) == {"dyad", "lustre"}
+    assert set(result.grid["dyad"]) == set(extension_fanout.FANOUTS)
+
+
+def test_dyad_transfers_sublinear_in_fanout(result):
+    """The cache makes transfers ~flat while Lustre reads scale with k."""
+    d1 = result.grid["dyad"][1].transfers
+    d8 = result.grid["dyad"][8].transfers
+    l1 = result.grid["lustre"][1].transfers
+    l8 = result.grid["lustre"][8].transfers
+    assert l8 == 8 * l1
+    assert d8 < 4 * d1
+
+
+def test_dyad_cache_hits_grow_with_fanout(result):
+    hits = [result.grid["dyad"][f].cache_hits
+            for f in extension_fanout.FANOUTS]
+    assert hits[0] == 0
+    assert hits == sorted(hits)
+    assert hits[-1] > 0
+
+
+def test_dyad_advantage_grows_with_fanout(result):
+    def ratio(fanout):
+        return (result.grid["lustre"][fanout].consumption_movement
+                / result.grid["dyad"][fanout].consumption_movement)
+
+    assert ratio(8) > ratio(1)
+
+
+def test_render(result):
+    text = result.render()
+    assert "Fan-out" in text and "cache" in text

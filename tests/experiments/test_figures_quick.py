@@ -1,0 +1,115 @@
+"""Quick-mode smoke runs of every figure experiment.
+
+These run each experiment's real code path end-to-end on a reduced grid
+and check the structural claims encoded in its notes/results, without
+asserting exact paper numbers (the benchmarks do the full-grid runs).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig5_single_node,
+    fig6_two_node,
+    fig7_multi_node,
+    fig8_model_scaling,
+    fig9_dyad_calltree,
+    fig10_lustre_calltree,
+    fig11_jac_stride,
+    fig12_stmv_stride,
+)
+
+QUICK = dict(runs=1, frames=8)
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_single_node.run(**QUICK)
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_two_node.run(**QUICK)
+
+
+def test_fig5_grid_complete(fig5):
+    assert fig5.xs == [1, 2, 4]
+    assert set(fig5.systems) == {"dyad", "xfs"}
+    assert len(fig5.cells) == 6
+    assert fig5.notes
+
+
+def test_fig5_direction(fig5):
+    assert fig5.ratio("production_movement", "dyad", "xfs") > 1.0
+    assert fig5.ratio("consumption_time", "xfs", "dyad") > 5.0
+
+
+def test_fig6_grid_complete(fig6):
+    assert fig6.xs == [1, 2, 4, 8]
+    assert len(fig6.cells) == 8
+
+
+def test_fig6_direction(fig6):
+    assert fig6.ratio("production_movement", "lustre", "dyad") > 2.0
+    assert fig6.ratio("consumption_time", "lustre", "dyad") > 5.0
+
+
+def test_fig7_quick_reduced_grid():
+    fig = fig7_multi_node.run(quick=True)
+    assert fig.xs == [8, 16, 32]
+    growth_note = [n for n in fig.notes if "growth" in n]
+    assert growth_note
+
+
+def test_fig8_quick_models():
+    fig = fig8_model_scaling.run(quick=True)
+    assert fig.xs == ["JAC", "STMV"]
+    # movement grows with model size for both systems
+    for system in fig.systems:
+        assert (fig.cell("STMV", system).consumption_movement.mean
+                > fig.cell("JAC", system).consumption_movement.mean)
+
+
+def test_fig9_call_trees():
+    fig = fig9_dyad_calltree.run(**QUICK)
+    assert set(fig.trees) == {"JAC", "STMV"}
+    for model, values in fig.per_frame.items():
+        assert values["dyad_consume/dyad_get_data"] > 0
+        assert values["dyad_consume/dyad_cons_store"] > 0
+        assert values["read_single_buf"] > 0
+    rendered = fig.render()
+    assert "dyad_fetch" in rendered
+
+
+def test_fig9_movement_sublinear():
+    fig = fig9_dyad_calltree.run(**QUICK)
+    move = {
+        m: sum(v for k, v in values.items() if k != "dyad_consume/dyad_fetch")
+        for m, values in fig.per_frame.items()
+    }
+    assert move["STMV"] / move["JAC"] < 45.3
+
+
+def test_fig10_call_trees():
+    from repro.workflow.emulator import READ_REGION, SYNC_REGION
+
+    fig = fig10_lustre_calltree.run(**QUICK)
+    jac, stmv = fig.per_frame["JAC"], fig.per_frame["STMV"]
+    assert stmv[READ_REGION] > jac[READ_REGION]
+    # explicit_sync approximately constant across models (same frequency)
+    assert stmv[SYNC_REGION] == pytest.approx(jac[SYNC_REGION], rel=0.15)
+
+
+def test_fig11_idle_grows_with_stride():
+    fig = fig11_jac_stride.run(**QUICK)
+    assert fig.xs == [1, 5, 10, 50]
+    for system in fig.systems:
+        assert (fig.cell(50, system).consumption_idle.mean
+                > fig.cell(1, system).consumption_idle.mean)
+
+
+def test_fig12_overall_gap_widens():
+    # needs enough frames for DYAD's one-time KVS wait to amortize
+    fig = fig12_stmv_stride.run(runs=1, frames=48)
+    low = fig.ratio("consumption_time", "lustre", "dyad", x=1)
+    high = fig.ratio("consumption_time", "lustre", "dyad", x=50)
+    assert high > low

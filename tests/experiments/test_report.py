@@ -1,0 +1,88 @@
+"""Unit tests for the EXPERIMENTS.md report generator's verdict logic."""
+
+import pytest
+
+from repro.experiments.common import Cell, FigureResult, Stat
+from repro.experiments.report import (
+    Claim,
+    _claims_fig5,
+    _claims_fig8,
+    _claims_table,
+    _fmt,
+    _verdict,
+)
+
+
+def cell(pm, ci, cm=1e-3):
+    return Cell(
+        production_movement=Stat(pm, 0.0),
+        production_idle=Stat(0.0, 0.0),
+        consumption_movement=Stat(cm, 0.0),
+        consumption_idle=Stat(ci, 0.0),
+    )
+
+
+def test_verdict_bands():
+    assert _verdict(1.4, 1.4) == "reproduced"
+    assert _verdict(2.0, 1.4) == "reproduced"     # within 2x
+    assert _verdict(5.0, 1.4) == "shape"          # same direction, off scale
+    assert _verdict(100.0, 192.9) == "reproduced"
+    assert _verdict(20.0, 192.9) == "shape"
+    # measured < 1 while the paper claims > 1: the direction flipped
+    assert _verdict(0.5, 1.4) == "deviates"
+    assert _verdict(0.0, 1.4) == "deviates"
+
+
+def test_verdict_direction_flip_deviates():
+    # paper says faster (>1), measured slower (<1): deviates
+    assert _verdict(0.4, 6.0) == "deviates"
+
+
+def test_fmt():
+    assert _fmt(1.414) == "1.41x"
+    assert _fmt(192.9) == "193x"
+
+
+def test_claims_table_rendering():
+    claims = [
+        Claim("a claim", "1.4x", "1.5x", "reproduced"),
+        Claim("noted claim", "2x", "9x", "shape", note="some context"),
+    ]
+    text = _claims_table(claims)
+    assert "| a claim |" in text
+    assert "**reproduced**" in text and "**shape**" in text
+    assert "(*)" in text and "some context" in text
+
+
+def test_claims_fig5_extraction():
+    cells = {
+        (1, "dyad"): cell(pm=1.4e-4, ci=5e-3),
+        (1, "xfs"): cell(pm=1e-4, ci=8e-1),
+    }
+    fig = FigureResult(
+        figure_id="Fig5", title="t", x_name="pairs", xs=[1],
+        systems=["dyad", "xfs"], cells=cells, runs=1, frames=8,
+    )
+    claims = _claims_fig5(fig)
+    assert claims[0].verdict == "reproduced"     # exactly the 1.4x
+    assert claims[0].measured == "1.40x"
+    assert claims[1].verdict in ("reproduced", "shape")
+
+
+def test_claims_fig8_widening_detection():
+    def fig_with(first_gap, last_gap):
+        cells = {
+            ("JAC", "dyad"): cell(pm=1e-4, ci=1e-3, cm=1e-3),
+            ("JAC", "lustre"): cell(pm=5e-4, ci=8e-1, cm=first_gap * 1e-3),
+            ("STMV", "dyad"): cell(pm=1e-2, ci=1e-3, cm=2e-2),
+            ("STMV", "lustre"): cell(pm=4e-2, ci=8e-1, cm=last_gap * 2e-2),
+        }
+        return FigureResult(
+            figure_id="Fig8", title="t", x_name="model", xs=["JAC", "STMV"],
+            systems=["dyad", "lustre"], cells=cells, runs=1, frames=8,
+        )
+
+    widening = _claims_fig8(fig_with(first_gap=2.0, last_gap=6.0))
+    assert widening[0].verdict == "reproduced"
+    narrowing = _claims_fig8(fig_with(first_gap=6.0, last_gap=2.0))
+    assert narrowing[0].verdict == "deviates"

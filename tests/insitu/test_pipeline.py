@@ -1,0 +1,167 @@
+"""Tests for sinks and the steering pipeline."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.insitu.pipeline import InSituPipeline
+from repro.insitu.sinks import (
+    AnalyticsSink,
+    EigenvalueSteering,
+    ObservableRecorder,
+    Steering,
+    TrajectoryCapture,
+)
+from repro.insitu.sources import SyntheticSource
+from repro.md.analytics import radius_of_gyration
+from repro.md.frame import Frame
+from repro.md.trajectory import TrajectoryReader
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+
+
+def frames(n, natoms=40, seed=0):
+    rng = np.random.default_rng(seed)
+    return [Frame.random(natoms, rng, step=i) for i in range(n)]
+
+
+def test_observable_recorder_series():
+    sink = ObservableRecorder({"rg": radius_of_gyration})
+    for i, frame in enumerate(frames(5)):
+        assert sink.on_frame(i, frame) is Steering.CONTINUE
+    assert len(sink.series["rg"]) == 5
+    assert sink.steps == [0, 1, 2, 3, 4]
+    with pytest.raises(ReproError):
+        ObservableRecorder({})
+
+
+def test_trajectory_capture_roundtrip():
+    buf = io.BytesIO()
+    sink = TrajectoryCapture(buf)
+    batch = frames(3)
+    for i, frame in enumerate(batch):
+        sink.on_frame(i, frame)
+    sink.on_end()
+    sink.on_end()  # idempotent
+    assert list(TrajectoryReader(buf)) == batch
+
+
+def test_eigenvalue_steering_annotate_only():
+    sink = EigenvalueSteering({"s": range(10)}, cutoff=3.0, threshold=0.1,
+                              warmup=2, events_to_terminate=0)
+    verdicts = {sink.on_frame(i, f) for i, f in enumerate(frames(8, seed=3))}
+    assert verdicts == {Steering.CONTINUE}  # annotates, never terminates
+
+
+def test_eigenvalue_steering_validation():
+    with pytest.raises(ReproError):
+        EigenvalueSteering({"s": range(4)}, events_to_terminate=-1)
+
+
+# ---------------------------------------------------------------------------
+# pipeline
+# ---------------------------------------------------------------------------
+
+
+def test_pipeline_runs_all_frames():
+    pipeline = InSituPipeline(
+        source=SyntheticSource(natoms=50, count=6),
+        sinks=[ObservableRecorder({"rg": radius_of_gyration})],
+    )
+    report = pipeline.run(max_frames=20)
+    assert report.ok, report.errors
+    assert report.frames_produced == 6
+    assert report.frames_consumed == 6
+    assert not report.terminated_early
+    assert len(report.observables["rg"]) == 6
+
+
+def test_pipeline_respects_max_frames():
+    pipeline = InSituPipeline(
+        source=SyntheticSource(natoms=50),  # unbounded
+        sinks=[ObservableRecorder({"rg": radius_of_gyration})],
+    )
+    report = pipeline.run(max_frames=5)
+    assert report.frames_produced == 5
+    assert report.frames_consumed == 5
+
+
+def test_pipeline_steering_stops_producer():
+    class StopAfter(AnalyticsSink):
+        def __init__(self, n):
+            self.n = n
+            self.seen = 0
+
+        def on_frame(self, index, frame):
+            self.seen += 1
+            return (Steering.TERMINATE if self.seen >= self.n
+                    else Steering.CONTINUE)
+
+    sink = StopAfter(3)
+    pipeline = InSituPipeline(
+        source=SyntheticSource(natoms=50),
+        sinks=[sink],
+    )
+    report = pipeline.run(max_frames=100)
+    assert report.terminated_early
+    assert sink.seen >= 3
+    # producer stopped long before the 100-frame budget
+    assert report.frames_produced < 100
+    assert report.ok
+
+
+def test_pipeline_multiple_sinks_all_fed():
+    buf = io.BytesIO()
+    recorder = ObservableRecorder({"rg": radius_of_gyration})
+    capture = TrajectoryCapture(buf)
+    pipeline = InSituPipeline(
+        source=SyntheticSource(natoms=30, count=4),
+        sinks=[recorder, capture],
+    )
+    report = pipeline.run(max_frames=10)
+    assert report.ok
+    assert len(recorder.series["rg"]) == 4
+    assert len(TrajectoryReader(buf)) == 4
+
+
+def test_pipeline_collects_sink_errors():
+    class Broken(AnalyticsSink):
+        def on_frame(self, index, frame):
+            raise RuntimeError("sink exploded")
+
+    pipeline = InSituPipeline(
+        source=SyntheticSource(natoms=30, count=3),
+        sinks=[Broken()],
+        consume_timeout=5.0,
+    )
+    report = pipeline.run(max_frames=5)
+    assert not report.ok
+    assert any("sink exploded" in str(e) for e in report.errors)
+
+
+def test_pipeline_validation():
+    with pytest.raises(ReproError):
+        InSituPipeline(source=SyntheticSource(natoms=10), sinks=[])
+    pipeline = InSituPipeline(
+        source=SyntheticSource(natoms=10, count=1),
+        sinks=[ObservableRecorder({"rg": radius_of_gyration})],
+    )
+    with pytest.raises(ReproError):
+        pipeline.run(max_frames=0)
+
+
+def test_pipeline_explicit_workdir(tmp_path):
+    pipeline = InSituPipeline(
+        source=SyntheticSource(natoms=20, count=2),
+        sinks=[ObservableRecorder({"rg": radius_of_gyration})],
+        workdir=str(tmp_path),
+    )
+    report = pipeline.run(max_frames=4)
+    assert report.ok
+    # the staging dirs are left behind for inspection
+    assert (tmp_path / "node00").exists()

@@ -1,0 +1,96 @@
+"""Tests for in-situ frame sources."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.insitu.sources import (
+    EngineSource,
+    FrameSource,
+    SyntheticSource,
+    TrajectoryReplay,
+)
+from repro.md.engine import LJConfig
+from repro.md.frame import Frame
+from repro.md.trajectory import write_trajectory
+
+
+def take(source, n):
+    out = []
+    for frame in source:
+        out.append(frame)
+        if len(out) == n:
+            break
+    return out
+
+
+def test_synthetic_source_deterministic():
+    a = take(SyntheticSource(natoms=20, seed=5), 3)
+    b = take(SyntheticSource(natoms=20, seed=5), 3)
+    assert a == b
+    assert [f.step for f in a] == [0, 1, 2]
+
+
+def test_synthetic_source_bounded():
+    frames = list(SyntheticSource(natoms=10, count=4))
+    assert len(frames) == 4
+
+
+def test_synthetic_source_validation():
+    with pytest.raises(ReproError):
+        SyntheticSource(natoms=0)
+
+
+def test_engine_source_advances_simulation():
+    source = EngineSource(LJConfig(n_atoms=64, density=0.3, seed=1), stride=5)
+    frames = take(source, 3)
+    assert [f.step for f in frames] == [5, 10, 15]
+    assert isinstance(source, FrameSource)
+
+
+def test_engine_source_stride_validation():
+    with pytest.raises(ReproError):
+        EngineSource(LJConfig(n_atoms=64, density=0.3), stride=0)
+
+
+def test_engine_fork_continues_from_current_state():
+    source = EngineSource(LJConfig(n_atoms=64, density=0.3, seed=2), stride=5)
+    take(source, 2)  # advance to step 10
+    fork = source.fork(seed=9)
+    assert fork.simulation.step_index == 10
+    assert np.array_equal(fork.simulation.positions,
+                          source.simulation.positions)
+    # velocities perturbed, zero net momentum preserved
+    assert not np.array_equal(fork.simulation.velocities,
+                              source.simulation.velocities)
+    assert np.allclose(fork.simulation.velocities.sum(axis=0), 0, atol=1e-9)
+
+
+def test_engine_fork_diverges_from_parent():
+    source = EngineSource(LJConfig(n_atoms=64, density=0.3, seed=2), stride=5)
+    take(source, 1)
+    fork = source.fork(seed=9, velocity_jitter=0.1)
+    parent_frames = take(source, 3)
+    fork_frames = take(fork, 3)
+    # same steps, different trajectories
+    assert [f.step for f in parent_frames] == [f.step for f in fork_frames]
+    assert parent_frames[-1] != fork_frames[-1]
+
+
+def test_engine_fork_validation():
+    source = EngineSource(LJConfig(n_atoms=64, density=0.3), stride=5)
+    with pytest.raises(ReproError):
+        source.fork(seed=0, velocity_jitter=-1)
+
+
+def test_trajectory_replay(tmp_path):
+    rng = np.random.default_rng(0)
+    frames = [Frame.random(30, rng, step=i) for i in range(4)]
+    path = tmp_path / "t.mdt"
+    write_trajectory(path, frames)
+    replayed = list(TrajectoryReplay(path))
+    assert replayed == frames
+    # a replay source can be iterated twice
+    assert list(TrajectoryReplay(path)) == frames

@@ -1,0 +1,170 @@
+"""Integration tests asserting the paper's qualitative shapes.
+
+These use reduced configurations (fewer frames/pairs/runs than the full
+experiments) but must still show every directional claim of the paper:
+who wins, in which metric, and how the gap moves with scale. The full
+quantitative comparison lives in the benchmarks and EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.md.models import JAC, STMV
+from repro.workflow.runner import run_workflow
+from repro.workflow.spec import Placement, System, WorkflowSpec
+
+FRAMES = 32
+JITTER = 0.05
+
+
+def run(system, model=JAC, stride=None, pairs=2, placement=None, seed=0):
+    stride = stride if stride is not None else model.paper_stride
+    if placement is None:
+        placement = (Placement.SINGLE_NODE
+                     if system is System.XFS else Placement.SPLIT)
+    spec = WorkflowSpec(system=system, model=model, stride=stride,
+                        frames=FRAMES, pairs=pairs, placement=placement)
+    return run_workflow(spec, seed=seed, jitter_cv=JITTER)
+
+
+# ---------------------------------------------------------------------------
+# Finding 1 / Fig 5: single node, DYAD vs XFS
+# ---------------------------------------------------------------------------
+
+
+def test_fig5_dyad_production_slower_but_modest():
+    dyad = run(System.DYAD, placement=Placement.SINGLE_NODE)
+    xfs = run(System.XFS, placement=Placement.SINGLE_NODE)
+    ratio = dyad.production_movement / xfs.production_movement
+    assert 1.1 < ratio < 2.0  # paper: 1.4x
+
+
+def test_fig5_dyad_consumption_orders_of_magnitude_faster():
+    dyad = run(System.DYAD, placement=Placement.SINGLE_NODE)
+    xfs = run(System.XFS, placement=Placement.SINGLE_NODE)
+    assert xfs.consumption_time / dyad.consumption_time > 10
+    # XFS consumption is idle-dominated
+    assert xfs.consumption_idle > 10 * xfs.consumption_movement
+
+
+def test_fig5_producer_idle_insignificant():
+    for system in (System.DYAD, System.XFS):
+        result = run(system, placement=Placement.SINGLE_NODE)
+        assert result.production_idle < 0.05 * result.production_movement
+
+
+# ---------------------------------------------------------------------------
+# Finding 2 / Fig 6: two nodes, DYAD vs Lustre
+# ---------------------------------------------------------------------------
+
+
+def test_fig6_network_hop_barely_hurts_dyad():
+    local = run(System.DYAD, placement=Placement.SINGLE_NODE)
+    remote = run(System.DYAD, placement=Placement.SPLIT)
+    # production unaffected; consumption grows only by the transfer cost
+    assert remote.production_movement == pytest.approx(
+        local.production_movement, rel=0.25
+    )
+    assert remote.consumption_time < 3 * local.consumption_time
+
+
+def test_fig6_dyad_beats_lustre_production_and_consumption():
+    dyad = run(System.DYAD)
+    lustre = run(System.LUSTRE)
+    assert lustre.production_movement / dyad.production_movement > 3
+    assert lustre.consumption_movement / dyad.consumption_movement > 1.5
+    assert lustre.consumption_time / dyad.consumption_time > 10
+
+
+# ---------------------------------------------------------------------------
+# Finding 3 / Fig 7: production flat with ensemble size
+# ---------------------------------------------------------------------------
+
+
+def test_fig7_production_stable_with_scale():
+    small = run(System.DYAD, pairs=8)
+    large = run(System.DYAD, pairs=32)
+    assert large.production_movement == pytest.approx(
+        small.production_movement, rel=0.3
+    )
+    small_l = run(System.LUSTRE, pairs=8)
+    large_l = run(System.LUSTRE, pairs=32)
+    assert large_l.production_movement == pytest.approx(
+        small_l.production_movement, rel=0.5
+    )
+
+
+# ---------------------------------------------------------------------------
+# Finding 4 / Fig 8: model size scaling
+# ---------------------------------------------------------------------------
+
+
+def test_fig8_movement_grows_with_model_size():
+    jac = run(System.DYAD, model=JAC)
+    stmv = run(System.DYAD, model=STMV)
+    assert stmv.consumption_movement > 5 * jac.consumption_movement
+    assert stmv.production_movement > 5 * jac.production_movement
+
+
+def test_fig8_dyad_movement_sublinear_in_data():
+    """45.3x more data must cost DYAD less than 45.3x more movement."""
+    jac = run(System.DYAD, model=JAC, pairs=8)
+    stmv = run(System.DYAD, model=STMV, pairs=8)
+    data_ratio = STMV.frame_bytes / JAC.frame_bytes
+    time_ratio = stmv.consumption_movement / jac.consumption_movement
+    assert time_ratio < data_ratio
+
+
+def test_fig8_consumption_gap_widens_with_size():
+    pairs = 16
+    jac_d = run(System.DYAD, model=JAC, pairs=pairs)
+    jac_l = run(System.LUSTRE, model=JAC, pairs=pairs)
+    stmv_d = run(System.DYAD, model=STMV, pairs=pairs)
+    stmv_l = run(System.LUSTRE, model=STMV, pairs=pairs)
+    jac_gap = jac_l.consumption_movement / jac_d.consumption_movement
+    stmv_gap = stmv_l.consumption_movement / stmv_d.consumption_movement
+    assert stmv_gap > jac_gap > 1.0
+
+
+# ---------------------------------------------------------------------------
+# Finding 5 / Figs 11-12: stride scaling
+# ---------------------------------------------------------------------------
+
+
+def test_fig11_movement_flat_idle_grows_with_stride():
+    low = run(System.DYAD, model=JAC, stride=1, pairs=4)
+    high = run(System.DYAD, model=JAC, stride=50, pairs=4)
+    assert high.consumption_movement == pytest.approx(
+        low.consumption_movement, rel=0.5
+    )
+    assert high.consumption_idle > low.consumption_idle
+    low_l = run(System.LUSTRE, model=JAC, stride=1, pairs=4)
+    high_l = run(System.LUSTRE, model=JAC, stride=50, pairs=4)
+    assert high_l.consumption_idle > low_l.consumption_idle
+
+
+def test_fig12_gap_widens_with_stride_for_stmv():
+    low_d = run(System.DYAD, model=STMV, stride=1, pairs=4)
+    low_l = run(System.LUSTRE, model=STMV, stride=1, pairs=4)
+    high_d = run(System.DYAD, model=STMV, stride=50, pairs=4)
+    high_l = run(System.LUSTRE, model=STMV, stride=50, pairs=4)
+    low_gap = low_l.consumption_time / low_d.consumption_time
+    high_gap = high_l.consumption_time / high_d.consumption_time
+    assert high_gap > low_gap
+
+
+# ---------------------------------------------------------------------------
+# cross-cutting sanity
+# ---------------------------------------------------------------------------
+
+
+def test_makespan_dyad_pipelines_traditional_serializes():
+    """DYAD overlaps producer/consumer; coarse sync roughly doubles makespan."""
+    dyad = run(System.DYAD)
+    lustre = run(System.LUSTRE)
+    assert lustre.makespan > 1.6 * dyad.makespan
+
+
+def test_consumer_idle_equals_production_period_for_coarse_sync():
+    lustre = run(System.LUSTRE)
+    period = lustre.spec.stride_time
+    assert lustre.consumption_idle == pytest.approx(period, rel=0.1)

@@ -1,0 +1,131 @@
+"""Unit tests for the in-situ analytics kernels."""
+
+import numpy as np
+import pytest
+
+from repro.md.analytics import (
+    EigenvalueTracker,
+    contact_matrix,
+    end_to_end_distance,
+    largest_eigenvalue,
+    radius_of_gyration,
+    rmsd,
+)
+from repro.md.frame import ATOM_DTYPE, Frame
+
+
+def frame_at(positions, masses=None):
+    atoms = np.zeros(len(positions), dtype=ATOM_DTYPE)
+    atoms["position"] = np.asarray(positions, dtype=np.float32)
+    atoms["mass"] = 1.0 if masses is None else np.asarray(masses, np.float32)
+    return Frame(atoms)
+
+
+def test_rg_of_point_pair():
+    f = frame_at([[0, 0, 0], [2, 0, 0]])
+    # two unit masses 2 apart: Rg = 1
+    assert radius_of_gyration(f) == pytest.approx(1.0)
+
+
+def test_rg_mass_weighted():
+    f = frame_at([[0, 0, 0], [2, 0, 0]], masses=[3.0, 1.0])
+    # center at 0.5; Rg^2 = (3*0.25 + 1*2.25)/4 = 0.75
+    assert radius_of_gyration(f) == pytest.approx(np.sqrt(0.75))
+
+
+def test_rg_subset():
+    f = frame_at([[0, 0, 0], [2, 0, 0], [100, 100, 100]])
+    assert radius_of_gyration(f, subset=[0, 1]) == pytest.approx(1.0)
+
+
+def test_rg_zero_mass_degrades_to_unweighted():
+    atoms = np.zeros(2, dtype=ATOM_DTYPE)
+    atoms["position"] = [[0, 0, 0], [2, 0, 0]]
+    f = Frame(atoms)  # masses all zero
+    assert radius_of_gyration(f) == pytest.approx(1.0)
+
+
+def test_end_to_end_distance():
+    f = frame_at([[0, 0, 0], [1, 1, 1], [3, 4, 0]])
+    assert end_to_end_distance(f) == pytest.approx(5.0)
+    assert end_to_end_distance(f, 0, 1) == pytest.approx(np.sqrt(3))
+
+
+def test_rmsd_translation_invariant():
+    base = np.random.default_rng(0).uniform(0, 10, (20, 3))
+    f1 = frame_at(base)
+    f2 = frame_at(base + np.array([5.0, -3.0, 1.0]))
+    assert rmsd(f1, f2) == pytest.approx(0.0, abs=1e-5)
+
+
+def test_rmsd_detects_distortion():
+    base = np.random.default_rng(1).uniform(0, 10, (20, 3)).astype(np.float32)
+    moved = base.copy()
+    moved[0] += 3.0
+    assert rmsd(frame_at(base), frame_at(moved)) > 0.1
+
+
+def test_rmsd_size_mismatch_rejected():
+    with pytest.raises(ValueError):
+        rmsd(frame_at(np.zeros((3, 3))), frame_at(np.zeros((4, 3))))
+
+
+def test_contact_matrix_binary():
+    f = frame_at([[0, 0, 0], [1, 0, 0], [100, 0, 0]])
+    m = contact_matrix(f, subset=[0, 1, 2], cutoff=2.0, soft=False)
+    assert m[0, 1] == 1.0 and m[0, 2] == 0.0
+    assert np.all(np.diag(m) == 0)
+    assert np.array_equal(m, m.T)
+
+
+def test_contact_matrix_soft_monotone():
+    f = frame_at([[0, 0, 0], [1, 0, 0], [5, 0, 0]])
+    m = contact_matrix(f, subset=[0, 1, 2], cutoff=3.0, soft=True)
+    assert 0 < m[0, 2] < m[0, 1] <= 1.0
+
+
+def test_largest_eigenvalue_known_matrix():
+    m = np.array([[0.0, 1.0], [1.0, 0.0]])
+    values = largest_eigenvalue(m, k=2)
+    assert values[0] == pytest.approx(1.0)
+    assert values[1] == pytest.approx(-1.0)
+    with pytest.raises(ValueError):
+        largest_eigenvalue(np.zeros((2, 3)))
+
+
+def test_tracker_builds_series():
+    tracker = EigenvalueTracker({"a": [0, 1, 2]}, cutoff=3.0, warmup=2)
+    rng = np.random.default_rng(2)
+    for _ in range(5):
+        tracker.ingest(frame_at(rng.uniform(0, 4, (5, 3))))
+    assert tracker.frames_seen == 5
+    assert len(tracker.series["a"]) == 5
+    summary = tracker.summary()
+    assert summary["a"]["max"] >= summary["a"]["min"]
+
+
+def test_tracker_flags_sudden_change():
+    subset = list(range(4))
+    tracker = EigenvalueTracker({"s": subset}, cutoff=3.0, threshold=3.0, warmup=3)
+    tight = [[0, 0, 0], [1, 0, 0], [0, 1, 0], [1, 1, 0]]
+    spread = [[0, 0, 0], [50, 0, 0], [0, 50, 0], [50, 50, 0]]
+    for step in range(6):
+        f = frame_at(np.asarray(tight) + np.random.default_rng(step).normal(0, 0.01, (4, 3)))
+        f.step = step
+        tracker.ingest(f)
+    burst = frame_at(spread)
+    burst.step = 6
+    events = tracker.ingest(burst)
+    assert events and events[0][1] == "s"
+
+
+def test_tracker_validation():
+    with pytest.raises(ValueError):
+        EigenvalueTracker({})
+    with pytest.raises(ValueError):
+        EigenvalueTracker({"a": [0]}, warmup=1)
+
+
+def test_tracker_empty_summary():
+    tracker = EigenvalueTracker({"a": [0, 1]})
+    assert tracker.summary()["a"]["mean"] == 0.0

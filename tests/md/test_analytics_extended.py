@@ -1,0 +1,150 @@
+"""Tests for the extended analytics (RDF, MSD) and PDB export."""
+
+import numpy as np
+import pytest
+
+from repro.md.analytics import mean_squared_displacement, radial_distribution
+from repro.md.engine import LJConfig, LJSimulation
+from repro.md.frame import ATOM_DTYPE, Frame
+from repro.md.pdb import frame_to_pdb, write_pdb
+
+
+def boxed_frame(positions, box):
+    atoms = np.zeros(len(positions), dtype=ATOM_DTYPE)
+    atoms["position"] = np.asarray(positions, dtype=np.float32)
+    atoms["mass"] = 1.0
+    return Frame(atoms, box=np.full(3, box, np.float32))
+
+
+# ---------------------------------------------------------------------------
+# radial distribution function
+# ---------------------------------------------------------------------------
+
+
+def test_rdf_ideal_gas_flat():
+    """Uniform random positions -> g(r) ~ 1 away from r=0."""
+    rng = np.random.default_rng(0)
+    frame = boxed_frame(rng.uniform(0, 20, (800, 3)), box=20.0)
+    r, g = radial_distribution(frame, bins=20)
+    # ignore the first couple of noisy small-r bins
+    assert np.allclose(g[5:], 1.0, atol=0.25)
+
+
+def test_rdf_lj_fluid_structure():
+    """The LJ fluid shows a first-shell peak near r ~ 1.1 sigma."""
+    sim = LJSimulation(LJConfig(n_atoms=400, density=0.6, temperature=1.0,
+                                seed=1))
+    sim.step(150)
+    r, g = radial_distribution(sim.frame(), bins=60)
+    peak_r = r[np.argmax(g)]
+    assert 0.9 < peak_r < 1.4
+    assert g.max() > 1.5            # pronounced shell structure
+    # excluded volume: essentially no pairs below ~0.8 sigma
+    assert g[r < 0.8].max() < 0.2
+
+
+def test_rdf_validation():
+    frame = boxed_frame([[0, 0, 0], [1, 1, 1]], box=10.0)
+    with pytest.raises(ValueError):
+        radial_distribution(frame, r_max=20.0)
+    with pytest.raises(ValueError):
+        radial_distribution(frame, bins=0)
+    with pytest.raises(ValueError):
+        radial_distribution(boxed_frame([[0, 0, 0]], box=10.0))
+    with pytest.raises(ValueError):
+        radial_distribution(boxed_frame([[0, 0, 0], [1, 0, 0]], box=0.0))
+
+
+# ---------------------------------------------------------------------------
+# mean squared displacement
+# ---------------------------------------------------------------------------
+
+
+def test_msd_static_trajectory_zero():
+    frame = boxed_frame([[1, 1, 1], [2, 2, 2]], box=10.0)
+    msd = mean_squared_displacement([frame, frame, frame])
+    assert np.allclose(msd, 0.0)
+
+
+def test_msd_linear_drift():
+    frames = []
+    for k in range(5):
+        frames.append(boxed_frame([[1 + 0.1 * k, 0, 0], [3, 3, 3]], box=10.0))
+    msd = mean_squared_displacement(frames)
+    # one of two atoms moves 0.1k -> msd = (0.1k)^2 / 2
+    expected = np.array([(0.1 * k) ** 2 / 2 for k in range(5)])
+    assert np.allclose(msd, expected, atol=1e-6)
+
+
+def test_msd_unwraps_periodic_boundary():
+    """An atom crossing the boundary must not appear to jump."""
+    box = 10.0
+    frames = [
+        boxed_frame([[9.8, 5, 5]], box),
+        boxed_frame([[0.1, 5, 5]], box),   # crossed the boundary (+0.3)
+        boxed_frame([[0.4, 5, 5]], box),
+    ]
+    msd = mean_squared_displacement(frames)
+    assert msd[1] == pytest.approx(0.3 ** 2, rel=1e-4)
+    assert msd[2] == pytest.approx(0.6 ** 2, rel=1e-4)
+
+
+def test_msd_grows_in_fluid():
+    sim = LJSimulation(LJConfig(n_atoms=200, density=0.4, temperature=1.5,
+                                seed=2))
+    sim.step(20)
+    frames = list(sim.run_trajectory(frames=6, stride=10))
+    msd = mean_squared_displacement(frames)
+    assert msd[0] == 0.0
+    assert msd[-1] > msd[1] > 0.0
+
+
+def test_msd_validation():
+    with pytest.raises(ValueError):
+        mean_squared_displacement([])
+    with pytest.raises(ValueError):
+        mean_squared_displacement([
+            boxed_frame([[0, 0, 0]], 10.0),
+            boxed_frame([[0, 0, 0], [1, 1, 1]], 10.0),
+        ])
+
+
+# ---------------------------------------------------------------------------
+# PDB export
+# ---------------------------------------------------------------------------
+
+
+def test_pdb_single_frame_structure():
+    frame = boxed_frame([[1.5, 2.5, 3.5], [4.0, 5.0, 6.0]], box=25.0)
+    text = frame_to_pdb(frame)
+    lines = text.splitlines()
+    assert lines[0].startswith("CRYST1")
+    assert "25.000" in lines[0]
+    assert lines[1].startswith("MODEL")
+    atom_lines = [l for l in lines if l.startswith("ATOM")]
+    assert len(atom_lines) == 2
+    # fixed-column coordinates
+    assert "   1.500   2.500   3.500" in atom_lines[0]
+    assert lines[-1] == "ENDMDL"
+
+
+def test_pdb_column_widths():
+    frame = boxed_frame([[123.456, -2.5, 0.0]], box=200.0)
+    atom_line = [l for l in frame_to_pdb(frame).splitlines()
+                 if l.startswith("ATOM")][0]
+    # PDB coordinate columns: x in 31-38, y in 39-46, z in 47-54 (1-based)
+    assert atom_line[30:38] == " 123.456"
+    assert atom_line[38:46] == "  -2.500"
+    assert atom_line[46:54] == "   0.000"
+
+
+def test_write_pdb_multi_model(tmp_path):
+    rng = np.random.default_rng(3)
+    frames = [Frame.random(10, rng, box=30.0, step=i) for i in range(3)]
+    path = tmp_path / "traj.pdb"
+    count = write_pdb(path, frames)
+    assert count == 3
+    text = path.read_text()
+    assert text.count("MODEL") == 3
+    assert text.count("ENDMDL") == 3
+    assert text.rstrip().endswith("END")

@@ -1,0 +1,136 @@
+"""Unit tests for the Lennard-Jones MD engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.md.engine import LJConfig, LJSimulation
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return LJSimulation(LJConfig(n_atoms=125, density=0.4, temperature=1.0, seed=3))
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        LJConfig(n_atoms=1).validate()
+    with pytest.raises(ConfigError):
+        LJConfig(density=0).validate()
+    with pytest.raises(ConfigError):
+        LJConfig(dt=0).validate()
+    with pytest.raises(ConfigError):
+        LJConfig(thermostat_tau=0).validate()
+
+
+def test_box_from_density():
+    cfg = LJConfig(n_atoms=1000, density=0.5)
+    assert cfg.box == pytest.approx((1000 / 0.5) ** (1 / 3))
+
+
+def test_box_too_small_for_cutoff_rejected():
+    with pytest.raises(ConfigError, match="cutoff"):
+        LJSimulation(LJConfig(n_atoms=8, density=1.2, cutoff=2.5))
+
+
+def test_initial_lattice_no_overlaps():
+    sim = LJSimulation(LJConfig(n_atoms=64, density=0.3, seed=0))
+    pos = sim.positions
+    delta = pos[:, None, :] - pos[None, :, :]
+    delta -= sim.box * np.round(delta / sim.box)
+    dist = np.sqrt((delta ** 2).sum(-1))
+    np.fill_diagonal(dist, np.inf)
+    assert dist.min() > 0.8  # no overlapping atoms
+
+
+def test_initial_momentum_zero():
+    sim = LJSimulation(LJConfig(n_atoms=100, density=0.3, seed=1))
+    assert np.allclose(sim.velocities.sum(axis=0), 0.0, atol=1e-10)
+
+
+def test_positions_stay_in_box():
+    sim = LJSimulation(LJConfig(n_atoms=64, density=0.3, seed=2))
+    sim.step(50)
+    assert np.all(sim.positions >= 0)
+    assert np.all(sim.positions < sim.box)
+
+
+def test_step_advances_counters():
+    sim = LJSimulation(LJConfig(n_atoms=64, density=0.3, seed=2))
+    sim.step(10)
+    assert sim.step_index == 10
+    assert sim.time == pytest.approx(10 * sim.config.dt)
+
+
+def test_negative_steps_rejected(sim):
+    with pytest.raises(ValueError):
+        sim.step(-1)
+
+
+def test_nve_energy_conservation():
+    sim = LJSimulation(LJConfig(
+        n_atoms=125, density=0.4, temperature=0.8, thermostat_tau=None,
+        dt=0.002, seed=4,
+    ))
+    sim.step(20)  # settle
+    e0 = sim.total_energy
+    sim.step(100)
+    assert sim.total_energy == pytest.approx(e0, rel=2e-3)
+
+
+def test_thermostat_drives_temperature():
+    sim = LJSimulation(LJConfig(
+        n_atoms=125, density=0.4, temperature=1.5, thermostat_tau=0.2, seed=5,
+    ))
+    sim.step(400)
+    assert sim.instantaneous_temperature == pytest.approx(1.5, rel=0.25)
+
+
+def test_forces_are_newtonian():
+    sim = LJSimulation(LJConfig(n_atoms=64, density=0.5, seed=6))
+    # momentum conservation: net force ~ 0
+    assert np.allclose(sim.forces.sum(axis=0), 0.0, atol=1e-8)
+
+
+def test_cell_list_matches_all_pairs():
+    """The cell-list force path must agree with brute force."""
+    sim = LJSimulation(LJConfig(n_atoms=200, density=0.7, seed=7))
+    forces_cell, pot_cell = sim._forces(sim.positions)
+
+    # brute force: monkeypatch the pair finder
+    orig = sim._pairs
+    try:
+        n = sim.positions.shape[0]
+        sim._pairs = lambda pos: tuple(np.triu_indices(n, k=1))
+        forces_brute, pot_brute = sim._forces(sim.positions)
+    finally:
+        sim._pairs = orig
+    assert np.allclose(forces_cell, forces_brute, atol=1e-8)
+    assert pot_cell == pytest.approx(pot_brute)
+
+
+def test_frame_snapshot_consistent():
+    sim = LJSimulation(LJConfig(n_atoms=64, density=0.3, seed=8))
+    sim.step(5)
+    frame = sim.frame()
+    assert frame.natoms == 64
+    assert frame.step == 5
+    assert np.allclose(frame.positions, sim.positions.astype(np.float32))
+    assert frame.box[0] == pytest.approx(sim.box, rel=1e-6)
+
+
+def test_run_trajectory_yields_frames():
+    sim = LJSimulation(LJConfig(n_atoms=64, density=0.3, seed=9))
+    frames = list(sim.run_trajectory(frames=3, stride=4))
+    assert [f.step for f in frames] == [4, 8, 12]
+    with pytest.raises(ValueError):
+        list(sim.run_trajectory(frames=1, stride=0))
+
+
+def test_determinism_across_instances():
+    a = LJSimulation(LJConfig(n_atoms=64, density=0.3, seed=10))
+    b = LJSimulation(LJConfig(n_atoms=64, density=0.3, seed=10))
+    a.step(20)
+    b.step(20)
+    assert np.array_equal(a.positions, b.positions)
+    assert np.array_equal(a.velocities, b.velocities)

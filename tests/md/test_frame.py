@@ -1,0 +1,104 @@
+"""Unit tests for the binary frame codec."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.md.frame import ATOM_DTYPE, FRAME_HEADER_BYTES, Frame, frame_size
+
+
+def test_layout_constants():
+    assert ATOM_DTYPE.itemsize == 28
+    assert FRAME_HEADER_BYTES == 44
+
+
+def test_frame_size_formula():
+    assert frame_size(0) == 44
+    assert frame_size(10) == 44 + 280
+    with pytest.raises(ValueError):
+        frame_size(-1)
+
+
+def test_zeros_factory():
+    f = Frame.zeros(5, step=3, time=0.5)
+    assert f.natoms == 5
+    assert f.step == 3
+    assert np.all(f.positions == 0)
+
+
+def test_random_factory_fields_populated():
+    rng = np.random.default_rng(0)
+    f = Frame.random(100, rng, box=50.0)
+    assert f.natoms == 100
+    assert np.all(f.positions >= 0) and np.all(f.positions <= 50)
+    assert np.array_equal(f.atoms["atom_id"], np.arange(100))
+    assert f.atoms["mass"].min() >= 1.0
+
+
+def test_encode_length_matches_nbytes():
+    f = Frame.zeros(123)
+    assert len(f.encode()) == f.nbytes == frame_size(123)
+
+
+def test_roundtrip_preserves_everything():
+    rng = np.random.default_rng(1)
+    f = Frame.random(500, rng, box=25.0, step=77, time=3.25)
+    g = Frame.decode(f.encode())
+    assert g == f
+    assert g.step == 77 and g.time == 3.25
+    assert np.array_equal(g.box, f.box)
+
+
+def test_roundtrip_empty_frame():
+    f = Frame.zeros(0)
+    assert Frame.decode(f.encode()) == f
+
+
+def test_decode_rejects_short_payload():
+    with pytest.raises(ReproError, match="too short"):
+        Frame.decode(b"tiny")
+
+
+def test_decode_rejects_bad_magic():
+    payload = bytearray(Frame.zeros(1).encode())
+    payload[:4] = b"NOPE"
+    with pytest.raises(ReproError, match="magic"):
+        Frame.decode(bytes(payload))
+
+
+def test_decode_rejects_truncated_atoms():
+    payload = Frame.zeros(10).encode()
+    with pytest.raises(ReproError, match="mismatch"):
+        Frame.decode(payload[:-1])
+
+
+def test_decode_rejects_bad_version():
+    payload = bytearray(Frame.zeros(1).encode())
+    payload[4:6] = (99).to_bytes(2, "little")
+    with pytest.raises(ReproError, match="version"):
+        Frame.decode(bytes(payload))
+
+
+def test_negative_step_rejected():
+    with pytest.raises(ValueError):
+        Frame(np.zeros(1, dtype=ATOM_DTYPE), step=-1)
+
+
+def test_equality_discriminates():
+    a = Frame.zeros(3, step=1)
+    b = Frame.zeros(3, step=1)
+    c = Frame.zeros(3, step=2)
+    assert a == b
+    assert a != c
+    d = Frame.zeros(3, step=1)
+    d.atoms["mass"][0] = 5.0
+    assert a != d
+    assert a.__eq__(42) is NotImplemented
+
+
+def test_decode_copies_buffer():
+    f = Frame.random(10, np.random.default_rng(2))
+    payload = bytearray(f.encode())
+    g = Frame.decode(bytes(payload))
+    payload[50] ^= 0xFF  # mutating the source must not affect the frame
+    assert g == Frame.decode(f.encode())

@@ -1,0 +1,89 @@
+"""Unit tests for the molecular model catalogue (Tables I & II)."""
+
+import pytest
+
+from repro.md.models import (
+    APOA1,
+    F1_ATPASE,
+    JAC,
+    MODELS,
+    STMV,
+    TARGET_FREQUENCY,
+    model_by_name,
+)
+from repro.units import KiB, MiB
+
+
+def test_catalogue_order_by_size():
+    sizes = [m.num_atoms for m in MODELS]
+    assert sizes == sorted(sizes)
+    assert MODELS[0] is JAC and MODELS[-1] is STMV
+
+
+def test_table1_atom_counts():
+    assert JAC.num_atoms == 23_558
+    assert APOA1.num_atoms == 92_224
+    assert F1_ATPASE.num_atoms == 327_506
+    assert STMV.num_atoms == 1_066_628
+
+
+def test_table1_frame_sizes_match_paper():
+    # codec size must match Table I to two decimals in the paper's units
+    assert JAC.frame_bytes / KiB == pytest.approx(644.21, abs=0.005)
+    assert APOA1.frame_bytes / MiB == pytest.approx(2.46, abs=0.005)
+    assert F1_ATPASE.frame_bytes / MiB == pytest.approx(8.75, abs=0.005)
+    assert STMV.frame_bytes / MiB == pytest.approx(28.48, abs=0.005)
+
+
+def test_table2_ms_per_step():
+    assert JAC.ms_per_step == pytest.approx(0.93, abs=0.005)
+    assert APOA1.ms_per_step == pytest.approx(2.79, abs=0.005)
+    assert F1_ATPASE.ms_per_step == pytest.approx(8.64, abs=0.005)
+    assert STMV.ms_per_step == pytest.approx(29.29, abs=0.005)
+
+
+def test_table2_strides():
+    assert [m.paper_stride for m in MODELS] == [880, 294, 92, 28]
+
+
+def test_paper_frequency_near_target():
+    for m in MODELS:
+        # the paper prints 0.82 s for all models; F1's actual stride gives
+        # ~0.795 s (a known inconsistency) — everything within 4%
+        assert m.paper_frequency == pytest.approx(TARGET_FREQUENCY, rel=0.04)
+
+
+def test_stride_for_frequency_roundtrip():
+    for m in (JAC, APOA1, STMV):
+        assert m.stride_for_frequency(0.82) == m.paper_stride
+
+
+def test_stride_for_frequency_validation():
+    with pytest.raises(ValueError):
+        JAC.stride_for_frequency(0.0)
+
+
+def test_stride_time_and_steps():
+    assert JAC.stride_time(880) == pytest.approx(880 / 1072.92)
+    assert JAC.steps_for_frames(128, 880) == 112_640
+    with pytest.raises(ValueError):
+        JAC.stride_time(0)
+
+
+def test_data_ratio_stmv_over_jac():
+    # the paper's "45.3x more data" claim (Fig. 9 discussion)
+    assert STMV.frame_bytes / JAC.frame_bytes == pytest.approx(45.3, abs=0.1)
+
+
+def test_model_by_name_aliases():
+    assert model_by_name("jac") is JAC
+    assert model_by_name("STMV") is STMV
+    assert model_by_name("f1") is F1_ATPASE
+    assert model_by_name(" ApoA1 ") is APOA1
+    with pytest.raises(KeyError):
+        model_by_name("unobtainium")
+
+
+def test_str_rendering():
+    text = str(JAC)
+    assert "JAC" in text and "23,558" in text

@@ -1,0 +1,127 @@
+"""Unit tests for the trajectory container format."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.md.frame import Frame
+from repro.md.trajectory import (
+    TrajectoryReader,
+    TrajectoryWriter,
+    read_trajectory,
+    write_trajectory,
+)
+
+
+def make_frames(n, natoms=50, seed=0):
+    rng = np.random.default_rng(seed)
+    return [Frame.random(natoms, rng, step=i * 10, time=i * 0.1)
+            for i in range(n)]
+
+
+def test_roundtrip_in_memory():
+    frames = make_frames(5)
+    buf = io.BytesIO()
+    writer = TrajectoryWriter(buf)
+    writer.extend(frames)
+    total = writer.finalize()
+    assert total == buf.tell()
+
+    reader = TrajectoryReader(buf)
+    assert len(reader) == 5
+    for original, loaded in zip(frames, reader):
+        assert loaded == original
+
+
+def test_roundtrip_on_disk(tmp_path):
+    frames = make_frames(4, natoms=20)
+    path = tmp_path / "traj.mdt"
+    nbytes = write_trajectory(path, frames)
+    assert path.stat().st_size == nbytes
+    loaded = read_trajectory(path)
+    assert loaded == frames
+
+
+def test_random_access_and_negative_index():
+    frames = make_frames(6)
+    buf = io.BytesIO()
+    with TrajectoryWriter(buf) as writer:
+        writer.extend(frames)
+    reader = TrajectoryReader(buf)
+    assert reader[3] == frames[3]
+    assert reader[-1] == frames[-1]
+    with pytest.raises(IndexError):
+        reader[6]
+
+
+def test_slicing():
+    frames = make_frames(6)
+    buf = io.BytesIO()
+    with TrajectoryWriter(buf) as writer:
+        writer.extend(frames)
+    reader = TrajectoryReader(buf)
+    assert reader[1:4] == frames[1:4]
+    assert reader[::2] == frames[::2]
+
+
+def test_heterogeneous_frame_sizes():
+    frames = [Frame.zeros(10), Frame.zeros(1000), Frame.zeros(1)]
+    buf = io.BytesIO()
+    with TrajectoryWriter(buf) as writer:
+        writer.extend(frames)
+    reader = TrajectoryReader(buf)
+    assert [f.natoms for f in reader] == [10, 1000, 1]
+    assert reader.frame_sizes() == [f.nbytes for f in frames]
+
+
+def test_empty_trajectory():
+    buf = io.BytesIO()
+    TrajectoryWriter(buf).finalize()
+    assert len(TrajectoryReader(buf)) == 0
+
+
+def test_append_after_finalize_rejected():
+    buf = io.BytesIO()
+    writer = TrajectoryWriter(buf)
+    writer.finalize()
+    with pytest.raises(ReproError):
+        writer.append(Frame.zeros(1))
+    with pytest.raises(ReproError):
+        writer.finalize()
+
+
+def test_context_manager_finalizes():
+    buf = io.BytesIO()
+    with TrajectoryWriter(buf) as writer:
+        writer.append(Frame.zeros(3))
+    assert len(TrajectoryReader(buf)) == 1
+
+
+def test_corrupt_footer_rejected():
+    buf = io.BytesIO()
+    with TrajectoryWriter(buf) as writer:
+        writer.append(Frame.zeros(3))
+    data = bytearray(buf.getvalue())
+    data[-10] ^= 0xFF  # damage the footer
+    with pytest.raises(ReproError):
+        TrajectoryReader(io.BytesIO(bytes(data)))
+
+
+def test_too_short_stream_rejected():
+    with pytest.raises(ReproError, match="too short"):
+        TrajectoryReader(io.BytesIO(b"tiny"))
+
+
+def test_trajectory_embedded_after_prefix():
+    """Offsets are absolute, so a trajectory after a prefix still reads."""
+    buf = io.BytesIO()
+    buf.write(b"HEADERJUNK")
+    writer = TrajectoryWriter(buf)
+    frames = make_frames(2, natoms=5)
+    writer.extend(frames)
+    nbytes = writer.finalize()
+    assert nbytes == buf.tell() - len(b"HEADERJUNK")
+    reader = TrajectoryReader(buf)
+    assert list(reader) == frames

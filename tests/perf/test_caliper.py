@@ -1,0 +1,142 @@
+"""Unit tests for Caliper-like annotation."""
+
+import pytest
+
+from repro.errors import PerfError
+from repro.perf.caliper import Annotator, Caliper, Category
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def ann(clock):
+    return Annotator("proc", clock)
+
+
+def test_region_time_measured(ann, clock):
+    ann.begin("io", Category.MOVEMENT)
+    clock.now = 2.0
+    elapsed = ann.end("io")
+    assert elapsed == 2.0
+    tree = ann.finish()
+    node = tree.find("io")
+    assert node.time == 2.0 and node.count == 1
+    assert node.category == Category.MOVEMENT
+
+
+def test_nested_regions_build_paths(ann, clock):
+    ann.begin("outer")
+    clock.now = 1.0
+    ann.begin("inner")
+    clock.now = 3.0
+    ann.end("inner")
+    clock.now = 4.0
+    ann.end("outer")
+    tree = ann.finish()
+    assert tree.find("outer").time == 4.0
+    assert tree.find("outer", "inner").time == 2.0
+
+
+def test_category_inherited_from_parent(ann, clock):
+    ann.begin("outer", Category.MOVEMENT)
+    ann.begin("inner")  # inherits movement
+    ann.end("inner")
+    ann.end("outer")
+    assert ann.finish().find("outer", "inner").category == Category.MOVEMENT
+
+
+def test_child_category_can_override(ann, clock):
+    ann.begin("outer", Category.MOVEMENT)
+    ann.begin("wait", Category.IDLE)
+    ann.end("wait")
+    ann.end("outer")
+    assert ann.finish().find("outer", "wait").category == Category.IDLE
+
+
+def test_repeat_visits_accumulate(ann, clock):
+    for i in range(3):
+        ann.begin("io")
+        clock.now += 1.0
+        ann.end("io")
+    node = ann.finish().find("io")
+    assert node.count == 3 and node.time == 3.0
+
+
+def test_mismatched_end_rejected(ann):
+    ann.begin("a")
+    with pytest.raises(PerfError, match="mismatch"):
+        ann.end("b")
+    # region stack is preserved after the error
+    assert ann.current_path() == ("a",)
+
+
+def test_end_without_begin_rejected(ann):
+    with pytest.raises(PerfError):
+        ann.end("nothing")
+
+
+def test_unknown_category_rejected(ann):
+    with pytest.raises(PerfError):
+        ann.begin("x", "weird")
+
+
+def test_finish_with_open_region_rejected(ann):
+    ann.begin("open")
+    with pytest.raises(PerfError, match="unclosed"):
+        ann.finish()
+
+
+def test_category_clash_across_visits(ann, clock):
+    ann.begin("x", Category.MOVEMENT)
+    ann.end("x")
+    ann.begin("x", Category.IDLE)
+    with pytest.raises(PerfError, match="clash"):
+        ann.end("x")
+
+
+def test_region_context_manager(ann, clock):
+    with ann.region("cm", Category.COMPUTE):
+        clock.now = 5.0
+    assert ann.finish().find("cm").time == 5.0
+
+
+def test_depth_and_path_reporting(ann):
+    assert ann.depth == 0
+    ann.begin("a")
+    ann.begin("b")
+    assert ann.depth == 2
+    assert ann.current_path() == ("a", "b")
+    ann.end("b")
+    ann.end("a")
+
+
+def test_caliper_unique_names(clock):
+    cal = Caliper(clock)
+    cal.annotator("p0")
+    with pytest.raises(PerfError, match="duplicate"):
+        cal.annotator("p0")
+
+
+def test_caliper_collects_trees(clock):
+    cal = Caliper(clock)
+    a = cal.annotator("a")
+    b = cal.annotator("b")
+    a.begin("r")
+    clock.now = 1.0
+    a.end("r")
+    trees = cal.trees()
+    assert set(trees) == {"a", "b"}
+    assert trees["a"].find("r").time == 1.0
+    assert "a" in cal and cal["a"] is a
+    assert cal.names() == ["a", "b"]

@@ -1,0 +1,91 @@
+"""Unit tests for bootstrap speedup comparison."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PerfError
+from repro.perf.compare import bootstrap_speedup, summarize_sample
+
+
+def test_point_estimate():
+    est = bootstrap_speedup([10.0, 10.0], [2.0, 2.0])
+    assert est.speedup == pytest.approx(5.0)
+    assert est.n_baseline == 2 and est.n_candidate == 2
+
+
+def test_ci_contains_point():
+    rng = np.random.default_rng(0)
+    base = rng.normal(8.0, 0.5, 20)
+    cand = rng.normal(2.0, 0.2, 20)
+    est = bootstrap_speedup(base, cand)
+    assert est.low <= est.speedup <= est.high
+
+
+def test_clear_difference_is_significant():
+    rng = np.random.default_rng(1)
+    est = bootstrap_speedup(rng.normal(10, 0.5, 15), rng.normal(1, 0.05, 15))
+    assert est.significant
+    assert est.low > 1.0
+
+
+def test_no_difference_not_significant():
+    rng = np.random.default_rng(2)
+    sample = rng.normal(5.0, 1.0, 30)
+    other = rng.normal(5.0, 1.0, 30)
+    est = bootstrap_speedup(sample, other)
+    assert not est.significant
+
+
+def test_deterministic_given_seed():
+    rng = np.random.default_rng(3)
+    base, cand = rng.normal(4, 1, 10), rng.normal(2, 0.5, 10)
+    a = bootstrap_speedup(base, cand, seed=7)
+    b = bootstrap_speedup(base, cand, seed=7)
+    assert (a.low, a.high) == (b.low, b.high)
+
+
+def test_wider_confidence_wider_interval():
+    rng = np.random.default_rng(4)
+    base, cand = rng.normal(4, 1, 10), rng.normal(2, 0.5, 10)
+    narrow = bootstrap_speedup(base, cand, confidence=0.8)
+    wide = bootstrap_speedup(base, cand, confidence=0.99)
+    assert wide.high - wide.low > narrow.high - narrow.low
+
+
+def test_validation():
+    with pytest.raises(PerfError):
+        bootstrap_speedup([], [1.0])
+    with pytest.raises(PerfError):
+        bootstrap_speedup([1.0], [0.0])
+    with pytest.raises(PerfError):
+        bootstrap_speedup([1.0], [1.0], confidence=0.3)
+
+
+def test_str_rendering():
+    text = str(bootstrap_speedup([4.0, 4.2], [2.0, 2.1]))
+    assert "x [" in text and "95%" in text
+
+
+def test_summarize_sample():
+    mean, std, lo, hi = summarize_sample([1.0, 2.0, 3.0])
+    assert mean == 2.0 and lo == 1.0 and hi == 3.0
+    assert std == pytest.approx(1.0)
+    assert summarize_sample([5.0])[1] == 0.0
+    with pytest.raises(PerfError):
+        summarize_sample([])
+
+
+def test_speedup_on_workflow_results():
+    """End-to-end: quantify DYAD vs Lustre with a CI from real runs."""
+    from repro.md.models import JAC
+    from repro.workflow.runner import run_repetitions
+    from repro.workflow.spec import Placement, System, WorkflowSpec
+
+    def times(system):
+        spec = WorkflowSpec(system=system, model=JAC, stride=880, frames=8,
+                            pairs=2, placement=Placement.SPLIT)
+        return [r.consumption_time for r in run_repetitions(spec, runs=4)]
+
+    est = bootstrap_speedup(times(System.LUSTRE), times(System.DYAD))
+    assert est.significant
+    assert est.low > 2.0  # DYAD clearly faster with statistical backing

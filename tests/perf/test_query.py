@@ -1,0 +1,107 @@
+"""Unit tests for the call-path query language."""
+
+import pytest
+
+from repro.errors import QuerySyntaxError
+from repro.perf.calltree import CallTree
+from repro.perf.query import parse_query, query
+
+
+@pytest.fixture
+def tree():
+    t = CallTree("q")
+    for path, time in [
+        (("dyad_consume",), 10.0),
+        (("dyad_consume", "dyad_fetch"), 2.0),
+        (("dyad_consume", "dyad_get_data"), 5.0),
+        (("dyad_consume", "dyad_get_data", "rdma"), 4.0),
+        (("read_single_buf",), 3.0),
+        (("analytics_sleep",), 50.0),
+    ]:
+        node = t.node(*path)
+        node.add_metric("time", time)
+        node.add_metric("count", 1)
+    t.find("dyad_consume", "dyad_fetch").metrics["category"] = "idle"
+    return t
+
+
+def names(nodes):
+    return sorted(n.name for n in nodes)
+
+
+def test_exact_path(tree):
+    assert names(query(tree, "dyad_consume/dyad_fetch")) == ["dyad_fetch"]
+
+
+def test_exact_path_no_match(tree):
+    assert query(tree, "dyad_consume/missing") == []
+
+
+def test_single_star_one_level(tree):
+    assert names(query(tree, "*/dyad_fetch")) == ["dyad_fetch"]
+    # '*' matches exactly one level: rdma is two levels deep
+    assert query(tree, "*/rdma") == []
+
+
+def test_double_star_any_depth(tree):
+    assert names(query(tree, "**/rdma")) == ["rdma"]
+    assert names(query(tree, "**/dyad_fetch")) == ["dyad_fetch"]
+
+
+def test_double_star_includes_zero_levels(tree):
+    assert names(query(tree, "**/read_single_buf")) == ["read_single_buf"]
+
+
+def test_fnmatch_names(tree):
+    assert names(query(tree, "**/dyad_*")) == [
+        "dyad_consume", "dyad_fetch", "dyad_get_data",
+    ]
+
+
+def test_children_wildcard(tree):
+    assert names(query(tree, "dyad_consume/*")) == ["dyad_fetch", "dyad_get_data"]
+
+
+def test_object_dialect_regex(tree):
+    matches = query(tree, [{"name": "dyad_.*"}])
+    assert names(matches) == ["dyad_consume"]
+
+
+def test_object_dialect_category(tree):
+    matches = query(tree, ["**", {"category": "idle"}])
+    assert names(matches) == ["dyad_fetch"]
+
+
+def test_object_dialect_numeric_guard(tree):
+    matches = query(tree, ["**", {"time>": 4.0}])
+    assert names(matches) == ["analytics_sleep", "dyad_consume", "dyad_get_data"]
+
+
+def test_object_dialect_combined_guards(tree):
+    matches = query(tree, ["**", {"name": "dyad_.*", "time<": 3.0}])
+    assert names(matches) == ["dyad_fetch"]
+
+
+def test_tuple_quantifier(tree):
+    matches = query(tree, [("**", {"name": ".*"}), {"name": "rdma"}])
+    assert names(matches) == ["rdma"]
+
+
+def test_parse_errors():
+    with pytest.raises(QuerySyntaxError):
+        parse_query("")
+    with pytest.raises(QuerySyntaxError):
+        parse_query([])
+    with pytest.raises(QuerySyntaxError):
+        parse_query([{"bogus_key": 1}])
+    with pytest.raises(QuerySyntaxError):
+        parse_query([("???", {"name": "x"})])
+    with pytest.raises(QuerySyntaxError):
+        parse_query([42])
+
+
+def test_numeric_guard_operators(tree):
+    assert names(query(tree, ["**", {"count>=": 1, "count<=": 1}])) == names(
+        tree.nodes()
+    )
+    assert query(tree, ["**", {"count==": 2}]) == []

@@ -1,0 +1,141 @@
+"""Unit tests for the Thicket-like ensemble."""
+
+import pytest
+
+from repro.errors import PerfError
+from repro.perf.calltree import CallTree
+from repro.perf.thicket import Thicket
+
+
+def tree_with(time_consume, time_read, label=""):
+    t = CallTree(label)
+    t.node("consume").add_metric("time", time_consume)
+    t.node("consume").metrics.setdefault("category", "movement")
+    t.node("read").add_metric("time", time_read)
+    return t
+
+
+@pytest.fixture
+def ensemble():
+    th = Thicket()
+    th.add(tree_with(1.0, 2.0), role="consumer", run=0)
+    th.add(tree_with(3.0, 4.0), role="consumer", run=1)
+    th.add(tree_with(10.0, 20.0), role="producer", run=0)
+    return th
+
+
+def test_len_and_metadata(ensemble):
+    assert len(ensemble) == 3
+    assert ensemble.metadata()[0]["role"] == "consumer"
+
+
+def test_filter_by_tags(ensemble):
+    consumers = ensemble.filter(role="consumer")
+    assert len(consumers) == 2
+    assert len(ensemble.filter(role="consumer", run=1)) == 1
+    assert len(ensemble.filter(role="nobody")) == 0
+
+
+def test_filter_by_predicate(ensemble):
+    late = ensemble.filter(lambda meta: meta["run"] >= 1)
+    assert len(late) == 1
+
+
+def test_groupby(ensemble):
+    groups = ensemble.groupby("role")
+    assert set(groups) == {"consumer", "producer"}
+    assert len(groups["consumer"]) == 2
+
+
+def test_stats_mean_std(ensemble):
+    stats = ensemble.filter(role="consumer").stats("time")
+    consume = stats[("consume",)]
+    assert consume.n == 2
+    assert consume.mean == pytest.approx(2.0)
+    assert consume.std == pytest.approx(2 ** 0.5)  # ddof=1 over [1, 3]
+    assert consume.minimum == 1.0 and consume.maximum == 3.0
+    assert consume.total == 4.0
+
+
+def test_stats_sparse_paths():
+    th = Thicket()
+    th.add(tree_with(1.0, 2.0))
+    extra = tree_with(1.0, 2.0)
+    extra.node("only_here").add_metric("time", 9.0)
+    th.add(extra)
+    stats = th.stats("time")
+    assert stats[("only_here",)].n == 1
+
+
+def test_node_stats_missing_path(ensemble):
+    with pytest.raises(PerfError):
+        ensemble.node_stats("nonexistent")
+
+
+def test_aggregate_mean(ensemble):
+    composite = ensemble.filter(role="consumer").aggregate("mean")
+    assert composite.find("consume").time == pytest.approx(2.0)
+    assert composite.find("read").time == pytest.approx(3.0)
+    assert composite.find("consume").category == "movement"
+
+
+def test_aggregate_sum(ensemble):
+    composite = ensemble.filter(role="consumer").aggregate("sum")
+    assert composite.find("consume").time == pytest.approx(4.0)
+
+
+def test_aggregate_invalid_how(ensemble):
+    with pytest.raises(PerfError):
+        ensemble.aggregate("median")
+
+
+def test_mean_total(ensemble):
+    consumers = ensemble.filter(role="consumer")
+    assert consumers.mean_total("time") == pytest.approx((3.0 + 7.0) / 2)
+    assert consumers.mean_total(category="movement") == pytest.approx(2.0)
+
+
+def test_query_over_composite(ensemble):
+    nodes = ensemble.query("**/consume")
+    assert [n.name for n in nodes] == ["consume"]
+
+
+def test_extend(ensemble):
+    other = Thicket()
+    other.add(tree_with(5.0, 6.0), role="consumer", run=2)
+    ensemble.extend(other)
+    assert len(ensemble) == 4
+
+
+def test_empty_thicket_behaviour():
+    th = Thicket()
+    assert th.mean_total() == 0.0
+    assert th.stats() == {}
+
+
+def test_to_table_columns(ensemble):
+    table = ensemble.to_table("time")
+    n_rows = len(table["path"])
+    # 3 trees x 2 paths each
+    assert n_rows == 6
+    assert set(table) == {"path", "time", "role", "run"}
+    assert all(len(col) == n_rows for col in table.values())
+    # rows carry the right tags
+    consumer_rows = [i for i, r in enumerate(table["role"])
+                     if r == "consumer"]
+    assert len(consumer_rows) == 4
+
+
+def test_to_table_roundtrip_through_csv(ensemble, tmp_path):
+    import csv
+
+    table = ensemble.to_table()
+    path = tmp_path / "thicket.csv"
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.keys())
+        writer.writerows(zip(*table.values()))
+    with open(path) as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == list(table.keys())
+    assert len(rows) == 1 + len(table["path"])

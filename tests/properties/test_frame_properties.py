@@ -1,0 +1,61 @@
+"""Property-based tests for the frame codec."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.frame import ATOM_DTYPE, Frame, frame_size
+
+
+@st.composite
+def frames(draw):
+    natoms = draw(st.integers(min_value=0, max_value=2000))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    step = draw(st.integers(min_value=0, max_value=2**40))
+    time = draw(st.floats(min_value=0, max_value=1e9, allow_nan=False))
+    rng = np.random.default_rng(seed)
+    if natoms == 0:
+        return Frame.zeros(0, step=step, time=time)
+    return Frame.random(natoms, rng, box=draw(
+        st.floats(min_value=1.0, max_value=1e4)
+    ), step=step, time=time)
+
+
+@given(frames())
+@settings(max_examples=80, deadline=None)
+def test_roundtrip_identity(frame):
+    assert Frame.decode(frame.encode()) == frame
+
+
+@given(frames())
+@settings(max_examples=80, deadline=None)
+def test_encode_length_exact(frame):
+    assert len(frame.encode()) == frame_size(frame.natoms)
+
+
+@given(st.integers(min_value=0, max_value=10**7))
+def test_frame_size_linear(natoms):
+    assert frame_size(natoms) == 44 + 28 * natoms
+
+
+@given(frames(), st.integers(min_value=0, max_value=200))
+@settings(max_examples=50, deadline=None)
+def test_single_byte_corruption_never_crashes(frame, position):
+    """decode() on corrupted input either raises ReproError or returns a frame."""
+    from repro.errors import ReproError
+
+    payload = bytearray(frame.encode())
+    position = position % len(payload)
+    payload[position] ^= 0xFF
+    try:
+        Frame.decode(bytes(payload))
+    except ReproError:
+        pass  # structural corruption detected — acceptable
+
+
+@given(frames())
+@settings(max_examples=40, deadline=None)
+def test_double_encode_stable(frame):
+    once = frame.encode()
+    twice = Frame.decode(once).encode()
+    assert once == twice

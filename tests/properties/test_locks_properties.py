@@ -1,0 +1,90 @@
+"""Property-based tests for lock-table invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Environment
+from repro.storage.locks import LockMode, LockTable
+
+
+@st.composite
+def lock_workloads(draw):
+    n = draw(st.integers(min_value=1, max_value=15))
+    jobs = []
+    for i in range(n):
+        jobs.append((
+            draw(st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE])),
+            draw(st.floats(min_value=0.0, max_value=5.0)),   # arrival
+            draw(st.floats(min_value=0.01, max_value=2.0)),  # hold time
+        ))
+    return jobs
+
+
+@given(lock_workloads())
+@settings(max_examples=60, deadline=None)
+def test_mutual_exclusion_invariant(jobs):
+    """Never an exclusive holder together with any other holder."""
+    env = Environment()
+    locks = LockTable(env)
+    violations = []
+    completed = []
+
+    def worker(index, mode, arrival, hold):
+        yield env.timeout(arrival)
+        lock = yield from locks.acquire("/file", mode, f"w{index}")
+        holders = locks.holders("/file")
+        exclusive = [h for h in holders if h.mode is LockMode.EXCLUSIVE]
+        if exclusive and len(holders) > 1:
+            violations.append(holders)
+        yield env.timeout(hold)
+        locks.release(lock)
+        completed.append(index)
+
+    for i, (mode, arrival, hold) in enumerate(jobs):
+        env.process(worker(i, mode, arrival, hold))
+    env.run()
+    assert not violations
+    assert len(completed) == len(jobs)  # nobody starves
+
+
+@given(lock_workloads())
+@settings(max_examples=60, deadline=None)
+def test_lock_table_drains_clean(jobs):
+    """After all workers finish, the table holds no state."""
+    env = Environment()
+    locks = LockTable(env)
+
+    def worker(index, mode, arrival, hold):
+        yield env.timeout(arrival)
+        lock = yield from locks.acquire("/f", mode, f"w{index}")
+        yield env.timeout(hold)
+        locks.release(lock)
+
+    for i, (mode, arrival, hold) in enumerate(jobs):
+        env.process(worker(i, mode, arrival, hold))
+    env.run()
+    assert locks.holders("/f") == []
+    assert locks.queue_len("/f") == 0
+
+
+@given(
+    n_readers=st.integers(min_value=1, max_value=10),
+    hold=st.floats(min_value=0.1, max_value=1.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_concurrent_readers_overlap(n_readers, hold):
+    """All-shared workloads run fully concurrently (finish at the same time)."""
+    env = Environment()
+    locks = LockTable(env)
+    finish = []
+
+    def reader(i):
+        lock = yield from locks.acquire("/f", LockMode.SHARED, f"r{i}")
+        yield env.timeout(hold)
+        locks.release(lock)
+        finish.append(env.now)
+
+    for i in range(n_readers):
+        env.process(reader(i))
+    env.run()
+    assert all(abs(t - hold) < 1e-12 for t in finish)

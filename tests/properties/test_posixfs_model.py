@@ -1,0 +1,154 @@
+"""Model-based property test: the simulated POSIX FS vs a dict reference.
+
+Hypothesis drives random operation sequences (create/write/append/read/
+unlink/mkdir) against both the XFS model and a trivial in-memory reference
+implementation; the observable behaviour (contents, sizes, existence,
+errors) must agree exactly. This is the strongest guard on the namespace
+and handle semantics everything else is built on.
+"""
+
+from typing import Dict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.network import Fabric, FabricConfig
+from repro.cluster.node import Node, NodeConfig
+from repro.cluster.ssd import SSDConfig
+from repro.errors import FileNotFound, StorageError
+from repro.sim.core import Environment
+from repro.sim.rng import RngStreams
+from repro.storage.xfs import XFSFileSystem
+
+PATHS = ["/a", "/b", "/dir/c", "/dir/d"]
+
+
+def fresh_fs():
+    env = Environment()
+    fabric = Fabric(env, FabricConfig(), RngStreams(0))
+    node = Node(
+        env, "node00",
+        NodeConfig(ssd=SSDConfig(capacity=10**9)),
+        fabric, RngStreams(0),
+    )
+    fs = XFSFileSystem(node, store_data=True)
+    fs.makedirs("/dir")
+    return env, fs
+
+
+def drive(env, gen):
+    proc = env.process(gen)
+    env.run()
+    return proc.value
+
+
+class Reference:
+    """The trivially-correct model: path -> bytes."""
+
+    def __init__(self):
+        self.files: Dict[str, bytes] = {}
+
+    def write(self, path, data):
+        self.files[path] = data
+
+    def append(self, path, data):
+        self.files[path] = self.files.get(path, b"") + data
+
+    def read(self, path):
+        if path not in self.files:
+            raise FileNotFound(path)
+        return self.files[path]
+
+    def unlink(self, path):
+        if path not in self.files:
+            raise FileNotFound(path)
+        del self.files[path]
+
+    def exists(self, path):
+        return path in self.files
+
+
+operation = st.one_of(
+    st.tuples(st.just("write"), st.sampled_from(PATHS),
+              st.binary(min_size=0, max_size=64)),
+    st.tuples(st.just("append"), st.sampled_from(PATHS),
+              st.binary(min_size=1, max_size=32)),
+    st.tuples(st.just("read"), st.sampled_from(PATHS), st.just(b"")),
+    st.tuples(st.just("unlink"), st.sampled_from(PATHS), st.just(b"")),
+    st.tuples(st.just("exists"), st.sampled_from(PATHS), st.just(b"")),
+)
+
+
+@given(ops=st.lists(operation, min_size=1, max_size=40))
+@settings(max_examples=80, deadline=None)
+def test_fs_agrees_with_reference(ops):
+    env, fs = fresh_fs()
+    ref = Reference()
+
+    def apply(op, path, data):
+        """Run one op on the FS; returns (outcome, payload)."""
+        if op == "write":
+            handle = yield from fs.open(path, "w")
+            yield from handle.write(len(data), data)
+            yield from handle.close()
+            return ("ok", None)
+        if op == "append":
+            handle = yield from fs.open(path, "a")
+            yield from handle.write(len(data), data)
+            yield from handle.close()
+            return ("ok", None)
+        if op == "read":
+            try:
+                handle = yield from fs.open(path, "r")
+            except FileNotFound:
+                return ("enoent", None)
+            count, payload = yield from handle.read()
+            yield from handle.close()
+            return ("ok", payload if payload is not None else b"")
+        if op == "unlink":
+            try:
+                yield from fs.unlink(path)
+            except FileNotFound:
+                return ("enoent", None)
+            return ("ok", None)
+        if op == "exists":
+            return ("ok", fs.exists(path))
+        raise AssertionError(op)
+
+    for op, path, data in ops:
+        outcome, payload = drive(env, apply(op, path, data))
+        if op == "write":
+            ref.write(path, data)
+        elif op == "append":
+            ref.append(path, data)
+        elif op == "read":
+            try:
+                expected = ref.read(path)
+            except FileNotFound:
+                assert outcome == "enoent", (op, path)
+            else:
+                assert outcome == "ok"
+                assert payload == expected, (path, payload, expected)
+        elif op == "unlink":
+            try:
+                ref.unlink(path)
+            except FileNotFound:
+                assert outcome == "enoent"
+            else:
+                assert outcome == "ok"
+        elif op == "exists":
+            assert payload == ref.exists(path)
+
+    # final state: every reference file readable with matching content
+    for path, expected in ref.files.items():
+        def check(path=path):
+            handle = yield from fs.open(path, "r")
+            count, payload = yield from handle.read()
+            yield from handle.close()
+            return payload
+
+        assert drive(env, check()) == expected
+
+    # capacity accounting consistent with reference sizes
+    assert fs.node.ssd.used == sum(len(v) for v in ref.files.values())

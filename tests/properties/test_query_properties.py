@@ -1,0 +1,59 @@
+"""Property-based tests for the call-path query language."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.perf.calltree import CallTree
+from repro.perf.query import query
+
+name_st = st.text(alphabet="abcdef_", min_size=1, max_size=6)
+
+
+@st.composite
+def random_trees(draw):
+    tree = CallTree("prop")
+    n_paths = draw(st.integers(min_value=1, max_value=15))
+    for _ in range(n_paths):
+        depth = draw(st.integers(min_value=1, max_value=4))
+        path = tuple(draw(name_st) for _ in range(depth))
+        node = tree.node(*path)
+        node.add_metric("time", draw(st.floats(min_value=0, max_value=100)))
+        node.add_metric("count", 1)
+    return tree
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_double_star_star_matches_everything(tree):
+    """`**/*` is the universal query."""
+    matched = query(tree, "**/*")
+    assert {id(n) for n in matched} == {id(n) for n in tree.nodes()}
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_exact_path_query_finds_each_node(tree):
+    """Every node is found by querying its own exact path."""
+    for node in tree.nodes():
+        matched = query(tree, "/".join(node.path()))
+        assert node in matched
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_name_query_equals_name_filter(tree):
+    """`**/<name>` returns exactly the nodes with that name."""
+    for node in list(tree.nodes())[:5]:
+        matched = query(tree, f"**/{node.name}")
+        expected = [n for n in tree.nodes() if n.name == node.name]
+        assert {id(n) for n in matched} == {id(n) for n in expected}
+
+
+@given(random_trees(), st.floats(min_value=0, max_value=100))
+@settings(max_examples=60, deadline=None)
+def test_numeric_guard_partition(tree, threshold):
+    """time> and time<= guards partition the node set."""
+    above = query(tree, ["**", {"time>": threshold}])
+    below = query(tree, ["**", {"time<=": threshold}])
+    assert len(above) + len(below) == len(list(tree.nodes()))
+    assert not ({id(n) for n in above} & {id(n) for n in below})

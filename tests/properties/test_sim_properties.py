@@ -1,0 +1,133 @@
+"""Property-based tests for the DES kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import Environment
+from repro.sim.resources import Resource, SharedBandwidth
+
+
+@given(delays=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                 allow_nan=False), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_clock_monotone_and_final_time_is_max(delays):
+    """Time never goes backwards; the run ends at the latest timeout."""
+    env = Environment()
+    observed = []
+
+    def proc(d):
+        yield env.timeout(d)
+        observed.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert observed == sorted(observed)
+    assert env.now == max(delays)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=5),
+    jobs=st.lists(st.floats(min_value=0.001, max_value=10.0), min_size=1,
+                  max_size=20),
+)
+@settings(max_examples=50, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, jobs):
+    """At no instant do more than `capacity` holders exist, and all jobs run."""
+    env = Environment()
+    res = Resource(env, capacity)
+    finished = []
+    max_seen = []
+
+    def worker(duration):
+        req = res.request()
+        yield req
+        max_seen.append(res.count)
+        yield env.timeout(duration)
+        res.release(req)
+        finished.append(duration)
+
+    for job in jobs:
+        env.process(worker(job))
+    env.run()
+    assert len(finished) == len(jobs)
+    assert max(max_seen) <= capacity
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    services=st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=2,
+                      max_size=15),
+)
+@settings(max_examples=50, deadline=None)
+def test_resource_fifo_completion_order_single_capacity(capacity, services):
+    """With capacity 1, grants happen strictly in request order."""
+    env = Environment()
+    res = Resource(env, 1)
+    grant_order = []
+
+    def worker(index, duration):
+        req = res.request()
+        yield req
+        grant_order.append(index)
+        yield env.timeout(duration)
+        res.release(req)
+
+    for i, s in enumerate(services):
+        env.process(worker(i, s))
+    env.run()
+    assert grant_order == list(range(len(services)))
+
+
+@given(
+    bandwidth=st.floats(min_value=1.0, max_value=1e6),
+    sizes=st.lists(st.floats(min_value=0.1, max_value=1e5), min_size=1,
+                   max_size=12),
+    starts=st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1,
+                    max_size=12),
+)
+@settings(max_examples=60, deadline=None)
+def test_shared_bandwidth_conservation(bandwidth, sizes, starts):
+    """All bytes arrive; total time >= the work-conserving lower bound."""
+    env = Environment()
+    chan = SharedBandwidth(env, bandwidth)
+    n = min(len(sizes), len(starts))
+    sizes, starts = sizes[:n], starts[:n]
+    done = []
+
+    def mover(start, size):
+        yield env.timeout(start)
+        yield chan.transfer(size)
+        done.append(env.now)
+
+    for start, size in zip(starts, sizes):
+        env.process(mover(start, size))
+    env.run()
+    assert len(done) == n
+    assert chan.active_flows == 0
+    assert abs(chan.bytes_moved - sum(sizes)) <= max(1e-6 * n, 1e-9)
+    # work conservation: cannot finish before first_start + total/bandwidth
+    lower_bound = min(starts) + sum(sizes) / bandwidth
+    assert env.now >= lower_bound - 1e-6 * max(1.0, lower_bound)
+
+
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=2,
+                   max_size=8),
+)
+@settings(max_examples=40, deadline=None)
+def test_shared_bandwidth_equal_flows_finish_together(sizes):
+    """Identical simultaneous flows complete at the same instant."""
+    env = Environment()
+    chan = SharedBandwidth(env, 100.0)
+    size = sizes[0]
+    done = []
+
+    def mover():
+        yield chan.transfer(size)
+        done.append(env.now)
+
+    for _ in range(len(sizes)):
+        env.process(mover())
+    env.run()
+    assert max(done) - min(done) < 1e-9 * max(1.0, max(done))

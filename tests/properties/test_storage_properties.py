@@ -1,0 +1,102 @@
+"""Property-based tests for storage-layer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.network import Fabric, FabricConfig
+from repro.sim.core import Environment
+from repro.sim.rng import RngStreams
+from repro.storage.lustre import LustreConfig, LustreFileSystem, LustreServers
+from repro.units import mib
+
+
+def make_fs(env, stripe_count=2, n_oss=2):
+    fabric = Fabric(env, FabricConfig(), RngStreams(0))
+    fabric.attach("node00")
+    config = LustreConfig(stripe_count=stripe_count, n_oss=n_oss)
+    servers = LustreServers(env, fabric, config, RngStreams(0))
+    return LustreFileSystem(servers), servers
+
+
+@given(
+    nbytes=st.integers(min_value=1, max_value=mib(256)),
+    stripe_count=st.integers(min_value=1, max_value=8),
+    n_oss=st.integers(min_value=1, max_value=4),
+    path_seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=100, deadline=None)
+def test_stripe_split_partitions_bytes(nbytes, stripe_count, n_oss, path_seed):
+    """Every stripe split is a partition: all bytes, valid OSTs, bounded."""
+    env = Environment()
+    fs, servers = make_fs(env, stripe_count=stripe_count, n_oss=n_oss)
+    parts = fs._stripe_split(f"/f{path_seed}", nbytes)
+    assert sum(share for _, share in parts) == nbytes
+    assert all(share > 0 for _, share in parts)
+    assert len(parts) <= stripe_count
+    assert all(0 <= ost < servers.n_osts for ost, _ in parts)
+    # distinct OSTs per file
+    osts = [ost for ost, _ in parts]
+    assert len(set(osts)) == len(osts)
+
+
+@given(
+    nbytes=st.integers(min_value=1, max_value=mib(64)),
+    stripe_count=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_stripe_shares_balanced(nbytes, stripe_count):
+    """No stripe holds more than one stripe-unit above any other."""
+    env = Environment()
+    fs, servers = make_fs(env, stripe_count=stripe_count)
+    parts = fs._stripe_split("/balance", nbytes)
+    shares = [share for _, share in parts]
+    if len(shares) > 1:
+        unit = servers.config.stripe_size
+        assert max(shares) - min(shares) <= unit
+
+
+@given(nbytes=st.integers(min_value=0, max_value=mib(32)))
+@settings(max_examples=40, deadline=None)
+def test_stream_floor_monotone_and_consistent(nbytes):
+    """The cold-read floor is monotone in size and respects both regimes."""
+    env = Environment()
+    _, servers = make_fs(env)
+    cfg = servers.config
+    floor = servers._stream_floor(nbytes)
+    assert floor >= 0
+    assert servers._stream_floor(nbytes + 1024) >= floor
+    # never faster than the burst rate, never slower than pure stream rate
+    assert floor >= nbytes / cfg.read_burst_bandwidth - 1e-12
+    assert floor <= nbytes / cfg.read_stream_bandwidth + \
+        cfg.read_burst_bytes / cfg.read_burst_bandwidth + 1e-12
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=mib(4)), min_size=1,
+                   max_size=10),
+)
+@settings(max_examples=40, deadline=None)
+def test_lustre_write_read_conserves_sizes(sizes):
+    """What goes in comes out, byte-exact, for arbitrary size mixes."""
+    env = Environment()
+    fabric = Fabric(env, FabricConfig(), RngStreams(0))
+    fabric.attach("node00")
+    fabric.attach("node01")
+    servers = LustreServers(env, fabric, None, RngStreams(0))
+    fs = LustreFileSystem(servers)
+    results = []
+
+    def flow():
+        for i, size in enumerate(sizes):
+            handle = yield from fs.open(f"/f{i}", "w", client="node00")
+            yield from handle.write(size)
+            yield from handle.close()
+        for i, size in enumerate(sizes):
+            handle = yield from fs.open(f"/f{i}", "r", client="node01")
+            count, _ = yield from handle.read()
+            yield from handle.close()
+            results.append((count, size))
+
+    proc = env.process(flow())
+    env.run(proc)
+    assert all(count == size for count, size in results)

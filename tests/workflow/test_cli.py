@@ -1,0 +1,62 @@
+"""Tests for the workflow CLI."""
+
+import pytest
+
+from repro.workflow.__main__ import build_parser, build_spec, main
+from repro.workflow.spec import Placement, SyncMode, System
+
+
+def parse(*argv):
+    return build_parser().parse_args(list(argv))
+
+
+def test_spec_defaults():
+    spec = build_spec(parse("--system", "dyad"))
+    assert spec.system is System.DYAD
+    assert spec.model.name == "JAC"
+    assert spec.stride == 880
+    assert spec.placement is Placement.SPLIT
+
+
+def test_spec_xfs_defaults_single_node():
+    spec = build_spec(parse("--system", "xfs", "--pairs", "2"))
+    assert spec.placement is Placement.SINGLE_NODE
+
+
+def test_spec_model_and_stride():
+    spec = build_spec(parse("--system", "lustre", "--model", "stmv",
+                            "--stride", "10"))
+    assert spec.model.name == "STMV"
+    assert spec.stride == 10
+
+
+def test_spec_sync_mode():
+    spec = build_spec(parse("--system", "lustre", "--sync", "polling"))
+    assert spec.sync_mode is SyncMode.POLLING
+
+
+def test_sync_ignored_for_dyad():
+    spec = build_spec(parse("--system", "dyad", "--sync", "polling"))
+    assert spec.sync_mode is SyncMode.COARSE  # spec default; no error
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(SystemExit):
+        parse("--system", "nfs")
+
+
+def test_main_runs_and_prints(capsys):
+    rc = main(["--system", "dyad", "--frames", "4", "--pairs", "1",
+               "--runs", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "production movement" in out
+    assert "makespan" in out
+
+
+def test_main_writes_trace(tmp_path, capsys):
+    trace_path = tmp_path / "run.json"
+    rc = main(["--system", "dyad", "--frames", "3", "--pairs", "1",
+               "--trace", str(trace_path)])
+    assert rc == 0
+    assert trace_path.exists()

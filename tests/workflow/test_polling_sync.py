@@ -1,0 +1,88 @@
+"""Tests for the Pegasus-style polling synchronization mode."""
+
+import pytest
+
+from repro.errors import WorkflowError
+from repro.md.models import JAC
+from repro.perf.caliper import Category
+from repro.workflow.emulator import POLL_REGION, READ_REGION, SYNC_REGION
+from repro.workflow.runner import run_workflow
+from repro.workflow.spec import Placement, SyncMode, System, WorkflowSpec
+
+
+def spec_with(sync_mode, system=System.LUSTRE, frames=8, pairs=2,
+              poll_interval=0.25):
+    placement = (Placement.SPLIT if system is System.LUSTRE
+                 else Placement.SINGLE_NODE)
+    return WorkflowSpec(system=system, model=JAC, stride=880, frames=frames,
+                        pairs=pairs, placement=placement,
+                        sync_mode=sync_mode, poll_interval=poll_interval)
+
+
+def test_polling_invalid_for_dyad():
+    with pytest.raises(WorkflowError, match="automatic"):
+        WorkflowSpec(system=System.DYAD, sync_mode=SyncMode.POLLING)
+
+
+def test_poll_interval_validation():
+    with pytest.raises(WorkflowError, match="poll_interval"):
+        spec_with(SyncMode.POLLING, poll_interval=0.0)
+
+
+def test_polling_consumer_tree_regions():
+    result = run_workflow(spec_with(SyncMode.POLLING))
+    consumer = result.consumer_trees[0]
+    assert consumer.find(POLL_REGION) is not None
+    assert consumer.find(POLL_REGION).category == Category.IDLE
+    assert consumer.find(READ_REGION) is not None
+    assert consumer.find(SYNC_REGION) is None  # no coarse barrier
+
+
+def test_polling_reads_every_frame():
+    result = run_workflow(spec_with(SyncMode.POLLING, frames=6))
+    for tree in result.consumer_trees:
+        assert tree.find(READ_REGION).count == 6
+
+
+def test_polling_overlaps_and_cuts_idle():
+    coarse = run_workflow(spec_with(SyncMode.COARSE, frames=16))
+    polling = run_workflow(spec_with(SyncMode.POLLING, frames=16))
+    # fine-grained discovery: idle is bounded by ~2 poll intervals instead
+    # of the full production period
+    assert polling.consumption_idle < 0.6 * coarse.consumption_idle
+    # producer/consumer overlap shortens the whole workflow
+    assert polling.makespan < coarse.makespan
+
+
+def test_polling_idle_scales_with_interval():
+    fast = run_workflow(spec_with(SyncMode.POLLING, poll_interval=0.05))
+    slow = run_workflow(spec_with(SyncMode.POLLING, poll_interval=0.4))
+    assert slow.consumption_idle > fast.consumption_idle
+
+
+def test_polling_works_on_xfs_single_node():
+    result = run_workflow(spec_with(SyncMode.POLLING, system=System.XFS))
+    assert result.consumption_movement > 0
+    assert result.consumer_trees[0].find(POLL_REGION) is not None
+
+
+def test_polling_adds_mds_stat_load():
+    """Polling consumers hammer the MDS with stat RPCs."""
+    coarse = run_workflow(spec_with(SyncMode.COARSE, frames=8, pairs=4))
+    polling = run_workflow(spec_with(SyncMode.POLLING, frames=8, pairs=4,
+                                     poll_interval=0.05))
+    # counted indirectly: polling reads are slightly slower than coarse
+    # reads because they compete with the stat storm at the MDS, yet the
+    # data still arrives intact
+    for tree in polling.consumer_trees:
+        assert tree.find(READ_REGION).count == 8
+    assert polling.consumption_idle < coarse.consumption_idle
+
+
+def test_dyad_still_beats_polling():
+    polling = run_workflow(spec_with(SyncMode.POLLING, frames=16))
+    dyad = run_workflow(
+        WorkflowSpec(system=System.DYAD, model=JAC, stride=880, frames=16,
+                     pairs=2, placement=Placement.SPLIT)
+    )
+    assert dyad.consumption_time < polling.consumption_time

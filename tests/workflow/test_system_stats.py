@@ -1,0 +1,57 @@
+"""Tests for the system-level counters attached to workflow results."""
+
+import pytest
+
+from repro.md.models import JAC
+from repro.workflow.runner import run_workflow
+from repro.workflow.spec import Placement, System, WorkflowSpec
+
+
+def run(system, frames=6, pairs=2):
+    placement = (Placement.SINGLE_NODE if system is System.XFS
+                 else Placement.SPLIT)
+    spec = WorkflowSpec(system=system, model=JAC, stride=880, frames=frames,
+                        pairs=pairs, placement=placement)
+    return run_workflow(spec)
+
+
+def test_stats_keys_present():
+    result = run(System.DYAD)
+    for key in ("fabric_transfers", "fabric_rdma_transfers",
+                "fabric_messages", "fabric_bytes_moved",
+                "ssd_bytes_written", "ssd_bytes_read"):
+        assert key in result.system_stats
+
+
+def test_dyad_moves_each_frame_once_over_rdma():
+    frames, pairs = 6, 2
+    result = run(System.DYAD, frames=frames, pairs=pairs)
+    # one rdma chunk per JAC frame (644 KiB < 4 MiB chunk)
+    assert result.system_stats["fabric_rdma_transfers"] == frames * pairs
+
+
+def test_dyad_ssd_accounting_producer_and_consumer_copies():
+    frames, pairs = 4, 1
+    result = run(System.DYAD, frames=frames, pairs=pairs)
+    frame_bytes = JAC.frame_bytes
+    # producer staging write + consumer cache write
+    assert result.system_stats["ssd_bytes_written"] == 2 * frames * frame_bytes
+    # owner-service read + consumer local read
+    assert result.system_stats["ssd_bytes_read"] == 2 * frames * frame_bytes
+
+
+def test_xfs_no_network_traffic():
+    result = run(System.XFS)
+    assert result.system_stats["fabric_rdma_transfers"] == 0
+    assert result.system_stats["fabric_bytes_moved"] == 0
+
+
+def test_lustre_bytes_cross_fabric_twice():
+    frames, pairs = 4, 1
+    result = run(System.LUSTRE, frames=frames, pairs=pairs)
+    moved = result.system_stats["fabric_bytes_moved"]
+    # each frame crosses to the servers (write) and back (read), plus
+    # small control traffic
+    assert moved >= 2 * frames * pairs * JAC.frame_bytes
+    # node-local SSDs are untouched by a pure-Lustre workflow
+    assert result.system_stats["ssd_bytes_written"] == 0

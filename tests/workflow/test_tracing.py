@@ -1,0 +1,63 @@
+"""Workflow-level tests of the timeline tracer (pipelining made visible)."""
+
+import pytest
+
+from repro.md.models import JAC
+from repro.workflow.runner import run_workflow
+from repro.workflow.spec import Placement, SyncMode, System, WorkflowSpec
+
+
+def run(system, sync_mode=SyncMode.COARSE, trace=True):
+    placement = (Placement.SPLIT if system is not System.XFS
+                 else Placement.SINGLE_NODE)
+    kwargs = {}
+    if system is not System.DYAD:
+        kwargs["sync_mode"] = sync_mode
+    spec = WorkflowSpec(system=system, model=JAC, stride=880, frames=8,
+                        pairs=1, placement=placement, **kwargs)
+    return run_workflow(spec, trace=trace)
+
+
+def test_tracer_absent_by_default():
+    result = run(System.DYAD, trace=False)
+    assert result.tracer is None
+
+
+def test_tracer_records_all_processes():
+    result = run(System.DYAD)
+    processes = {e.process for e in result.tracer.events}
+    assert processes == {"producer0000", "consumer0000"}
+
+
+def test_dyad_pipelines_traditional_serializes():
+    """The paper's central mechanism, read straight off the timelines."""
+    dyad = run(System.DYAD)
+    lustre = run(System.LUSTRE)
+    dyad_overlap = dyad.tracer.overlap("producer0000", "consumer0000")
+    lustre_overlap = lustre.tracer.overlap("producer0000", "consumer0000")
+    assert lustre_overlap == pytest.approx(0.0, abs=1e-6)
+    assert dyad_overlap > 0.5 * dyad.makespan
+
+
+def test_polling_restores_overlap_for_lustre():
+    coarse = run(System.LUSTRE, sync_mode=SyncMode.COARSE)
+    polling = run(System.LUSTRE, sync_mode=SyncMode.POLLING)
+    assert (polling.tracer.overlap("producer0000", "consumer0000")
+            > coarse.tracer.overlap("producer0000", "consumer0000"))
+
+
+def test_trace_and_calltree_agree():
+    result = run(System.DYAD)
+    tree = result.consumer_trees[0]
+    spans = result.tracer.spans(process="consumer0000", region="dyad_consume")
+    assert len(spans) == tree.find("dyad_consume").count
+    assert sum(s.duration for s in spans) == pytest.approx(
+        tree.find("dyad_consume").time
+    )
+
+
+def test_chrome_export_from_workflow(tmp_path):
+    result = run(System.DYAD)
+    path = tmp_path / "workflow.trace.json"
+    result.tracer.write_chrome_trace(path)
+    assert path.stat().st_size > 1000
