@@ -1,0 +1,202 @@
+"""Campaign-engine benchmarks: kernel throughput, fan-out, cache.
+
+Unlike the figure benchmarks (which assert the *paper's* shapes), this
+module tracks the performance of the campaign engine itself and emits a
+machine-readable ``BENCH_campaign.json`` at the repository root:
+
+- ``kernel``: DES events/second on the timeout-dominated and the
+  resource-contended workloads, compared against the recorded
+  pre-optimization baseline in ``benchmarks/baseline_campaign.json``;
+- ``campaign``: wall time of a representative repetition campaign run
+  serially vs. fanned out over 4 worker processes (plus a bit-identity
+  check between the two);
+- ``cache``: cold vs. warm wall time through the on-disk result cache.
+
+Numbers are recorded honestly for whatever machine runs the suite —
+``cpu_count`` is part of the payload because the parallel speedup is
+bounded by it (on a 1-core container ``jobs=4`` cannot beat serial).
+Thresholds are asserted only under ``REPRO_BENCH_STRICT=1``, which is
+meant for the hardware class the baseline was recorded on.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.experiments.parallel import (
+    RunTask,
+    result_fingerprint,
+    run_campaign,
+)
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+from repro.workflow.spec import Placement, System, WorkflowSpec
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = ROOT / "benchmarks" / "baseline_campaign.json"
+OUTPUT_PATH = ROOT / "BENCH_campaign.json"
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "0") == "1"
+
+#: What the kernel fast path must deliver over the recorded baseline.
+KERNEL_SPEEDUP_TARGET = 1.5
+#: What 4-way fan-out must deliver when >= 4 cores are actually available.
+CAMPAIGN_SPEEDUP_TARGET = 3.0
+
+RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_bench_json():
+    """Write whatever was measured, even if a later test fails."""
+    yield
+    payload = {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "python": ".".join(map(str, __import__("sys").version_info[:3])),
+        "strict": STRICT,
+        **RESULTS,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+
+
+def best_rate(fn, repeats=5):
+    """Best events/second over ``repeats`` runs (least-noise estimator)."""
+    best = 0.0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        events = fn()
+        elapsed = time.perf_counter() - t0
+        best = max(best, events / elapsed)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# kernel throughput (events/second)
+# ---------------------------------------------------------------------------
+# Keep these workloads in lockstep with benchmarks/baseline_campaign.json:
+# the baseline was recorded with exactly these shapes.
+
+def timeout_workload(n_procs=64, per_proc=2000):
+    """Timeout-dominated: the allocation profile of every I/O model."""
+    env = Environment()
+
+    def ticker():
+        for _ in range(per_proc):
+            yield env.timeout(1.0)
+
+    for _ in range(n_procs):
+        env.process(ticker())
+    env.run()
+    return n_procs * per_proc
+
+
+def contended_workload(n_procs=32, per_proc=500):
+    """Acquire/release churn through a contended FIFO resource."""
+    env = Environment()
+    res = Resource(env, 4)
+
+    def worker():
+        for _ in range(per_proc):
+            yield from res.acquire(0.001)
+
+    for _ in range(n_procs):
+        env.process(worker())
+    env.run()
+    return n_procs * per_proc
+
+
+def test_kernel_throughput_vs_baseline():
+    baseline = json.loads(BASELINE_PATH.read_text())
+    timeout_rate = best_rate(timeout_workload)
+    contended_rate = best_rate(contended_workload)
+    RESULTS["kernel"] = {
+        "timeout_events_per_sec": round(timeout_rate, 1),
+        "contended_events_per_sec": round(contended_rate, 1),
+        "baseline_timeout_events_per_sec": baseline["timeout_events_per_sec"],
+        "baseline_contended_events_per_sec": baseline["contended_events_per_sec"],
+        "timeout_speedup_vs_baseline": round(
+            timeout_rate / baseline["timeout_events_per_sec"], 3),
+        "contended_speedup_vs_baseline": round(
+            contended_rate / baseline["contended_events_per_sec"], 3),
+        "speedup_target": KERNEL_SPEEDUP_TARGET,
+    }
+    assert timeout_rate > 0 and contended_rate > 0
+    if STRICT:
+        assert timeout_rate >= KERNEL_SPEEDUP_TARGET * baseline[
+            "timeout_events_per_sec"]
+
+
+# ---------------------------------------------------------------------------
+# campaign fan-out (serial vs --jobs 4)
+# ---------------------------------------------------------------------------
+
+def campaign_tasks(seeds=10):
+    """A representative two-system campaign slice (Fig. 6 shape at the
+    paper's full 128 frames, 8 pairs, ``seeds`` repetitions per system)."""
+    specs = [
+        WorkflowSpec(system=System.DYAD, frames=128, pairs=8,
+                     placement=Placement.SPLIT),
+        WorkflowSpec(system=System.LUSTRE, frames=128, pairs=8,
+                     placement=Placement.SPLIT),
+    ]
+    return [
+        RunTask(spec=spec, seed=1000 * r, jitter_cv=0.05)
+        for spec in specs
+        for r in range(seeds)
+    ]
+
+
+def test_campaign_serial_vs_parallel():
+    tasks = campaign_tasks()
+    t0 = time.perf_counter()
+    serial = run_campaign(tasks, jobs=1)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_campaign(tasks, jobs=4)
+    parallel_s = time.perf_counter() - t0
+    identical = ([result_fingerprint(r) for r in serial]
+                 == [result_fingerprint(r) for r in parallel])
+    RESULTS["campaign"] = {
+        "tasks": len(tasks),
+        "jobs": 4,
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "parallel_bit_identical_to_serial": identical,
+        "speedup_target": CAMPAIGN_SPEEDUP_TARGET,
+        "speedup_target_applies": (os.cpu_count() or 1) >= 4,
+    }
+    assert identical, "jobs=4 diverged from the serial campaign"
+    if STRICT and (os.cpu_count() or 1) >= 4:
+        assert serial_s / parallel_s >= CAMPAIGN_SPEEDUP_TARGET
+
+
+# ---------------------------------------------------------------------------
+# result-cache hit speedup
+# ---------------------------------------------------------------------------
+
+def test_cache_hit_speedup(tmp_path):
+    tasks = campaign_tasks(seeds=3)
+    t0 = time.perf_counter()
+    cold = run_campaign(tasks, jobs=1, use_cache=True,
+                        cache_dir=str(tmp_path))
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = run_campaign(tasks, jobs=1, use_cache=True,
+                        cache_dir=str(tmp_path))
+    warm_s = time.perf_counter() - t0
+    identical = ([result_fingerprint(r) for r in cold]
+                 == [result_fingerprint(r) for r in warm])
+    RESULTS["cache"] = {
+        "tasks": len(tasks),
+        "cold_seconds": round(cold_s, 3),
+        "warm_seconds": round(warm_s, 3),
+        "hit_speedup": round(cold_s / warm_s, 2),
+        "hits_bit_identical_to_cold": identical,
+    }
+    assert identical, "cache hits diverged from the cold campaign"
+    assert warm_s < cold_s

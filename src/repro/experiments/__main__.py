@@ -24,6 +24,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="frames per producer (paper: 128)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced grid for a fast smoke run")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for repetitions "
+                             "(default: REPRO_JOBS or 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache location "
+                             "(default: REPRO_CACHE_DIR or "
+                             "~/.cache/repro/results)")
     parser.add_argument("--output", default="EXPERIMENTS.md",
                         help="output path for 'report'")
     parser.add_argument("--svg-dir", default=None,
@@ -33,27 +42,37 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     """Entry point."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"argument --jobs: must be >= 1, got {args.jobs}")
     if args.experiment == "list":
         for name, module in EXPERIMENTS.items():
             doc = (module.__doc__ or "").strip().splitlines()[0]
             print(f"{name:8s} {doc}")
         return 0
-    if args.experiment == "all":
-        run_all(quick=args.quick)
-        return 0
-    if args.experiment == "report":
-        from repro.experiments.report import generate
+    from repro.experiments.parallel import campaign
 
-        generate(args.output, runs=args.runs, frames=args.frames,
-                 quick=args.quick)
-        print(f"wrote {args.output}")
-        return 0
-    module = get_experiment(args.experiment)
-    if args.experiment == "tables":
-        result = module.run()
-    else:
-        result = module.run(runs=args.runs, frames=args.frames, quick=args.quick)
+    # Campaign-style invocations default to the cache ON (re-runs skip
+    # already-computed cells); --no-cache bypasses it.
+    with campaign(jobs=args.jobs, cache=not args.no_cache,
+                  cache_dir=args.cache_dir):
+        if args.experiment == "all":
+            run_all(quick=args.quick)
+            return 0
+        if args.experiment == "report":
+            from repro.experiments.report import generate
+
+            generate(args.output, runs=args.runs, frames=args.frames,
+                     quick=args.quick)
+            print(f"wrote {args.output}")
+            return 0
+        module = get_experiment(args.experiment)
+        if args.experiment == "tables":
+            result = module.run()
+        else:
+            result = module.run(runs=args.runs, frames=args.frames,
+                                quick=args.quick)
     print(result.render())
     if args.svg_dir and hasattr(result, "cells") and hasattr(result, "systems"):
         from repro.experiments.svgplot import save_figure_svg

@@ -96,9 +96,18 @@ class Cell:
 
 
 def measure(spec: WorkflowSpec, runs: int, jitter_cv: float = JITTER_CV,
+            jobs: Optional[int] = None, use_cache: Optional[bool] = None,
             **system_configs) -> Tuple[Cell, List[WorkflowResult]]:
-    """Run one spec ``runs`` times; returns the aggregated cell and raw runs."""
-    results = run_repetitions(spec, runs=runs, jitter_cv=jitter_cv, **system_configs)
+    """Run one spec ``runs`` times; returns the aggregated cell and raw runs.
+
+    ``jobs``/``use_cache`` default to the enclosing
+    :func:`repro.experiments.parallel.campaign` scope (or the
+    ``REPRO_JOBS``/``REPRO_CACHE`` environment variables), so figure
+    modules calling ``measure`` inherit campaign-wide parallelism and
+    caching without threading the knobs through their signatures.
+    """
+    results = run_repetitions(spec, runs=runs, jitter_cv=jitter_cv,
+                              jobs=jobs, use_cache=use_cache, **system_configs)
     return Cell.of(results), results
 
 

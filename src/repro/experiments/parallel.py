@@ -1,0 +1,218 @@
+"""Parallel, cached execution of workflow-repetition campaigns.
+
+The paper's evaluation is a campaign of ~12 experiments × up to 10
+repetitions per configuration. Every repetition is an independent,
+deterministic function of ``(spec, seed, jitter_cv, system configs)``, so
+the campaign is embarrassingly parallel: this module fans repetitions out
+across worker *processes* (the DES kernel is pure Python, so threads would
+serialize on the GIL) and memoizes each repetition in the on-disk result
+cache of :mod:`repro.experiments.persist`.
+
+Three knobs, in increasing precedence:
+
+- ``REPRO_JOBS`` / ``REPRO_CACHE`` / ``REPRO_CACHE_DIR`` environment
+  variables (process-wide defaults);
+- :func:`campaign` — a context manager the bulk runner and the CLI use to
+  scope ``--jobs`` / ``--no-cache`` around a whole campaign without
+  threading arguments through every figure module;
+- explicit ``jobs=`` / ``use_cache=`` arguments to
+  :func:`repro.workflow.runner.run_repetitions` or :func:`run_campaign`.
+
+Workers use the ``spawn`` start method: each worker is a fresh
+interpreter, so the executor never depends on fork-shared state and
+behaves identically on Linux/macOS/Windows. Determinism is load-bearing:
+results are returned in task order and each worker computes exactly what
+the serial path would, so ``jobs=N`` output is bit-identical to ``jobs=1``
+(asserted by ``tests/experiments/test_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.workflow.runner import WorkflowResult, run_workflow
+from repro.workflow.spec import WorkflowSpec
+
+__all__ = [
+    "RunTask",
+    "campaign",
+    "default_jobs",
+    "run_campaign",
+    "result_fingerprint",
+]
+
+#: Start method for worker processes. ``spawn`` is slower to start than
+#: ``fork`` but safe regardless of importing-process state (threads, open
+#: files) and uniform across platforms.
+_START_METHOD = "spawn"
+
+# Campaign-scoped defaults installed by :func:`campaign`. ``None`` means
+# "fall through to the environment".
+_SCOPED: Dict[str, Any] = {"jobs": None, "cache": None, "cache_dir": None}
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One repetition: a pure function of its fields.
+
+    ``system_configs`` holds the optional ``dyad_config`` /
+    ``xfs_config`` / ``lustre_config`` keyword arguments of
+    :func:`repro.workflow.runner.run_workflow`.
+    """
+
+    spec: WorkflowSpec
+    seed: int
+    jitter_cv: float = 0.0
+    system_configs: Dict[str, Any] = field(default_factory=dict)
+
+
+def default_jobs(override: Optional[int] = None) -> int:
+    """Resolve the worker count: explicit > campaign scope > env > 1."""
+    if override is None:
+        override = _SCOPED["jobs"]
+    if override is None:
+        override = os.environ.get("REPRO_JOBS", "1")
+    jobs = int(override)
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _default_cache(override: Optional[bool] = None) -> bool:
+    """Resolve cache usage: explicit > campaign scope > env > off."""
+    if override is not None:
+        return bool(override)
+    if _SCOPED["cache"] is not None:
+        return bool(_SCOPED["cache"])
+    return os.environ.get("REPRO_CACHE", "0") == "1"
+
+
+@contextmanager
+def campaign(jobs: Optional[int] = None, cache: Optional[bool] = None,
+             cache_dir: Optional[str] = None):
+    """Scope campaign-wide parallelism/caching defaults.
+
+    Used by :func:`repro.experiments.registry.run_all` and the CLI so the
+    individual figure modules keep their simple ``run(runs, frames)``
+    signatures while still fanning out.
+    """
+    previous = dict(_SCOPED)
+    if jobs is not None:
+        _SCOPED["jobs"] = jobs
+    if cache is not None:
+        _SCOPED["cache"] = cache
+    if cache_dir is not None:
+        _SCOPED["cache_dir"] = cache_dir
+    try:
+        yield
+    finally:
+        _SCOPED.update(previous)
+
+
+def _execute_task(task: RunTask) -> WorkflowResult:
+    """Worker entry point: run one repetition (must stay module-level so
+    the spawn start method can import it by qualified name)."""
+    return run_workflow(
+        task.spec, seed=task.seed, jitter_cv=task.jitter_cv,
+        **task.system_configs,
+    )
+
+
+def run_campaign(
+    tasks: Sequence[RunTask],
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
+) -> List[WorkflowResult]:
+    """Run ``tasks``, in order, with optional process fan-out and caching.
+
+    Results are positionally aligned with ``tasks`` and bit-identical to a
+    serial run: each task is a pure function of its fields, and caching
+    stores the exact :class:`WorkflowResult` a cold run produced.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    jobs = default_jobs(jobs)
+    results: List[Optional[WorkflowResult]] = [None] * len(tasks)
+
+    cache = None
+    keys: List[Optional[str]] = [None] * len(tasks)
+    if _default_cache(use_cache):
+        from repro.experiments.persist import ResultCache
+
+        cache = ResultCache(cache_dir if cache_dir is not None
+                            else _SCOPED["cache_dir"])
+        for i, task in enumerate(tasks):
+            keys[i] = cache.key(
+                task.spec, task.seed, task.jitter_cv, task.system_configs
+            )
+            results[i] = cache.load(keys[i])
+
+    pending = [i for i, r in enumerate(results) if r is None]
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for i in pending:
+                results[i] = _execute_task(tasks[i])
+        else:
+            workers = min(jobs, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=get_context(_START_METHOD)
+            ) as pool:
+                computed = pool.map(
+                    _execute_task,
+                    [tasks[i] for i in pending],
+                    chunksize=max(1, len(pending) // (4 * workers)),
+                )
+                for i, result in zip(pending, computed):
+                    results[i] = result
+        if cache is not None:
+            for i in pending:
+                cache.store(keys[i], results[i])
+    return results  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# determinism fingerprinting
+# ---------------------------------------------------------------------------
+
+def _canonical(result: WorkflowResult) -> Dict[str, Any]:
+    """Canonical, JSON-stable view of everything a repetition measured."""
+    return {
+        "spec": repr(result.spec),
+        "seed": result.seed,
+        "makespan": result.makespan.hex(),
+        "producer_trees": [t.to_dict() for t in result.producer_trees],
+        "consumer_trees": [t.to_dict() for t in result.consumer_trees],
+        "system_stats": {k: float(v).hex()
+                         for k, v in sorted(result.system_stats.items())},
+    }
+
+
+def result_fingerprint(result: WorkflowResult) -> str:
+    """SHA-256 over a canonical serialization of a result.
+
+    Floats are rendered with ``float.hex`` so the digest distinguishes
+    even sub-ULP differences — this is the "bit-identical" in the
+    serial-vs-parallel determinism guarantee.
+    """
+
+    def _floats(obj: Any) -> Any:
+        if isinstance(obj, float):
+            return obj.hex()
+        if isinstance(obj, dict):
+            return {k: _floats(v) for k, v in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [_floats(v) for v in obj]
+        return obj
+
+    payload = json.dumps(_floats(_canonical(result)), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

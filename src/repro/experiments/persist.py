@@ -6,16 +6,27 @@ be archived next to the code that produced it, and later campaigns can be
 tolerance. This is the mechanism for treating the reproduction itself as
 a regression-tested artifact (e.g. after recalibrating a device model).
 
+:class:`ResultCache` is the second persistence layer: a content-addressed
+on-disk memo of individual :class:`~repro.workflow.runner.WorkflowResult`
+repetitions, keyed on everything that determines a repetition's outcome
+(spec fields, seed, jitter, system configs, package version). Re-rendering
+EXPERIMENTS.md or re-running a campaign skips already-computed cells; see
+``docs/performance.md`` for location and invalidation rules.
+
 CLI-free API: :func:`save_figure`, :func:`load_figure`,
-:func:`compare_figures`, :func:`save_campaign`, :func:`load_campaign`.
+:func:`compare_figures`, :func:`save_campaign`, :func:`load_campaign`,
+:class:`ResultCache`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import pickle
+import tempfile
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
 from repro.experiments.common import Cell, FigureResult, Stat
@@ -27,6 +38,8 @@ __all__ = [
     "Regression",
     "save_campaign",
     "load_campaign",
+    "ResultCache",
+    "default_cache_root",
 ]
 
 _FORMAT_VERSION = 1
@@ -190,3 +203,130 @@ def load_campaign(directory) -> Dict[str, FigureResult]:
     if not out:
         raise ReproError(f"no figure results found in {directory}")
     return out
+
+
+# ---------------------------------------------------------------------------
+# content-addressed repetition cache
+# ---------------------------------------------------------------------------
+
+#: Bump to invalidate every cached repetition (e.g. after a change to the
+#: WorkflowResult layout that keeps the package version constant).
+_CACHE_SCHEMA = 1
+
+
+def default_cache_root() -> str:
+    """Cache directory: ``REPRO_CACHE_DIR`` or ``~/.cache/repro/results``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return override
+    xdg = os.environ.get(
+        "XDG_CACHE_HOME", os.path.join(os.path.expanduser("~"), ".cache")
+    )
+    return os.path.join(xdg, "repro", "results")
+
+
+class ResultCache:
+    """Content-addressed on-disk store of single-repetition results.
+
+    The key digests every input that determines a repetition's outcome:
+    the full spec (``repr`` of the frozen dataclass, which includes the
+    molecular model's calibration constants), the seed, the jitter, the
+    ``repr`` of each system config, the package version, and the cache
+    schema. Two processes computing the same cell therefore agree on the
+    key, and any recalibration that changes an input changes the key.
+
+    Values are pickled :class:`~repro.workflow.runner.WorkflowResult`
+    objects (tracers are never cached — a traced run bypasses the cache).
+    Corrupt or unreadable entries count as misses and are removed.
+    """
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.root = root or default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying ------------------------------------------------------------
+    def key(self, spec, seed: int, jitter_cv: float,
+            system_configs: Optional[Dict[str, Any]] = None) -> str:
+        """Hex digest identifying one repetition's inputs."""
+        import repro
+
+        material = json.dumps(
+            {
+                "schema": _CACHE_SCHEMA,
+                "version": repro.__version__,
+                "spec": repr(spec),
+                "seed": int(seed),
+                "jitter_cv": float(jitter_cv).hex(),
+                "configs": {
+                    name: repr(cfg)
+                    for name, cfg in sorted((system_configs or {}).items())
+                    if cfg is not None
+                },
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+    def path(self, key: str) -> str:
+        """On-disk location of one entry."""
+        return os.path.join(self.root, f"{key}.pkl")
+
+    # -- access ------------------------------------------------------------
+    def load(self, key: str):
+        """Cached result for ``key`` or ``None`` (corrupt entries vanish)."""
+        path = self.path(key)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Truncated write, unpicklable layout drift, ... — self-heal.
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: str, result) -> str:
+        """Persist a result atomically; returns the entry path."""
+        if getattr(result, "tracer", None) is not None:
+            raise ReproError("refusing to cache a traced run")
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path(key)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not os.path.isdir(self.root):
+            return removed
+        for name in os.listdir(self.root):
+            if name.endswith(".pkl"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not os.path.isdir(self.root):
+            return 0
+        return sum(1 for name in os.listdir(self.root) if name.endswith(".pkl"))

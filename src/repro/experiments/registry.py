@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.errors import ReproError
 from repro.experiments import (
@@ -48,10 +48,23 @@ def get_experiment(name: str):
         raise ReproError(f"unknown experiment {name!r} (known: {known})") from None
 
 
-def run_all(quick: bool = False) -> List[object]:
-    """Run every experiment in paper order, printing each report."""
+def run_all(quick: bool = False, jobs: Optional[int] = None,
+            use_cache: Optional[bool] = None,
+            cache_dir: Optional[str] = None) -> List[object]:
+    """Run every experiment in paper order, printing each report.
+
+    ``jobs``/``use_cache``/``cache_dir`` scope campaign-wide parallelism
+    and result caching around all experiments (see
+    :mod:`repro.experiments.parallel`); ``None`` falls through to the
+    ``REPRO_JOBS``/``REPRO_CACHE``/``REPRO_CACHE_DIR`` environment.
+    """
+    from repro.experiments.parallel import campaign
+
     results = []
-    for name, module in EXPERIMENTS.items():
-        print(f"\n################ {name} ################")
-        results.append(module.main(quick=quick) if name != "tables" else module.main())
+    with campaign(jobs=jobs, cache=use_cache, cache_dir=cache_dir):
+        for name, module in EXPERIMENTS.items():
+            print(f"\n################ {name} ################")
+            results.append(
+                module.main(quick=quick) if name != "tables" else module.main()
+            )
     return results

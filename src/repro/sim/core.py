@@ -13,12 +13,45 @@ A :class:`Process` wraps a generator. The generator yields :class:`Event`
 objects; when an event fires, the process resumes with the event's value (or
 has the event's exception thrown into it). A process is itself an event that
 fires when the generator returns, so processes can wait on each other.
+
+Hot-path engineering (see ``docs/performance.md``)
+--------------------------------------------------
+Every I/O model in this reproduction bottoms out in ``env.timeout()``, so the
+kernel is tuned for exactly that call:
+
+- all event classes use ``__slots__`` (no per-event ``__dict__``);
+- the schedule sequence is a plain integer incremented inline instead of an
+  ``itertools.count`` call, and ``heapq.heappush``/``heappop`` are bound at
+  module level;
+- :meth:`Environment.timeout` builds the :class:`Timeout` without running the
+  ``__init__`` chain and pushes the heap entry directly (an object *pool* was
+  evaluated and rejected: user code may keep references to fired timeouts, so
+  reuse could silently corrupt a later run's determinism);
+- :meth:`Environment.run` inlines the dispatch loop instead of calling
+  :meth:`step` per event.
+
+Heap entries deliberately stay plain tuples: tuple comparison happens in C
+during heap sifts, whereas comparing event objects via ``__lt__`` would call
+back into the interpreter on every sift step. The sequence number keeps
+entries unique, so the trailing event object is never compared. All of this
+preserves the exact event ordering of the straightforward implementation —
+the determinism tests assert serial/parallel/optimized runs are bit-identical.
+
+Failure semantics
+-----------------
+A *failed* event must never vanish silently. When a failed event is
+dispatched, the kernel re-raises its exception out of the event loop unless
+some callback *defused* it — i.e. consciously consumed the failure. A
+:class:`Process` defuses any failed event it was waiting on (the exception is
+thrown into the generator instead), and a pending condition defuses a failed
+sub-event by failing itself. A crashed process nobody waits on, or a
+sub-event failing after its condition already triggered, therefore surfaces
+instead of being dropped.
 """
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 from repro.errors import DeadlockError, Interrupt, SimulationError
@@ -42,11 +75,14 @@ class Event:
     ``_resume`` bound method as a callback.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = _PENDING
         self._ok: Optional[bool] = None
+        self._defused = False
 
     # -- state ------------------------------------------------------------
     @property
@@ -73,10 +109,15 @@ class Event:
             raise SimulationError("event value not yet available")
         return self._value
 
+    @property
+    def defused(self) -> bool:
+        """True once a callback consumed this event's failure."""
+        return self._defused
+
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Schedule this event to fire successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -85,7 +126,7 @@ class Event:
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Schedule this event to fire by raising ``exception`` in waiters."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -97,33 +138,44 @@ class Event:
     def __repr__(self) -> str:
         state = (
             "pending"
-            if not self.triggered
+            if self._value is _PENDING
             else ("ok" if self._ok else "failed")
         )
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
 class Timeout(Event):
-    """An event that fires ``delay`` simulated seconds after creation."""
+    """An event that fires ``delay`` simulated seconds after creation.
+
+    The hot construction path is :meth:`Environment.timeout`, which builds
+    the instance without running this ``__init__``; keep the two in sync.
+    """
+
+    __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(env)
-        self.delay = delay
+        self.env = env
+        self.callbacks = []
         self._ok = True
         self._value = value
+        self._defused = False
+        self.delay = delay
         env._schedule(self, delay=delay)
 
 
 class Initialize(Event):
     """Internal: kicks off a freshly created process at the current time."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
+        self.env = env
+        self.callbacks = [process._resume]
         self._ok = True
         self._value = None
-        self.callbacks.append(process._resume)
+        self._defused = False
         env._schedule(self, priority=URGENT)
 
 
@@ -134,6 +186,8 @@ class Process(Event):
     value is the generator's return value. ``yield`` an :class:`Event` from
     inside the generator to wait for it.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
@@ -173,37 +227,44 @@ class Process(Event):
         self.env._schedule(event, priority=URGENT)
 
     # -- machinery ---------------------------------------------------------
-    def _resume(self, event: Event) -> None:
-        self.env._active_proc = self
+    def _resume(self, event: Event, _timeout_cls=Timeout) -> None:
+        # _timeout_cls pre-binds the global as a local; never pass it.
+        env = self.env
+        env._active_proc = self
+        generator = self._generator
         try:
             while True:
                 try:
                     if event._ok:
-                        target = self._generator.send(event._value)
+                        target = generator.send(event._value)
                     else:
-                        target = self._generator.throw(event._value)
+                        # We consume the failure by throwing it into the
+                        # generator; it no longer needs to surface from the
+                        # event loop (the generator may legitimately catch it).
+                        event._defused = True
+                        target = generator.throw(event._value)
                 except StopIteration as exc:
                     self._ok = True
                     self._value = exc.value
-                    self.env._schedule(self)
+                    env._schedule(self)
                     break
                 except BaseException as exc:
                     self._ok = False
                     self._value = exc
-                    self.env._schedule(self)
+                    env._schedule(self)
                     break
 
-                if not isinstance(target, Event):
+                if target.__class__ is not _timeout_cls and not isinstance(target, Event):
                     exc = SimulationError(
                         f"process yielded non-event {target!r}"
                     )
-                    event = Event(self.env)
+                    event = Event(env)
                     event._ok = False
                     event._value = exc
                     continue  # throw into generator on next loop
-                if target.env is not self.env:
+                if target.env is not env:
                     exc = SimulationError("event belongs to another Environment")
-                    event = Event(self.env)
+                    event = Event(env)
                     event._ok = False
                     event._value = exc
                     continue
@@ -216,7 +277,7 @@ class Process(Event):
                 # Already processed: resume synchronously with its value.
                 event = target
         finally:
-            self.env._active_proc = None
+            env._active_proc = None
 
 
 class ConditionValue(dict):
@@ -225,6 +286,8 @@ class ConditionValue(dict):
 
 class _Condition(Event):
     """Base for composite events over a fixed set of sub-events."""
+
+    __slots__ = ("_events", "_unfired")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -251,12 +314,20 @@ class _Condition(Event):
 
 
 class AllOf(_Condition):
-    """Fires when *all* sub-events fired; fails fast on the first failure."""
+    """Fires when *all* sub-events fired; fails fast on the first failure.
+
+    A sub-event failing *after* the condition already triggered is not
+    consumed here — it surfaces from the event loop (nobody is listening
+    anymore, and silently dropping a crash would hide bugs).
+    """
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
         if not event._ok:
+            event._defused = True
             self.fail(event._value)
             return
         self._unfired -= 1
@@ -265,12 +336,19 @@ class AllOf(_Condition):
 
 
 class AnyOf(_Condition):
-    """Fires when *any* sub-event fired (or fails with the first failure)."""
+    """Fires when *any* sub-event fired (or fails with the first failure).
+
+    As with :class:`AllOf`, a sub-event failing after the condition already
+    triggered surfaces from the event loop instead of being swallowed.
+    """
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
         if not event._ok:
+            event._defused = True
             self.fail(event._value)
             return
         self.succeed(self._collect())
@@ -279,10 +357,12 @@ class AnyOf(_Condition):
 class Environment:
     """The simulation environment: virtual clock plus event heap."""
 
+    __slots__ = ("_now", "_heap", "_seq", "_active_proc")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._heap: List = []
-        self._seq = count()
+        self._seq = 0
         self._active_proc: Optional[Process] = None
 
     @property
@@ -300,9 +380,27 @@ class Environment:
         """Create a new pending :class:`Event`."""
         return Event(self)
 
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create a :class:`Timeout` firing ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay: float, value: Any = None,
+                _new=Timeout.__new__, _cls=Timeout, _push=_heappush) -> Timeout:
+        """Create a :class:`Timeout` firing ``delay`` seconds from now.
+
+        This is the dominant allocation of every I/O model, so the instance
+        is built inline (no ``__init__`` chain) and scheduled directly; the
+        trailing defaults pre-bind globals as locals — do not pass them.
+        """
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        timeout = _new(_cls)
+        timeout.env = self
+        timeout.callbacks = []
+        timeout._ok = True
+        timeout._value = value
+        timeout._defused = False
+        timeout.delay = delay
+        seq = self._seq
+        self._seq = seq + 1
+        _push(self._heap, (self._now + delay, 1, seq, timeout))  # 1 == NORMAL
+        return timeout
 
     def process(self, generator: Generator) -> Process:
         """Start a new :class:`Process` running ``generator``."""
@@ -320,9 +418,9 @@ class Environment:
     def _schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         if delay < 0:
             raise ValueError(f"negative delay: {delay!r}")
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, next(self._seq), event)
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._heap, (self._now + delay, priority, seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -335,7 +433,7 @@ class Environment:
         """
         if not self._heap:
             raise DeadlockError("no scheduled events")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
+        when, _prio, _seq, event = _heappop(self._heap)
         if when < self._now:
             raise SimulationError("event scheduled in the past")
         self._now = when
@@ -344,9 +442,9 @@ class Environment:
         assert callbacks is not None
         for callback in callbacks:
             callback(event)
-        if not event._ok and not callbacks:
-            # A failed event (including a crashed process) nobody waited for
-            # would silently vanish; surface it so bugs do not hide.
+        if not event._ok and not event._defused:
+            # A failed event (including a crashed process) that no callback
+            # consumed would silently vanish; surface it so bugs do not hide.
             raise event._value
 
     def run(self, until: Any = None) -> Any:
@@ -358,13 +456,27 @@ class Environment:
         :class:`DeadlockError`; an empty heap simply advances the clock.
         """
         if until is None:
-            while self._heap:
-                self.step()
+            # Inlined dispatch loop — identical semantics to step(), minus
+            # the per-event method call. Scheduling rejects negative delays,
+            # so the monotonic-clock guard of step() cannot trip here.
+            heap = self._heap
+            while heap:
+                when, _prio, _seq, event = _heappop(heap)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None  # mark processed
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
             return None
         if isinstance(until, Event):
             result: List[Any] = []
 
             def _capture(ev: Event) -> None:
+                # run() re-raises a failed target itself below; mark the
+                # failure as consumed so the dispatch loop defers to us.
+                ev._defused = True
                 result.append(ev)
 
             if until.callbacks is None:
@@ -385,7 +497,15 @@ class Environment:
         horizon = float(until)
         if horizon < self._now:
             raise ValueError("cannot run backwards in time")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
+        heap = self._heap
+        while heap and heap[0][0] <= horizon:
+            when, _prio, _seq, event = _heappop(heap)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None  # mark processed
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         self._now = horizon
         return None

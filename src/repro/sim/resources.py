@@ -30,6 +30,8 @@ __all__ = ["Resource", "Store", "SharedBandwidth", "Signal"]
 class Request(Event):
     """Pending grant of one capacity unit of a :class:`Resource`."""
 
+    __slots__ = ("resource",)
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -50,6 +52,8 @@ class Resource:
     The :meth:`acquire` helper wraps request+service+release for the common
     "queued fixed-cost operation" pattern.
     """
+
+    __slots__ = ("env", "capacity", "_users", "_queue")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
@@ -116,6 +120,8 @@ class Resource:
 class Store:
     """Unbounded FIFO queue of items with blocking ``get``."""
 
+    __slots__ = ("env", "_items", "_getters")
+
     def __init__(self, env: Environment) -> None:
         self.env = env
         self._items: Deque[Any] = deque()
@@ -149,6 +155,8 @@ class Signal:
     one. :meth:`fire_once` latches: late waiters complete immediately —
     that latching is what a KVS watch on an already-committed key needs.
     """
+
+    __slots__ = ("env", "_waiters", "_latched", "_latched_value")
 
     def __init__(self, env: Environment) -> None:
         self.env = env
@@ -208,6 +216,9 @@ class SharedBandwidth:
     SSD channel, or storage server under concurrent load, and is the source
     of the emergent contention effects in the multi-pair experiments.
     """
+
+    __slots__ = ("env", "bandwidth", "per_flow_cap", "_flows",
+                 "_last_update", "_epoch", "_bytes_moved")
 
     def __init__(
         self,

@@ -45,6 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=[m.value for m in SyncMode],
                         help="manual sync for xfs/lustre (ignored by dyad)")
     parser.add_argument("--runs", type=int, default=1)
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the repetitions "
+                             "(default: REPRO_JOBS or 1)")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--jitter", type=float, default=0.05,
                         help="device/compute jitter cv")
@@ -78,12 +81,16 @@ def build_spec(args) -> WorkflowSpec:
 
 def main(argv=None) -> int:
     """Entry point."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"argument --jobs: must be >= 1, got {args.jobs}")
     spec = build_spec(args)
     print(f"running: {spec.describe()} (runs={args.runs})")
 
     results = run_repetitions(
         spec, runs=args.runs, base_seed=args.seed, jitter_cv=args.jitter,
+        jobs=args.jobs,
     )
     if args.trace:
         traced = run_workflow(spec, seed=args.seed, jitter_cv=args.jitter,

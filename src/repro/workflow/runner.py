@@ -236,14 +236,34 @@ def run_repetitions(
     runs: int = 10,
     base_seed: int = 0,
     jitter_cv: float = 0.05,
+    jobs: Optional[int] = None,
+    use_cache: Optional[bool] = None,
+    cache_dir: Optional[str] = None,
     **system_configs,
 ) -> List[WorkflowResult]:
-    """Run ``runs`` repetitions with distinct seeds (paper: 10 runs)."""
+    """Run ``runs`` repetitions with distinct seeds (paper: 10 runs).
+
+    Each repetition is a pure function of ``(spec, seed, jitter_cv,
+    system_configs)``, so the set fans out across ``jobs`` worker
+    processes (default: ``REPRO_JOBS`` or the enclosing
+    :func:`repro.experiments.parallel.campaign` scope, else serial) and
+    can be memoized in the on-disk result cache (``use_cache``). Results
+    are ordered by repetition index and bit-identical to a serial,
+    uncached run.
+    """
     if runs < 1:
         raise WorkflowError(f"runs must be >= 1, got {runs}")
-    return [
-        run_workflow(
-            spec, seed=base_seed + 1000 * r, jitter_cv=jitter_cv, **system_configs
+    # Imported lazily: repro.experiments depends on this module at import
+    # time; at call time both are fully initialized.
+    from repro.experiments.parallel import RunTask, run_campaign
+
+    tasks = [
+        RunTask(
+            spec=spec, seed=base_seed + 1000 * r, jitter_cv=jitter_cv,
+            system_configs=system_configs,
         )
         for r in range(runs)
     ]
+    return run_campaign(
+        tasks, jobs=jobs, use_cache=use_cache, cache_dir=cache_dir
+    )

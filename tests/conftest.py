@@ -9,6 +9,17 @@ from repro.sim.core import Environment
 from repro.sim.rng import RngStreams
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the on-disk result cache out of the user's home directory.
+
+    The experiments CLI caches by default, and several tests drive its
+    ``main()`` directly — without this, the suite would write to
+    ``~/.cache/repro/results``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def env() -> Environment:
     """A fresh deterministic simulation environment."""

@@ -1,0 +1,196 @@
+"""Determinism and caching guarantees of the parallel campaign runner.
+
+The load-bearing property: ``run_repetitions(..., jobs=N)`` must return
+*bit-identical* results to the serial path — same per-frame timings, same
+call trees, same system stats — because the hypothesis tests and the
+paper-claim verdicts assume repetitions are a pure function of their
+seeds. Fingerprints hash every float via ``float.hex``, so even sub-ULP
+drift would fail these tests.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.parallel import (
+    RunTask,
+    campaign,
+    default_jobs,
+    result_fingerprint,
+    run_campaign,
+)
+from repro.experiments.persist import ResultCache, default_cache_root
+from repro.workflow.runner import run_repetitions, run_workflow
+from repro.workflow.spec import Placement, System, WorkflowSpec
+
+# Small-but-faithful specs of the Fig. 5 and Fig. 6 grids (reduced frame
+# counts; structure and placement identical to the paper's).
+FIG5_SPEC = WorkflowSpec(system=System.DYAD, frames=6, pairs=2,
+                         placement=Placement.SINGLE_NODE)
+FIG6_SPEC = WorkflowSpec(system=System.LUSTRE, frames=6, pairs=2,
+                         placement=Placement.SPLIT)
+
+
+def fingerprints(results):
+    return [result_fingerprint(r) for r in results]
+
+
+# ---------------------------------------------------------------------------
+# parallel == serial, bit for bit
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("spec", [FIG5_SPEC, FIG6_SPEC], ids=["fig5", "fig6"])
+def test_parallel_matches_serial_bit_for_bit(spec):
+    serial = run_repetitions(spec, runs=4, jitter_cv=0.05, jobs=1)
+    parallel = run_repetitions(spec, runs=4, jitter_cv=0.05, jobs=4)
+    assert fingerprints(serial) == fingerprints(parallel)
+    # the figure-level metrics derive from the trees; spot-check them too
+    for a, b in zip(serial, parallel):
+        assert a.seed == b.seed
+        assert a.makespan == b.makespan
+        assert a.production_movement == b.production_movement
+        assert a.consumption_idle == b.consumption_idle
+        assert a.system_stats == b.system_stats
+
+
+def test_repetitions_are_seed_pure():
+    """Same task twice -> same fingerprint (the cache's soundness basis)."""
+    task = RunTask(spec=FIG5_SPEC, seed=3000, jitter_cv=0.05)
+    a, b = run_campaign([task], jobs=1), run_campaign([task], jobs=1)
+    assert result_fingerprint(a[0]) == result_fingerprint(b[0])
+
+
+def test_run_campaign_preserves_task_order():
+    tasks = [RunTask(spec=FIG5_SPEC, seed=s, jitter_cv=0.05)
+             for s in (5000, 0, 2000)]
+    results = run_campaign(tasks, jobs=1)
+    assert [r.seed for r in results] == [5000, 0, 2000]
+
+
+def test_run_campaign_empty():
+    assert run_campaign([], jobs=1) == []
+
+
+# ---------------------------------------------------------------------------
+# cache: hits equal cold runs, misses self-heal
+# ---------------------------------------------------------------------------
+
+
+def test_cache_hits_equal_cold_runs(tmp_path):
+    cold = run_repetitions(FIG5_SPEC, runs=3, jitter_cv=0.05,
+                           use_cache=True, cache_dir=str(tmp_path))
+    assert len(list(tmp_path.glob("*.pkl"))) == 3
+    warm = run_repetitions(FIG5_SPEC, runs=3, jitter_cv=0.05,
+                           use_cache=True, cache_dir=str(tmp_path))
+    assert fingerprints(cold) == fingerprints(warm)
+    uncached = run_repetitions(FIG5_SPEC, runs=3, jitter_cv=0.05)
+    assert fingerprints(uncached) == fingerprints(warm)
+
+
+def test_cache_key_distinguishes_inputs(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    base = cache.key(FIG5_SPEC, 0, 0.05, {})
+    assert cache.key(FIG5_SPEC, 0, 0.05, {}) == base
+    assert cache.key(FIG5_SPEC, 1000, 0.05, {}) != base
+    assert cache.key(FIG5_SPEC, 0, 0.0, {}) != base
+    assert cache.key(FIG6_SPEC, 0, 0.05, {}) != base
+    from repro.dyad.config import DyadConfig
+
+    assert cache.key(FIG5_SPEC, 0, 0.05,
+                     {"dyad_config": DyadConfig()}) != base
+
+
+def test_cache_ignores_none_configs(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    assert (cache.key(FIG5_SPEC, 0, 0.05, {"dyad_config": None})
+            == cache.key(FIG5_SPEC, 0, 0.05, {}))
+
+
+def test_cache_corrupt_entry_self_heals(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = cache.key(FIG5_SPEC, 0, 0.05, {})
+    os.makedirs(cache.root, exist_ok=True)
+    with open(cache.path(key), "wb") as fh:
+        fh.write(b"not a pickle")
+    assert cache.load(key) is None
+    assert not os.path.exists(cache.path(key))
+    assert cache.misses == 1
+
+
+def test_cache_store_load_roundtrip(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    result = run_workflow(FIG5_SPEC, seed=0, jitter_cv=0.05)
+    key = cache.key(FIG5_SPEC, 0, 0.05, {})
+    cache.store(key, result)
+    loaded = cache.load(key)
+    assert result_fingerprint(loaded) == result_fingerprint(result)
+    assert cache.hits == 1
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_cache_refuses_traced_results(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    traced = run_workflow(FIG5_SPEC, seed=0, jitter_cv=0.05, trace=True)
+    with pytest.raises(ReproError):
+        cache.store(cache.key(FIG5_SPEC, 0, 0.05, {}), traced)
+
+
+def test_cached_results_survive_pickle_roundtrip():
+    result = run_workflow(FIG5_SPEC, seed=0, jitter_cv=0.05)
+    clone = pickle.loads(pickle.dumps(result))
+    assert result_fingerprint(clone) == result_fingerprint(result)
+
+
+# ---------------------------------------------------------------------------
+# knob resolution: explicit > campaign scope > environment > serial
+# ---------------------------------------------------------------------------
+
+
+def test_default_jobs_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert default_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert default_jobs() == 3
+    assert default_jobs(2) == 2
+    with campaign(jobs=5):
+        assert default_jobs() == 5
+        assert default_jobs(2) == 2
+    assert default_jobs() == 3
+
+
+def test_default_jobs_rejects_nonpositive():
+    with pytest.raises(ReproError):
+        default_jobs(0)
+
+
+def test_campaign_scope_restores_on_exit(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    with pytest.raises(RuntimeError):
+        with campaign(jobs=7):
+            assert default_jobs() == 7
+            raise RuntimeError("boom")
+    assert default_jobs() == 1
+
+
+def test_campaign_scope_enables_cache(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    with campaign(cache=True, cache_dir=str(tmp_path)):
+        run_repetitions(FIG5_SPEC, runs=2, jitter_cv=0.05)
+    assert len(list(tmp_path.glob("*.pkl"))) == 2
+
+
+def test_cache_env_default_off(tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    run_repetitions(FIG5_SPEC, runs=1, jitter_cv=0.05)
+    assert list(tmp_path.glob("*.pkl")) == []
+
+
+def test_default_cache_root_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "alt"))
+    assert default_cache_root() == str(tmp_path / "alt")

@@ -357,3 +357,121 @@ def test_event_value_before_trigger_raises(env):
         env.event().value
     with pytest.raises(SimulationError):
         env.event().ok
+
+
+# ---------------------------------------------------------------------------
+# failure surfacing: a failed event nobody consumes must never vanish
+# ---------------------------------------------------------------------------
+
+
+def test_failing_process_with_zero_waiters_surfaces(env):
+    """Regression: a crashed process nobody waits on must raise from run()."""
+
+    def crasher():
+        yield env.timeout(1.0)
+        raise RuntimeError("nobody is watching")
+
+    env.process(crasher())
+    with pytest.raises(RuntimeError, match="nobody is watching"):
+        env.run()
+
+
+def test_failing_process_with_zero_waiters_surfaces_via_step(env):
+    def crasher():
+        yield env.timeout(1.0)
+        raise RuntimeError("stepped on")
+
+    env.process(crasher())
+    with pytest.raises(RuntimeError, match="stepped on"):
+        for _ in range(10):
+            env.step()
+
+
+def test_failed_event_without_waiters_surfaces(env):
+    env.event().fail(RuntimeError("unwatched failure"))
+    with pytest.raises(RuntimeError, match="unwatched failure"):
+        env.run()
+
+
+def test_crash_after_any_of_triggered_surfaces(env):
+    """Regression: the old kernel re-raised only when the callback list was
+    empty, so a process crashing after its AnyOf already fired was silently
+    swallowed (its only callback, the condition's _check, returned early)."""
+
+    def quick():
+        yield env.timeout(1.0)
+        return "winner"
+
+    def crasher():
+        yield env.timeout(2.0)
+        raise RuntimeError("late crash")
+
+    def waiter():
+        yield env.any_of([env.process(quick()), env.process(crasher())])
+
+    env.process(waiter())
+    with pytest.raises(RuntimeError, match="late crash"):
+        env.run()
+
+
+def test_second_failure_after_all_of_failed_surfaces(env):
+    """AllOf fails fast on the first failure; a second failing sub-event has
+    nobody left to consume it and must surface, not vanish."""
+
+    def crasher(delay, msg):
+        yield env.timeout(delay)
+        raise RuntimeError(msg)
+
+    def waiter():
+        try:
+            yield env.all_of([
+                env.process(crasher(1.0, "first")),
+                env.process(crasher(2.0, "second")),
+            ])
+        except RuntimeError:
+            pass  # the first failure is consumed here
+
+    env.process(waiter())
+    with pytest.raises(RuntimeError, match="second"):
+        env.run()
+
+
+def test_waited_on_failure_is_consumed(env):
+    """A failure a process catches is defused: the run continues cleanly."""
+
+    def crasher():
+        yield env.timeout(1.0)
+        raise RuntimeError("caught below")
+
+    def guardian():
+        try:
+            yield env.process(crasher())
+        except RuntimeError:
+            pass
+        yield env.timeout(1.0)
+        return env.now
+
+    p = env.process(guardian())
+    env.run()
+    assert p.value == 2.0
+
+
+def test_defused_property_reflects_consumption(env):
+    gate = env.event()
+
+    def waiter():
+        try:
+            yield gate
+        except RuntimeError:
+            pass
+
+    env.process(waiter())
+
+    def firer():
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    env.process(firer())
+    assert not gate.defused
+    env.run()
+    assert gate.defused

@@ -14,6 +14,7 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 FAST = [
     "quickstart.py",
@@ -27,12 +28,17 @@ SLOW = ["ensemble_scaling_study.py"]
 
 
 def run_example(name, tmp_path, extra_args=()):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     return subprocess.run(
         [sys.executable, str(EXAMPLES / name), *extra_args],
         capture_output=True,
         text=True,
         timeout=600,
         cwd=tmp_path,
+        env=env,
     )
 
 
