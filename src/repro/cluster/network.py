@@ -24,7 +24,7 @@ from typing import Dict, Optional
 
 from repro.errors import ConfigError, TransferError
 from repro.sim.core import Environment
-from repro.sim.resources import SharedBandwidth
+from repro.sim.resources import SharedBandwidth, Signal
 from repro.sim.rng import RngStreams
 from repro.units import gb_per_s, usec
 
@@ -104,12 +104,13 @@ class FabricStats:
         self.rdma_transfers = 0
         self.messages = 0
         self.bytes_moved = 0
+        self.link_stalls = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"FabricStats(transfers={self.transfers}, "
             f"rdma={self.rdma_transfers}, messages={self.messages}, "
-            f"bytes={self.bytes_moved})"
+            f"bytes={self.bytes_moved}, link_stalls={self.link_stalls})"
         )
 
 
@@ -122,6 +123,7 @@ class Fabric:
         self.config = config
         self._rng = rng
         self._nics: Dict[str, NIC] = {}
+        self._link_down: Dict[str, Signal] = {}
         self._bisection: Optional[SharedBandwidth] = (
             SharedBandwidth(env, config.bisection_bandwidth)
             if config.bisection_bandwidth is not None
@@ -149,6 +151,41 @@ class Fabric:
         """Base node-to-node wire latency (before jitter)."""
         return self.config.hop_latency * self.config.hops
 
+    # -- fault injection --------------------------------------------------------
+    def link_is_down(self, node_id: str) -> bool:
+        """True while ``fail_link(node_id)`` is in effect."""
+        return node_id in self._link_down
+
+    def fail_link(self, node_id: str) -> None:
+        """Take a node's link down: traffic touching it stalls until restore.
+
+        New and queued transfers block *before* touching the wire — they are
+        delayed, not failed, matching how a lossless fabric with link-level
+        retry presents a flapping port to software (the paper's systems see
+        stalls, not packet loss). Idempotent while the link is already down.
+        """
+        self.nic(node_id)  # raises TransferError for unknown nodes
+        if node_id not in self._link_down:
+            self._link_down[node_id] = Signal(self.env)
+
+    def restore_link(self, node_id: str) -> None:
+        """Bring a failed link back; wakes every transfer stalled on it."""
+        signal = self._link_down.pop(node_id, None)
+        if signal is not None:
+            signal.fire()
+
+    def _await_links(self, src: str, dst: str):
+        """Generator: block while either endpoint's link is down."""
+        stalled = False
+        while True:
+            signal = self._link_down.get(src) or self._link_down.get(dst)
+            if signal is None:
+                return
+            if not stalled:
+                stalled = True
+                self.stats.link_stalls += 1
+            yield signal.wait()
+
     # -- data path --------------------------------------------------------------
     def _jittered(self, stream: str, base: float) -> float:
         if self.config.jitter_cv == 0.0:
@@ -167,6 +204,8 @@ class Fabric:
         src_nic = self.nic(src)
         dst_nic = self.nic(dst)
         start = self.env.now
+        if self._link_down:  # single falsy check on the fault-free hot path
+            yield from self._await_links(src, dst)
         latency = self._jittered("fabric.latency", setup + self.path_latency())
         yield self.env.timeout(latency)
         if nbytes:

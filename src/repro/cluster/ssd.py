@@ -100,7 +100,33 @@ class SSDModel:
         self._read_chan = SharedBandwidth(env, config.read_bandwidth)
         self._write_chan = SharedBandwidth(env, config.write_bandwidth)
         self._used = 0
+        self._degraded = 1.0
         self.stats = SSDStats()
+
+    # -- fault injection -----------------------------------------------------
+    @property
+    def degraded(self) -> float:
+        """Current slowdown factor (1.0 = healthy)."""
+        return self._degraded
+
+    def degrade(self, factor: float) -> None:
+        """Throttle both channels to ``1/factor`` of configured bandwidth.
+
+        Models device-level degradation (thermal throttling, worn flash,
+        background garbage collection). In-flight transfers slow down
+        mid-stream; ``restore`` reverses the effect.
+        """
+        if factor < 1.0:
+            raise ValueError(f"degrade factor must be >= 1, got {factor}")
+        self._degraded = float(factor)
+        self._read_chan.set_bandwidth(self.config.read_bandwidth / factor)
+        self._write_chan.set_bandwidth(self.config.write_bandwidth / factor)
+
+    def restore(self) -> None:
+        """Return both channels to their configured bandwidth."""
+        self._degraded = 1.0
+        self._read_chan.set_bandwidth(self.config.read_bandwidth)
+        self._write_chan.set_bandwidth(self.config.write_bandwidth)
 
     # -- capacity ------------------------------------------------------------
     @property

@@ -134,6 +134,21 @@ class DyadConsumerClient:
         self.cache_hits = 0
 
     # -- protocol steps ------------------------------------------------------
+    def _backoff_delay(self, attempt: int) -> float:
+        """Capped exponential backoff with deterministic seeded jitter.
+
+        Attempt ``a`` waits ``min(retry_backoff * 2**a, retry_backoff_cap)``,
+        scaled by a uniform draw from ``[1, 1 + retry_jitter]`` out of the
+        cluster's named RNG streams — so the whole retry schedule is
+        seed-reproducible while still de-synchronizing retry storms.
+        """
+        cfg = self.runtime.config
+        delay = min(cfg.retry_backoff * (2.0 ** attempt), cfg.retry_backoff_cap)
+        if cfg.retry_jitter > 0.0 and delay > 0.0:
+            draw = self.runtime.cluster.rng.stream("dyad.retry").random()
+            delay *= 1.0 + cfg.retry_jitter * float(draw)
+        return delay
+
     def _fetch(self, path: str, regions: _Regions) -> Generator:
         """dyad_fetch: ownership lookup with multi-protocol fallback."""
         mdm = self.runtime.mdm
@@ -157,9 +172,10 @@ class DyadConsumerClient:
         """dyad_get_data (+ dyad_cons_store) for a remotely-owned frame.
 
         Transfer attempts that fail with :class:`TransferError` (injected
-        faults or transient network errors) are retried after a short
-        backoff, up to the configured budget. Returns the pulled payload
-        (``None`` in size-only mode).
+        faults, transient network errors, or a crashed owner service) are
+        retried under capped exponential backoff with deterministic
+        seeded jitter, up to the configured budget. Returns the pulled
+        payload (``None`` in size-only mode).
         """
         cfg = self.runtime.config
         owner_service = self.runtime.service(record.owner)
@@ -186,7 +202,7 @@ class DyadConsumerClient:
                     regions.end("dyad_get_data")
                     raise
                 self.transfer_retries += 1
-                yield self.env.timeout(cfg.retry_backoff)
+                yield self.env.timeout(self._backoff_delay(attempt))
         regions.end("dyad_get_data")
 
         if not cfg.cache_on_consume:

@@ -65,7 +65,17 @@ class DyadConfig:
     max_transfer_retries:
         Retry budget per remote get before the error propagates.
     retry_backoff:
-        Delay before each retry attempt.
+        Base delay before the first retry attempt; attempt ``a`` waits
+        ``min(retry_backoff * 2**a, retry_backoff_cap)`` (capped
+        exponential backoff).
+    retry_backoff_cap:
+        Ceiling on the exponential backoff delay. Must be at least
+        ``retry_backoff``.
+    retry_jitter:
+        Relative spread of deterministic (seeded) jitter added to each
+        backoff delay: the delay is scaled by a factor drawn uniformly
+        from ``[1, 1 + retry_jitter]``. Jitter de-synchronizes retry
+        storms when many consumers lose the same service; 0 disables it.
     kvs:
         Configuration of the underlying key-value store.
     """
@@ -85,6 +95,8 @@ class DyadConfig:
     fault_rate: float = 0.0
     max_transfer_retries: int = 3
     retry_backoff: float = usec(500.0)
+    retry_backoff_cap: float = 0.05
+    retry_jitter: float = 0.25
     kvs: KVSConfig = KVSConfig()
 
     def validate(self) -> None:
@@ -107,4 +119,11 @@ class DyadConfig:
             raise ConfigError("fault_rate must be in [0, 1)")
         if self.max_transfer_retries < 0 or self.retry_backoff < 0:
             raise ConfigError("retry settings must be non-negative")
+        if self.retry_backoff_cap < self.retry_backoff:
+            raise ConfigError(
+                "retry_backoff_cap must be >= retry_backoff "
+                f"({self.retry_backoff_cap} < {self.retry_backoff})"
+            )
+        if self.retry_jitter < 0:
+            raise ConfigError("retry_jitter must be non-negative")
         self.kvs.validate()

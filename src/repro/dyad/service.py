@@ -19,7 +19,7 @@ from repro.cluster.topology import Cluster
 from repro.dyad.config import DyadConfig
 from repro.dyad.mdm import MetadataManager, OwnerRecord
 from repro.dyad.rdma import make_transport
-from repro.errors import DyadError
+from repro.errors import DyadError, TransferError
 from repro.kvs.store import KVS
 from repro.sim.resources import Resource
 from repro.storage.locks import LockMode
@@ -38,15 +38,51 @@ class DyadService:
         self.staging.makedirs(config.managed_root)
         self.requests = Resource(node.env, config.service_capacity)
         self.env = node.env
+        self.crashed = False
+        self.crashes = 0
+        self.refused_gets = 0
+
+    def crash(self) -> None:
+        """Take the service down (fault injection).
+
+        Staged files survive — the staging FS is node-local persistent
+        storage and the crash models the *service process* dying, so a
+        restart serves the same frames again (warm restart). Remote gets
+        in flight or arriving while down fail with
+        :class:`repro.errors.TransferError`, which the consumer client's
+        retry loop absorbs. Idempotent.
+        """
+        if not self.crashed:
+            self.crashed = True
+            self.crashes += 1
+
+    def restart(self) -> None:
+        """Bring a crashed service back up."""
+        self.crashed = False
+
+    def _check_up(self) -> None:
+        if self.crashed:
+            self.refused_gets += 1
+            raise TransferError(
+                f"{self.node.node_id}: DYAD service is down"
+            )
 
     def serve_get(self, path: str, nbytes: int) -> Generator:
         """Generator: handle one remote-get — lock, read, return payload.
 
         Runs on the owner node; the caller (consumer client) then pulls the
         bytes over RDMA. Returns ``(elapsed, payload_or_None)``.
+
+        A crashed service refuses the request at three points — on arrival,
+        after queueing, and after the local read (the reply never makes it
+        out, modelling in-flight loss) — always with
+        :class:`repro.errors.TransferError` so consumers retry rather than
+        abort.
         """
         start = self.env.now
+        self._check_up()
         waited = yield from self.requests.acquire(self.config.service_request_time)
+        self._check_up()
         # Fast-path synchronization: shared flock guarantees the producer's
         # exclusive lock was dropped, i.e. the write completed.
         yield self.env.timeout(self.config.flock_time)
@@ -61,6 +97,7 @@ class DyadService:
                 yield from handle.close()
         finally:
             self.staging.locks.release(lock)
+        self._check_up()
         if count != nbytes:
             raise DyadError(
                 f"{self.node.node_id}: staged file {path} has {count} bytes, "

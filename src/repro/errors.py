@@ -25,6 +25,19 @@ class DeadlockError(SimulationError):
     """
 
 
+class StallError(SimulationError):
+    """The simulation exceeded its watchdog budget or ended incomplete.
+
+    Raised by :meth:`repro.sim.core.Environment.run_guarded` when the
+    event budget or time horizon is exhausted (a recovery loop that spins
+    instead of progressing), and by the workflow runner when the event
+    heap drains while producer/consumer processes are still waiting (a
+    recovery deadlock that would otherwise return silently-incomplete
+    results). The message names the stuck processes / exhausted budget so
+    a faulty fault plan is diagnosable rather than a hang.
+    """
+
+
 class Interrupt(SimulationError):
     """Thrown *into* a simulated process that another process interrupted.
 
@@ -87,6 +100,14 @@ class WorkflowError(ReproError):
 
 class ConfigError(ReproError):
     """Invalid configuration value (negative bandwidth, zero stride, ...)."""
+
+
+class FaultPlanError(ConfigError):
+    """Invalid fault plan (unknown kind, bad target, overlapping windows)."""
+
+
+class CampaignError(ReproError):
+    """The campaign runner exhausted a task's re-submission budget."""
 
 
 class PerfError(ReproError):

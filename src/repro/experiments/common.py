@@ -97,6 +97,7 @@ class Cell:
 
 def measure(spec: WorkflowSpec, runs: int, jitter_cv: float = JITTER_CV,
             jobs: Optional[int] = None, use_cache: Optional[bool] = None,
+            fault_plan=None,
             **system_configs) -> Tuple[Cell, List[WorkflowResult]]:
     """Run one spec ``runs`` times; returns the aggregated cell and raw runs.
 
@@ -105,9 +106,12 @@ def measure(spec: WorkflowSpec, runs: int, jitter_cv: float = JITTER_CV,
     ``REPRO_JOBS``/``REPRO_CACHE`` environment variables), so figure
     modules calling ``measure`` inherit campaign-wide parallelism and
     caching without threading the knobs through their signatures.
+    ``fault_plan`` makes every repetition a faulty run (see
+    :mod:`repro.faults`); it participates in the cache key.
     """
     results = run_repetitions(spec, runs=runs, jitter_cv=jitter_cv,
-                              jobs=jobs, use_cache=use_cache, **system_configs)
+                              jobs=jobs, use_cache=use_cache,
+                              fault_plan=fault_plan, **system_configs)
     return Cell.of(results), results
 
 

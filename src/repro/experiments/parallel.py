@@ -30,14 +30,20 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
+import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Any, Dict, List, Optional, Sequence
 
-from repro.errors import ReproError
+from repro.errors import CampaignError, ReproError
+from repro.faults.plan import FaultPlan
 from repro.workflow.runner import WorkflowResult, run_workflow
 from repro.workflow.spec import WorkflowSpec
 
@@ -65,13 +71,16 @@ class RunTask:
 
     ``system_configs`` holds the optional ``dyad_config`` /
     ``xfs_config`` / ``lustre_config`` keyword arguments of
-    :func:`repro.workflow.runner.run_workflow`.
+    :func:`repro.workflow.runner.run_workflow`; ``fault_plan`` (when set)
+    makes the repetition a *faulty* run — still a pure, seeded function
+    of its fields, and cached under a distinct key.
     """
 
     spec: WorkflowSpec
     seed: int
     jitter_cv: float = 0.0
     system_configs: Dict[str, Any] = field(default_factory=dict)
+    fault_plan: Optional[FaultPlan] = None
 
 
 def default_jobs(override: Optional[int] = None) -> int:
@@ -117,13 +126,67 @@ def campaign(jobs: Optional[int] = None, cache: Optional[bool] = None,
         _SCOPED.update(previous)
 
 
+def _maybe_injected_worker_fault(seed: int) -> None:
+    """Test hook: simulate a crashed or hung campaign worker.
+
+    Only ever fires inside a worker *process* (never in-process serial
+    runs) and only when ``REPRO_WORKER_FAULT_DIR`` points at a directory.
+    ``REPRO_WORKER_CRASH_SEEDS`` / ``REPRO_WORKER_HANG_SEEDS`` name task
+    seeds whose first execution hard-exits (as a kill -9 would) or sleeps
+    ``REPRO_WORKER_HANG_SECONDS``; a marker file in the fault directory
+    makes each fault one-shot so the retry succeeds. This is how the
+    tests exercise the crash-detection and timeout paths without racing
+    real signals against the executor.
+    """
+    fault_dir = os.environ.get("REPRO_WORKER_FAULT_DIR")
+    if not fault_dir or multiprocessing.parent_process() is None:
+        return
+
+    def _armed(kind: str, var: str) -> bool:
+        raw = os.environ.get(var, "")
+        if not any(s and int(s) == seed for s in raw.split(",")):
+            return False
+        marker = os.path.join(fault_dir, f"{kind}-{seed}")
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False  # already fired once
+        os.close(fd)
+        return True
+
+    if _armed("crash", "REPRO_WORKER_CRASH_SEEDS"):
+        os._exit(17)  # skip interpreter teardown: looks like a killed worker
+    if _armed("hang", "REPRO_WORKER_HANG_SEEDS"):
+        time.sleep(float(os.environ.get("REPRO_WORKER_HANG_SECONDS", "5")))
+
+
 def _execute_task(task: RunTask) -> WorkflowResult:
     """Worker entry point: run one repetition (must stay module-level so
     the spawn start method can import it by qualified name)."""
+    _maybe_injected_worker_fault(task.seed)
     return run_workflow(
         task.spec, seed=task.seed, jitter_cv=task.jitter_cv,
-        **task.system_configs,
+        fault_plan=task.fault_plan, **task.system_configs,
     )
+
+
+def _default_task_timeout(override: Optional[float]) -> Optional[float]:
+    """Per-task wall-clock budget: explicit > ``REPRO_TASK_TIMEOUT`` > none."""
+    if override is None:
+        raw = os.environ.get("REPRO_TASK_TIMEOUT", "")
+        override = float(raw) if raw else None
+    if override is not None and override <= 0:
+        raise ReproError(f"task_timeout must be positive, got {override}")
+    return override
+
+
+def _default_task_retries(override: Optional[int]) -> int:
+    """Re-submission budget: explicit > ``REPRO_TASK_RETRIES`` > 2."""
+    if override is None:
+        override = int(os.environ.get("REPRO_TASK_RETRIES", "2"))
+    if override < 0:
+        raise ReproError(f"max_task_retries must be >= 0, got {override}")
+    return override
 
 
 def run_campaign(
@@ -131,17 +194,38 @@ def run_campaign(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    task_timeout: Optional[float] = None,
+    max_task_retries: Optional[int] = None,
 ) -> List[WorkflowResult]:
     """Run ``tasks``, in order, with optional process fan-out and caching.
 
     Results are positionally aligned with ``tasks`` and bit-identical to a
     serial run: each task is a pure function of its fields, and caching
     stores the exact :class:`WorkflowResult` a cold run produced.
+
+    The parallel path is hardened against infrastructure failures:
+
+    - every completed repetition is stored into the cache *immediately*,
+      so an interrupted campaign resumes from its survivors on the next
+      invocation instead of recomputing them;
+    - a worker process dying (OOM kill, ``kill -9``, segfault) breaks the
+      pool — the unfinished tasks are re-submitted to a fresh pool, up to
+      ``max_task_retries`` extra attempts each (then
+      :class:`~repro.errors.CampaignError`);
+    - ``task_timeout`` bounds each task's wall-clock time; a round whose
+      stragglers exceed the budget is abandoned (without waiting on hung
+      workers) and its unfinished tasks re-submitted the same way.
+
+    Exceptions raised *by the simulation itself* (``StallError``, config
+    errors, …) are deterministic — retrying cannot help — and propagate
+    immediately.
     """
     tasks = list(tasks)
     if not tasks:
         return []
     jobs = default_jobs(jobs)
+    task_timeout = _default_task_timeout(task_timeout)
+    max_task_retries = _default_task_retries(max_task_retries)
     results: List[Optional[WorkflowResult]] = [None] * len(tasks)
 
     cache = None
@@ -153,30 +237,71 @@ def run_campaign(
                             else _SCOPED["cache_dir"])
         for i, task in enumerate(tasks):
             keys[i] = cache.key(
-                task.spec, task.seed, task.jitter_cv, task.system_configs
+                task.spec, task.seed, task.jitter_cv, task.system_configs,
+                task.fault_plan,
             )
             results[i] = cache.load(keys[i])
 
-    pending = [i for i, r in enumerate(results) if r is None]
-    if pending:
-        if jobs == 1 or len(pending) == 1:
-            for i in pending:
-                results[i] = _execute_task(tasks[i])
-        else:
-            workers = min(jobs, len(pending))
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=get_context(_START_METHOD)
-            ) as pool:
-                computed = pool.map(
-                    _execute_task,
-                    [tasks[i] for i in pending],
-                    chunksize=max(1, len(pending) // (4 * workers)),
-                )
-                for i, result in zip(pending, computed):
-                    results[i] = result
+    def _complete(i: int, result: WorkflowResult) -> None:
+        results[i] = result
         if cache is not None:
-            for i in pending:
-                cache.store(keys[i], results[i])
+            cache.store(keys[i], result)
+
+    pending = [i for i, r in enumerate(results) if r is None]
+    if not pending:
+        return results  # type: ignore[return-value]
+
+    if jobs == 1 or len(pending) == 1:
+        for i in pending:
+            _complete(i, _execute_task(tasks[i]))
+        return results  # type: ignore[return-value]
+
+    attempts = {i: 0 for i in pending}
+    while pending:
+        workers = min(jobs, len(pending))
+        # Upper bound for the whole round if every task used its full
+        # per-task budget on a fully-loaded pool.
+        round_timeout = (
+            task_timeout * math.ceil(len(pending) / workers)
+            if task_timeout is not None else None
+        )
+        broken = False
+        pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=get_context(_START_METHOD)
+        )
+        try:
+            futures = {pool.submit(_execute_task, tasks[i]): i
+                       for i in pending}
+            try:
+                for future in as_completed(futures, timeout=round_timeout):
+                    _complete(futures[future], future.result())
+            except BrokenProcessPool:
+                broken = True  # a worker died; survivors are already stored
+            except FuturesTimeout:
+                broken = True  # straggler past the budget; treat like a crash
+            except BaseException:
+                # Deterministic simulation error (StallError, ConfigError,
+                # KeyboardInterrupt, ...): don't join in-flight work, just
+                # propagate. Completed repetitions are already cached.
+                broken = True
+                raise
+        finally:
+            # Never join a broken/hung pool: cancel what never started and
+            # leave stragglers to die on their own.
+            pool.shutdown(wait=not broken, cancel_futures=broken)
+        if not broken:
+            break
+        pending = [i for i in pending if results[i] is None]
+        for i in pending:
+            attempts[i] += 1
+            if attempts[i] > max_task_retries:
+                task = tasks[i]
+                raise CampaignError(
+                    f"task seed={task.seed} failed {attempts[i]} times "
+                    f"(crashed or timed-out worker); giving up after "
+                    f"{max_task_retries} retries. Completed results are "
+                    "cached; re-run to resume."
+                )
     return results  # type: ignore[return-value]
 
 

@@ -211,7 +211,8 @@ def load_campaign(directory) -> Dict[str, FigureResult]:
 
 #: Bump to invalidate every cached repetition (e.g. after a change to the
 #: WorkflowResult layout that keeps the package version constant).
-_CACHE_SCHEMA = 1
+#: 2: system_stats gained DYAD/fault counters; keys gained the fault plan.
+_CACHE_SCHEMA = 2
 
 
 def default_cache_root() -> str:
@@ -247,8 +248,14 @@ class ResultCache:
 
     # -- keying ------------------------------------------------------------
     def key(self, spec, seed: int, jitter_cv: float,
-            system_configs: Optional[Dict[str, Any]] = None) -> str:
-        """Hex digest identifying one repetition's inputs."""
+            system_configs: Optional[Dict[str, Any]] = None,
+            fault_plan: Optional[Any] = None) -> str:
+        """Hex digest identifying one repetition's inputs.
+
+        ``fault_plan`` participates in the digest (via its deterministic
+        dataclass ``repr``) so faulty and fault-free runs of the same spec
+        can never collide.
+        """
         import repro
 
         material = json.dumps(
@@ -263,6 +270,8 @@ class ResultCache:
                     for name, cfg in sorted((system_configs or {}).items())
                     if cfg is not None
                 },
+                "fault_plan": repr(fault_plan) if fault_plan is not None
+                else None,
             },
             sort_keys=True,
         )

@@ -8,6 +8,7 @@ from repro.errors import ReproError
 from repro.experiments import (
     ablations,
     extension_fanout,
+    resilience,
     validate,
     fig5_single_node,
     fig6_two_node,
@@ -35,6 +36,7 @@ EXPERIMENTS: Dict[str, object] = {
     "fig12": fig12_stmv_stride,
     "ablations": ablations,
     "fanout": extension_fanout,
+    "resilience": resilience,
     "validate": validate,
 }
 

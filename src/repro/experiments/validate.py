@@ -17,6 +17,8 @@ from typing import Callable, List
 from repro.cluster.corona import CORONA_FABRIC, CORONA_NODE, corona
 from repro.dyad.config import DyadConfig
 from repro.dyad.service import DyadRuntime
+from repro.errors import ReproError, TransferError
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
 from repro.md.models import JAC, STMV
 from repro.storage.lustre import LustreConfig, LustreFileSystem, LustreServers
 from repro.storage.xfs import XFSConfig, XFSFileSystem
@@ -184,6 +186,79 @@ def run(runs=None, frames=None, quick: bool = False) -> ValidationResult:
     result.checks.append(
         Check("Lustre STMV cold read (solo)", predicted,
               _measure(cluster, lustre_read()), tolerance=0.15)
+    )
+
+    # -- DYAD retry backoff schedule against a crashed service ------------
+    # With jitter off, the time a consumer spends failing against a dead
+    # owner service is exactly: client overhead + one KVS lookup round
+    # trip + one control message per attempt (the service refuses on
+    # arrival) + the capped exponential backoff series. This pins the
+    # recovery arithmetic that docs/resilience.md documents.
+    retry_cfg = DyadConfig(retry_jitter=0.0)
+    cluster = corona(nodes=2, seed=0)
+    runtime = DyadRuntime(cluster, config=retry_cfg)
+    producer = runtime.producer("node00", "p")
+    consumer = runtime.consumer("node01", "c")
+    _measure(cluster, producer.produce("/dyad/f", jac))
+    runtime.service("node00").crash()
+
+    def failing_consume():
+        try:
+            yield from consumer.consume("/dyad/f")
+        except TransferError:
+            pass
+        else:  # pragma: no cover - the crash above makes success a bug
+            raise ReproError("consume succeeded against a crashed service")
+
+    msg0 = fabric.message_setup + fabric.hop_latency * fabric.hops
+    lookup_rtt = (2 * (msg0 + kvs_cfg.value_size / fabric.link_bandwidth)
+                  + kvs_cfg.lookup_service)
+    n_retries = retry_cfg.max_transfer_retries
+    backoffs = sum(
+        min(retry_cfg.retry_backoff * 2.0 ** a, retry_cfg.retry_backoff_cap)
+        for a in range(n_retries)
+    )
+    predicted = (retry_cfg.client_overhead + lookup_rtt
+                 + (n_retries + 1) * msg0 + backoffs)
+    result.checks.append(
+        Check("DYAD retry backoff schedule (service down)", predicted,
+              _measure(cluster, failing_consume()), tolerance=0.01)
+    )
+
+    # -- DYAD recovery retry count after a transient crash ----------------
+    # Crash the owner service for 10 ms via the fault injector and count
+    # how many retries the consumer needs before the restart: a mirror of
+    # the client's schedule (attempt a lands at cumulative time t; it
+    # succeeds once t passes the restart instant) predicts the count
+    # exactly, and the frame must still arrive.
+    recover_cfg = DyadConfig(retry_jitter=0.0, max_transfer_retries=30)
+    cluster = corona(nodes=2, seed=0)
+    runtime = DyadRuntime(cluster, config=recover_cfg)
+    producer = runtime.producer("node00", "p")
+    consumer = runtime.consumer("node01", "c")
+    _measure(cluster, producer.produce("/dyad/g", jac))
+    downtime = 0.01
+    plan = FaultPlan(events=(
+        FaultEvent("dyad_crash", at=cluster.env.now, target="0",
+                   duration=downtime),
+    ))
+    FaultInjector(plan, cluster, dyad=runtime).start()
+    _measure(cluster, consumer.consume("/dyad/g"))
+    if consumer.fast_hits + consumer.kvs_waits != 1:
+        raise ReproError("frame did not arrive after service restart")
+    t = recover_cfg.client_overhead + lookup_rtt
+    predicted_retries = 0
+    while True:
+        t += msg0
+        if t >= downtime:
+            break
+        predicted_retries += 1
+        t += min(recover_cfg.retry_backoff * 2.0 ** (predicted_retries - 1),
+                 recover_cfg.retry_backoff_cap)
+    result.checks.append(
+        Check("DYAD recovery retries after 10ms crash",
+              float(predicted_retries), float(consumer.transfer_retries),
+              tolerance=0.01, dimensionless=True)
     )
     return result
 

@@ -1,0 +1,15 @@
+"""Deterministic fault injection for the simulated substrates.
+
+Declare *what goes wrong* as a :class:`~repro.faults.plan.FaultPlan`
+(scheduled crash/degradation windows + a probabilistic transfer fault
+rate); the :class:`~repro.faults.inject.FaultInjector` applies it to a
+live run. All randomness routes through the run's seeded RNG streams, so
+faulty runs are exactly as reproducible as fault-free ones.
+
+See ``docs/resilience.md`` for the schema and recovery semantics.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultEvent, FaultPlan
+
+__all__ = ["FaultPlan", "FaultEvent", "FaultInjector", "FAULT_KINDS"]

@@ -1,0 +1,151 @@
+"""Turn a :class:`~repro.faults.plan.FaultPlan` into live simulation faults.
+
+The :class:`FaultInjector` resolves every event's target against the run's
+cluster / DYAD runtime / Lustre servers *before* the simulation starts (a
+bad plan fails fast with :class:`~repro.errors.FaultPlanError`, not three
+simulated hours in), then spawns one lightweight process per event that
+sleeps until the strike time, applies the fault, sleeps the window, and
+reverts it.
+
+Fault semantics per kind:
+
+- ``node_crash`` — the node's fabric link goes down *and* its DYAD
+  service (when present) crashes. Staged frames survive on the node-local
+  SSD, so the restart is warm: consumers re-request lost frames through
+  the client retry loop and succeed once the service is back.
+- ``link_flap`` — the link goes down only. Traffic touching the node
+  stalls (delayed, not failed) until restore, which is safe for systems
+  without a retry path (Lustre, plain POSIX over the fabric).
+- ``dyad_crash`` — the DYAD service refuses remote gets with
+  :class:`~repro.errors.TransferError`, exercising the consumer's capped
+  exponential backoff until the restart.
+- ``ssd_degrade`` — the node's SSD read/write channels are throttled by
+  ``severity``; in-flight transfers slow down mid-stream.
+- ``lustre_slowdown`` — Lustre servers degrade by ``severity``
+  (``target`` picks all / ``"mds"`` / ``"oss<i>"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.cluster.topology import Cluster
+from repro.errors import FaultPlanError
+from repro.faults.plan import FaultEvent, FaultPlan
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Schedules a plan's fault windows onto a run's simulated substrates."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        cluster: Cluster,
+        dyad: Optional[object] = None,
+        lustre: Optional[object] = None,
+    ) -> None:
+        plan.validate()
+        self.plan = plan
+        self.cluster = cluster
+        self.dyad = dyad
+        self.lustre = lustre
+        self.env = cluster.env
+        #: fault windows applied so far (strike side)
+        self.applied = 0
+        #: fault windows reverted so far (restore side)
+        self.reverted = 0
+        # Resolve every event now: (event, apply, revert) triples.
+        self._actions: List[Tuple[FaultEvent, Callable, Callable]] = [
+            (event, *self._resolve(event)) for event in plan.events
+        ]
+
+    # -- target resolution ---------------------------------------------------
+    def _node(self, event: FaultEvent):
+        """The cluster node an event targets ('' = node 0, 'N' = index)."""
+        target = event.target or "0"
+        if target.isdigit():
+            index = int(target)
+            if not 0 <= index < len(self.cluster.nodes):
+                raise FaultPlanError(
+                    f"{event.kind}: node index {index} out of range "
+                    f"(cluster has {len(self.cluster.nodes)} nodes)"
+                )
+            return self.cluster.node(index)
+        for node in self.cluster.nodes:
+            if node.node_id == target:
+                return node
+        raise FaultPlanError(
+            f"{event.kind}: no node {target!r} in cluster"
+        )
+
+    def _dyad_service(self, event: FaultEvent, node_id: str):
+        if self.dyad is None:
+            raise FaultPlanError(
+                f"{event.kind} at t={event.at}: plan targets a DYAD service"
+                " but the run has no DYAD runtime (non-DYAD system?)"
+            )
+        return self.dyad.service(node_id)
+
+    def _resolve(self, event: FaultEvent) -> Tuple[Callable, Callable]:
+        """(apply, revert) callables for one event; validates the target."""
+        kind = event.kind
+        fabric = self.cluster.fabric
+        if kind == "link_flap":
+            node = self._node(event)
+            return (lambda: fabric.fail_link(node.node_id),
+                    lambda: fabric.restore_link(node.node_id))
+        if kind == "ssd_degrade":
+            node = self._node(event)
+            return (lambda: node.ssd.degrade(event.severity),
+                    lambda: node.ssd.restore())
+        if kind == "dyad_crash":
+            node = self._node(event)
+            service = self._dyad_service(event, node.node_id)
+            return service.crash, service.restart
+        if kind == "node_crash":
+            node = self._node(event)
+            service = None
+            if self.dyad is not None:
+                service = self.dyad.service(node.node_id)
+
+            def apply() -> None:
+                fabric.fail_link(node.node_id)
+                if service is not None:
+                    service.crash()
+
+            def revert() -> None:
+                if service is not None:
+                    service.restart()
+                fabric.restore_link(node.node_id)
+
+            return apply, revert
+        if kind == "lustre_slowdown":
+            if self.lustre is None:
+                raise FaultPlanError(
+                    f"lustre_slowdown at t={event.at}: the run has no"
+                    " Lustre servers"
+                )
+            servers = self.lustre
+            servers._fault_targets(event.target)  # validate selector now
+            return (lambda: servers.degrade(event.severity, event.target),
+                    lambda: servers.restore(event.target))
+        raise FaultPlanError(f"unknown fault kind {kind!r}")  # pragma: no cover
+
+    # -- scheduling ----------------------------------------------------------
+    def _window(self, event: FaultEvent, apply: Callable, revert: Callable):
+        """Process: wait for the strike time, fault, wait, recover."""
+        delay = event.at - self.env.now
+        if delay > 0:
+            yield self.env.timeout(delay)
+        apply()
+        self.applied += 1
+        yield self.env.timeout(event.duration)
+        revert()
+        self.reverted += 1
+
+    def start(self) -> None:
+        """Spawn one simulation process per scheduled fault window."""
+        for event, apply, revert in self._actions:
+            self.env.process(self._window(event, apply, revert))

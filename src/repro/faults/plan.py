@@ -1,0 +1,175 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen, validated description of everything that
+goes wrong during a run: a schedule of :class:`FaultEvent` windows (crash
+this DYAD service at t=3 s for 0.5 s, halve that SSD's bandwidth from
+t=1 s …) plus a probabilistic per-transfer fault rate. Plans are plain
+data — hashable, ``repr``-stable, serializable — so they participate in
+the result-cache content hash and campaign workers can receive them
+pickled. The :mod:`repro.faults.inject` module turns a plan into live
+simulation processes.
+
+Every random choice a plan induces (transfer faults, retry jitter) is
+drawn from the run's named, seeded RNG streams: the same plan + seed
+reproduces bit-identical metrics, which the resilience tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import FaultPlanError
+
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS"]
+
+#: Recognized fault kinds → what the injector does during the window.
+FAULT_KINDS = (
+    "node_crash",       # link down + DYAD service crash; warm restart after
+    "ssd_degrade",      # node SSD channels throttled by `severity`
+    "link_flap",        # fabric link down; traffic stalls until restore
+    "lustre_slowdown",  # Lustre MDS/OSS degraded by `severity`
+    "dyad_crash",       # DYAD service down; remote gets fail + retry
+)
+
+#: Kinds whose `severity` is a slowdown factor (must be >= 1).
+_DEGRADE_KINDS = frozenset({"ssd_degrade", "lustre_slowdown"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault window.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    at:
+        Simulation time (seconds) the fault strikes.
+    target:
+        What it strikes. Node kinds take a node id (``"node00"``) or a
+        node index as a string (``"0"``); ``lustre_slowdown`` takes
+        ``""`` (all servers), ``"mds"``, or ``"oss<i>"``.
+    duration:
+        Window length in seconds; the injector reverts the fault at
+        ``at + duration``.
+    severity:
+        Slowdown factor for the degrade kinds (>= 1); ignored otherwise.
+    """
+
+    kind: str
+    at: float
+    target: str = ""
+    duration: float = 0.0
+    severity: float = 1.0
+
+    @property
+    def until(self) -> float:
+        """End of the fault window."""
+        return self.at + self.duration
+
+    def validate(self) -> None:
+        """Raise :class:`FaultPlanError` on an invalid event."""
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                f"{', '.join(FAULT_KINDS)}"
+            )
+        if self.at < 0:
+            raise FaultPlanError(f"fault time must be >= 0, got {self.at}")
+        if self.duration <= 0:
+            raise FaultPlanError(
+                f"{self.kind}: duration must be positive, got {self.duration}"
+                " (permanent faults are expressed with a duration past the"
+                " planned horizon)"
+            )
+        if self.kind in _DEGRADE_KINDS and self.severity < 1.0:
+            raise FaultPlanError(
+                f"{self.kind}: severity is a slowdown factor and must be"
+                f" >= 1, got {self.severity}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, validated fault schedule for one run.
+
+    Attributes
+    ----------
+    events:
+        Scheduled fault windows (stored sorted by strike time).
+    transfer_fault_rate:
+        Probability in ``[0, 1)`` that any single DYAD remote-get attempt
+        fails (merged into the DYAD config's ``fault_rate`` by the
+        workflow runner).
+    max_events:
+        Stall-watchdog event budget for the guarded DES loop; ``None``
+        lets the runner derive one from the workload size.
+    max_time:
+        Stall-watchdog simulated-time horizon in seconds (``None`` = no
+        horizon).
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    transfer_fault_rate: float = 0.0
+    max_events: Optional[int] = None
+    max_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        events = tuple(sorted(self.events, key=lambda e: (e.at, e.kind, e.target)))
+        object.__setattr__(self, "events", events)
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`FaultPlanError` on any invalid aspect."""
+        for event in self.events:
+            event.validate()
+        if not 0.0 <= self.transfer_fault_rate < 1.0:
+            raise FaultPlanError(
+                "transfer_fault_rate must be in [0, 1), got "
+                f"{self.transfer_fault_rate}"
+            )
+        if self.max_events is not None and self.max_events < 1:
+            raise FaultPlanError("max_events must be >= 1")
+        if self.max_time is not None and self.max_time <= 0:
+            raise FaultPlanError("max_time must be positive")
+        # Overlapping windows of the same (kind, target) are ambiguous:
+        # the earlier revert would cancel the later fault mid-window.
+        last_end: Dict[Tuple[str, str], Tuple[float, FaultEvent]] = {}
+        for event in self.events:  # already sorted by strike time
+            key = (event.kind, event.target)
+            if key in last_end and event.at < last_end[key][0]:
+                raise FaultPlanError(
+                    f"overlapping {event.kind} windows on target "
+                    f"{event.target!r}: [{last_end[key][1].at}, "
+                    f"{last_end[key][0]}) and [{event.at}, {event.until})"
+                )
+            last_end[key] = (event.until, event)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the plan injects nothing (watchdog-only plans)."""
+        return not self.events and self.transfer_fault_rate == 0.0
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-compatible) for reports and persistence."""
+        return {
+            "events": [
+                {f.name: getattr(e, f.name) for f in fields(FaultEvent)}
+                for e in self.events
+            ],
+            "transfer_fault_rate": self.transfer_fault_rate,
+            "max_events": self.max_events,
+            "max_time": self.max_time,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            events=tuple(FaultEvent(**e) for e in data.get("events", ())),
+            transfer_fault_rate=data.get("transfer_fault_rate", 0.0),
+            max_events=data.get("max_events"),
+            max_time=data.get("max_time"),
+        )

@@ -54,7 +54,7 @@ from __future__ import annotations
 from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
-from repro.errors import DeadlockError, Interrupt, SimulationError
+from repro.errors import DeadlockError, Interrupt, SimulationError, StallError
 
 __all__ = ["Environment", "Event", "Timeout", "Process", "AllOf", "AnyOf"]
 
@@ -508,4 +508,48 @@ class Environment:
             if not event._ok and not event._defused:
                 raise event._value
         self._now = horizon
+        return None
+
+    def run_guarded(self, max_events: Optional[int] = None,
+                    max_time: Optional[float] = None) -> None:
+        """Run until no events remain, under a stall watchdog.
+
+        Faulty runs (see :mod:`repro.faults`) can deadlock or spin when a
+        recovery loop never converges — e.g. a retry storm with zero-delay
+        backoff, or a restore event that a buggy plan never schedules.
+        This loop dispatches events exactly like :meth:`run` (determinism
+        tests assert bit-identity) but raises a diagnosable
+        :class:`repro.errors.StallError` once ``max_events`` events have
+        been dispatched or the clock passes ``max_time``, instead of
+        spinning forever or silently returning incomplete results.
+
+        The guarded loop lives off the hot path on purpose: fault-free
+        campaigns keep the tuned :meth:`run` dispatch loop.
+        """
+        heap = self._heap
+        events = 0
+        while heap:
+            if max_time is not None and heap[0][0] > max_time:
+                raise StallError(
+                    f"stall watchdog: next event at t={heap[0][0]:.6g}s is "
+                    f"past the horizon of {max_time:.6g}s after {events} "
+                    f"events ({len(heap)} still scheduled) — recovery is "
+                    "not converging"
+                )
+            if max_events is not None and events >= max_events:
+                raise StallError(
+                    f"stall watchdog: event budget of {max_events} "
+                    f"exhausted at t={self._now:.6g}s "
+                    f"({len(heap)} still scheduled) — the run is spinning "
+                    "without completing"
+                )
+            events += 1
+            when, _prio, _seq, event = _heappop(heap)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None  # mark processed
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         return None

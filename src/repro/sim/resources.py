@@ -258,6 +258,21 @@ class SharedBandwidth:
             rate = min(rate, self.per_flow_cap)
         return rate
 
+    def set_bandwidth(self, bandwidth: float) -> None:
+        """Change the channel's total bandwidth, rescheduling live flows.
+
+        Used by the fault layer to model device/server degradation without
+        tearing down in-flight transfers: elapsed bytes are drained at the
+        old rate first, then every remaining flow is re-timed at the new
+        rate. Restoring the original value reverses the slowdown the same
+        way.
+        """
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self._advance()
+        self.bandwidth = float(bandwidth)
+        self._reschedule()
+
     def transfer(self, nbytes: float) -> Event:
         """Begin moving ``nbytes``; the returned event fires at completion."""
         if nbytes < 0:

@@ -142,6 +142,55 @@ class LustreServers:
             fabric.attach(server.node_id)
             self.oss.append(server)
         self.n_osts = self.config.n_oss * self.config.osts_per_oss
+        self.mds_factor = 1.0  # fault-injection slowdown on metadata service
+
+    # -- fault injection -----------------------------------------------------
+    def _fault_targets(self, target: str) -> tuple:
+        """Resolve a degrade/restore selector → (touch_mds, [oss indices])."""
+        if target == "":
+            return True, list(range(len(self.oss)))
+        if target == "mds":
+            return True, []
+        if target.startswith("oss"):
+            try:
+                index = int(target[3:])
+            except ValueError:
+                raise ConfigError(f"bad Lustre target {target!r}") from None
+            if not 0 <= index < len(self.oss):
+                raise ConfigError(f"no such OSS {target!r} (have {len(self.oss)})")
+            return False, [index]
+        raise ConfigError(f"bad Lustre target {target!r}")
+
+    def degrade(self, factor: float, target: str = "") -> None:
+        """Slow down servers by ``factor`` (fault injection).
+
+        ``target`` selects what degrades: ``""`` (all servers), ``"mds"``
+        (metadata service time multiplied), or ``"oss<i>"`` (that server's
+        disk channels throttled). Models an overloaded/failing appliance —
+        the shared-facility interference the paper's Lustre numbers are
+        exposed to at scale.
+        """
+        if factor < 1.0:
+            raise ValueError(f"degrade factor must be >= 1, got {factor}")
+        cfg = self.config
+        touch_mds, indices = self._fault_targets(target)
+        if touch_mds:
+            self.mds_factor = float(factor)
+        for i in indices:
+            server = self.oss[i]
+            server.write_disk.set_bandwidth(cfg.oss_write_bandwidth / factor)
+            server.read_disk.set_bandwidth(cfg.oss_read_bandwidth / factor)
+
+    def restore(self, target: str = "") -> None:
+        """Undo a prior :meth:`degrade` for ``target`` (same selectors)."""
+        cfg = self.config
+        touch_mds, indices = self._fault_targets(target)
+        if touch_mds:
+            self.mds_factor = 1.0
+        for i in indices:
+            server = self.oss[i]
+            server.write_disk.set_bandwidth(cfg.oss_write_bandwidth)
+            server.read_disk.set_bandwidth(cfg.oss_read_bandwidth)
 
     def oss_for_ost(self, ost_index: int) -> _OSS:
         """The OSS fronting a given OST (block assignment)."""
@@ -165,6 +214,8 @@ class LustreServers:
         start = self.env.now
         yield from self.fabric.message(client, self.mds_id)
         service = self._interfere("lustre.mds", self.config.mds_service)
+        if self.mds_factor != 1.0:
+            service *= self.mds_factor
         yield from self.mds.acquire(service)
         yield from self.fabric.message(self.mds_id, client)
         return self.env.now - start

@@ -14,6 +14,7 @@ runs every configuration 10 times) and returns the list of results.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -22,7 +23,8 @@ import numpy as np
 from repro.cluster.corona import corona
 from repro.dyad.config import DyadConfig
 from repro.dyad.service import DyadRuntime
-from repro.errors import WorkflowError
+from repro.errors import StallError, WorkflowError
+from repro.faults.plan import FaultPlan
 from repro.perf.caliper import Caliper, Category
 from repro.perf.calltree import CallTree
 from repro.perf.thicket import Thicket
@@ -106,6 +108,17 @@ class WorkflowResult:
         return ensemble
 
 
+def _default_event_budget(spec: WorkflowSpec) -> int:
+    """Stall-watchdog event budget scaled to the workload size.
+
+    A healthy run dispatches a few hundred events per frame per pair;
+    20k leaves two orders of magnitude of headroom for retry storms and
+    degraded windows while still tripping long before a spin becomes a
+    multi-minute hang.
+    """
+    return 1_000_000 + 20_000 * spec.frames * spec.pairs
+
+
 def run_workflow(
     spec: WorkflowSpec,
     seed: int = 0,
@@ -115,6 +128,7 @@ def run_workflow(
     xfs_config: Optional[XFSConfig] = None,
     lustre_config: Optional[LustreConfig] = None,
     trace: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> WorkflowResult:
     """Run one workflow configuration on a fresh simulated cluster.
 
@@ -124,6 +138,12 @@ def run_workflow(
     With ``trace=True`` the result additionally carries a
     :class:`~repro.perf.trace.Tracer` with the full region timeline
     (Chrome-trace exportable).
+
+    ``fault_plan`` injects scheduled/probabilistic faults (see
+    :mod:`repro.faults`) and switches the DES loop to the guarded variant:
+    a run whose recovery deadlocks or spins raises
+    :class:`~repro.errors.StallError` naming the stuck processes instead
+    of hanging or returning silently-incomplete metrics.
     """
     cluster = corona(nodes=spec.nodes_required, seed=seed, jitter_cv=jitter_cv)
     env = cluster.env
@@ -143,44 +163,94 @@ def run_workflow(
         cluster.node(pn).claim_gpu()
         cluster.node(cn).claim_gpu()
 
+    runtime = None
+    servers = None
+    consumers: List = []
+    processes: List = []  # (role, Process) for stall diagnostics
     if spec.system is System.DYAD:
-        runtime = DyadRuntime(cluster, config=dyad_config)
+        config = dyad_config
+        if fault_plan is not None and fault_plan.transfer_fault_rate > 0.0:
+            # Merge the plan's probabilistic transfer faults into the DYAD
+            # config (the plan wins; an explicit config fault_rate of the
+            # same value is a no-op replace and keys identically).
+            config = dataclasses.replace(
+                config or DyadConfig(),
+                fault_rate=fault_plan.transfer_fault_rate,
+            )
+        runtime = DyadRuntime(cluster, config=config)
         for pair, (pn, cn) in enumerate(placements):
             producer = runtime.producer(cluster.node(pn).node_id, f"prod{pair}")
             consumer = runtime.consumer(cluster.node(cn).node_id, f"cons{pair}")
-            env.process(
+            consumers.append(consumer)
+            processes.append((f"producer{pair}", env.process(
                 emulator.dyad_producer(
                     env, spec, producer, producer_anns[pair], pair, compute
                 )
-            )
-            env.process(
+            )))
+            processes.append((f"consumer{pair}", env.process(
                 emulator.dyad_consumer(
                     env, spec, consumer, consumer_anns[pair], pair, compute
                 )
-            )
+            )))
     elif spec.system is System.XFS:
         fs = XFSFileSystem(cluster.node(0), config=xfs_config)
         fs.makedirs("/data")
-        _spawn_posix(
+        processes = _spawn_posix(
             env, spec, fs, cluster, placements, producer_anns, consumer_anns, compute
         )
     elif spec.system is System.LUSTRE:
         servers = LustreServers(env, cluster.fabric, lustre_config, cluster.rng)
         fs = LustreFileSystem(servers)
         fs.makedirs("/data")
-        _spawn_posix(
+        processes = _spawn_posix(
             env, spec, fs, cluster, placements, producer_anns, consumer_anns, compute
         )
     else:  # pragma: no cover - enum is exhaustive
         raise WorkflowError(f"unknown system {spec.system!r}")
 
-    env.run()
+    injector = None
+    if fault_plan is None:
+        env.run()
+    else:
+        from repro.faults.inject import FaultInjector
+
+        injector = FaultInjector(
+            fault_plan, cluster, dyad=runtime, lustre=servers
+        )
+        injector.start()
+        env.run_guarded(
+            max_events=fault_plan.max_events or _default_event_budget(spec),
+            max_time=fault_plan.max_time,
+        )
+        # The guarded loop returning is necessary but not sufficient: a
+        # recovery deadlock (e.g. a consumer parked on a link that never
+        # came back) drains the heap with processes still waiting, which
+        # run() would silently accept and report as a short makespan.
+        stuck = [role for role, proc in processes if proc.is_alive]
+        if stuck:
+            raise StallError(
+                f"workflow ended at t={env.now:.6g}s with "
+                f"{len(stuck)} process(es) still waiting: "
+                f"{', '.join(stuck)} — the fault plan's recovery never "
+                "completed"
+            )
+        # Recovery correctness: every frame must have arrived despite the
+        # injected faults (the retry loop re-requests lost frames).
+        for pair, consumer in enumerate(consumers):
+            got = consumer.fast_hits + consumer.kvs_waits
+            if got != spec.frames:
+                raise WorkflowError(
+                    f"consumer{pair} completed {got} of {spec.frames} "
+                    "frames despite finishing — recovery accounting is "
+                    "inconsistent"
+                )
     fabric = cluster.fabric
     system_stats = {
         "fabric_transfers": float(fabric.stats.transfers),
         "fabric_rdma_transfers": float(fabric.stats.rdma_transfers),
         "fabric_messages": float(fabric.stats.messages),
         "fabric_bytes_moved": float(fabric.stats.bytes_moved),
+        "fabric_link_stalls": float(fabric.stats.link_stalls),
         "ssd_bytes_written": float(
             sum(node.ssd.stats.bytes_written for node in cluster.nodes)
         ),
@@ -188,6 +258,25 @@ def run_workflow(
             sum(node.ssd.stats.bytes_read for node in cluster.nodes)
         ),
     }
+    if runtime is not None:
+        system_stats.update({
+            "dyad_kvs_waits": float(sum(c.kvs_waits for c in consumers)),
+            "dyad_fast_hits": float(sum(c.fast_hits for c in consumers)),
+            "dyad_cache_hits": float(sum(c.cache_hits for c in consumers)),
+            "dyad_transfer_retries": float(
+                sum(c.transfer_retries for c in consumers)
+            ),
+            "dyad_transport_faults": float(runtime.rdma.faults_injected),
+            "dyad_service_crashes": float(
+                sum(s.crashes for s in runtime.services.values())
+            ),
+            "dyad_refused_gets": float(
+                sum(s.refused_gets for s in runtime.services.values())
+            ),
+        })
+    if injector is not None:
+        system_stats["faults_applied"] = float(injector.applied)
+        system_stats["faults_reverted"] = float(injector.reverted)
     return WorkflowResult(
         spec=spec,
         seed=seed,
@@ -204,31 +293,34 @@ def _spawn_posix(env, spec, fs, cluster, placements, producer_anns, consumer_ann
     """Spawn traditional producer/consumer pairs with per-pair barriers.
 
     The subdirectory tree is created up front (the paper's harness sets up
-    its staging directories before the timed phase)."""
+    its staging directories before the timed phase). Returns the spawned
+    ``(role, Process)`` pairs for stall diagnostics."""
+    processes = []
     for pair in range(spec.pairs):
         fs.makedirs(f"/data/pair{pair:04d}")
     for pair, (pn, cn) in enumerate(placements):
         barrier = Signal(env)
-        env.process(
+        processes.append((f"producer{pair}", env.process(
             emulator.posix_producer(
                 env, spec, fs, cluster.node(pn).node_id, barrier,
                 producer_anns[pair], pair, compute=compute,
             )
-        )
+        )))
         if spec.sync_mode is SyncMode.POLLING:
-            env.process(
+            processes.append((f"consumer{pair}", env.process(
                 emulator.posix_consumer_polling(
                     env, spec, fs, cluster.node(cn).node_id,
                     consumer_anns[pair], pair, compute=compute,
                 )
-            )
+            )))
         else:
-            env.process(
+            processes.append((f"consumer{pair}", env.process(
                 emulator.posix_consumer(
                     env, spec, fs, cluster.node(cn).node_id, barrier,
                     consumer_anns[pair], pair, compute=compute,
                 )
-            )
+            )))
+    return processes
 
 
 def run_repetitions(
@@ -239,13 +331,14 @@ def run_repetitions(
     jobs: Optional[int] = None,
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
+    fault_plan: Optional[FaultPlan] = None,
     **system_configs,
 ) -> List[WorkflowResult]:
     """Run ``runs`` repetitions with distinct seeds (paper: 10 runs).
 
     Each repetition is a pure function of ``(spec, seed, jitter_cv,
-    system_configs)``, so the set fans out across ``jobs`` worker
-    processes (default: ``REPRO_JOBS`` or the enclosing
+    fault_plan, system_configs)``, so the set fans out across ``jobs``
+    worker processes (default: ``REPRO_JOBS`` or the enclosing
     :func:`repro.experiments.parallel.campaign` scope, else serial) and
     can be memoized in the on-disk result cache (``use_cache``). Results
     are ordered by repetition index and bit-identical to a serial,
@@ -260,7 +353,7 @@ def run_repetitions(
     tasks = [
         RunTask(
             spec=spec, seed=base_seed + 1000 * r, jitter_cv=jitter_cv,
-            system_configs=system_configs,
+            system_configs=system_configs, fault_plan=fault_plan,
         )
         for r in range(runs)
     ]

@@ -1,0 +1,202 @@
+"""FaultInjector: plans become live, reversible substrate faults."""
+
+import pytest
+
+from repro.dyad.service import DyadRuntime
+from repro.errors import FaultPlanError, TransferError
+from repro.faults import FaultEvent, FaultInjector, FaultPlan
+from repro.storage.lustre import LustreServers
+
+JAC_FRAME = 1_555_200
+
+
+def _sample(env, at, probe, out):
+    """Process: record ``probe()`` into ``out`` at simulated time ``at``."""
+    yield env.timeout(at - env.now)
+    out.append(probe())
+
+
+# ---------------------------------------------------------------------------
+# apply/revert per kind
+# ---------------------------------------------------------------------------
+
+
+def test_link_flap_window(two_node_cluster):
+    cluster = two_node_cluster
+    plan = FaultPlan(events=(
+        FaultEvent("link_flap", at=1.0, target="1", duration=2.0),
+    ))
+    injector = FaultInjector(plan, cluster)
+    injector.start()
+    seen = []
+    probe = lambda: cluster.fabric.link_is_down("node01")
+    cluster.env.process(_sample(cluster.env, 0.5, probe, seen))
+    cluster.env.process(_sample(cluster.env, 2.0, probe, seen))
+    cluster.env.process(_sample(cluster.env, 3.5, probe, seen))
+    cluster.env.run()
+    assert seen == [False, True, False]
+    assert injector.applied == 1
+    assert injector.reverted == 1
+
+
+def test_link_flap_stalls_traffic_until_restore(two_node_cluster):
+    cluster = two_node_cluster
+    env = cluster.env
+    plan = FaultPlan(events=(
+        FaultEvent("link_flap", at=0.0, target="0", duration=3.0),
+    ))
+    FaultInjector(plan, cluster).start()
+
+    def pull():
+        yield from cluster.fabric.rdma_get("node01", "node00", JAC_FRAME)
+
+    proc = env.process(pull())
+    env.run(proc)
+    # stalled (not failed) until the restore at t=3, then transferred
+    assert env.now > 3.0
+    assert cluster.fabric.stats.link_stalls == 1
+    assert cluster.fabric.stats.rdma_transfers == 1
+
+
+def test_ssd_degrade_window(two_node_cluster):
+    cluster = two_node_cluster
+    ssd = cluster.node(1).ssd
+    plan = FaultPlan(events=(
+        FaultEvent("ssd_degrade", at=1.0, target="1", duration=1.0,
+                   severity=4.0),
+    ))
+    FaultInjector(plan, cluster).start()
+    seen = []
+    cluster.env.process(_sample(cluster.env, 1.5, lambda: ssd.degraded, seen))
+    cluster.env.run()
+    assert seen == [4.0]
+    assert ssd.degraded == 1.0  # reverted
+    assert cluster.node(0).ssd.degraded == 1.0  # untouched
+
+
+def test_dyad_crash_window(two_node_cluster):
+    cluster = two_node_cluster
+    runtime = DyadRuntime(cluster)
+    service = runtime.service("node00")
+    plan = FaultPlan(events=(
+        FaultEvent("dyad_crash", at=1.0, target="node00", duration=0.5),
+    ))
+    FaultInjector(plan, cluster, dyad=runtime).start()
+    seen = []
+    cluster.env.process(
+        _sample(cluster.env, 1.25, lambda: service.crashed, seen)
+    )
+    cluster.env.run()
+    assert seen == [True]
+    assert not service.crashed
+    assert service.crashes == 1
+
+
+def test_crashed_service_refuses_gets(two_node_cluster, run_process):
+    cluster = two_node_cluster
+    runtime = DyadRuntime(cluster)
+    producer = runtime.producer("node00", "p")
+    consumer = runtime.consumer("node01", "c")
+    run_process(cluster.env, producer.produce("/dyad/f", JAC_FRAME))
+    runtime.service("node00").crash()
+
+    def consume():
+        with pytest.raises(TransferError, match="service is down"):
+            yield from consumer.consume("/dyad/f")
+
+    run_process(cluster.env, consume())
+    assert runtime.service("node00").refused_gets > 0
+    assert consumer.transfer_retries == runtime.config.max_transfer_retries
+
+
+def test_node_crash_takes_link_and_service(two_node_cluster):
+    cluster = two_node_cluster
+    runtime = DyadRuntime(cluster)
+    service = runtime.service("node00")
+    plan = FaultPlan(events=(
+        FaultEvent("node_crash", at=1.0, target="0", duration=1.0),
+    ))
+    FaultInjector(plan, cluster, dyad=runtime).start()
+    seen = []
+    probe = lambda: (cluster.fabric.link_is_down("node00"), service.crashed)
+    cluster.env.process(_sample(cluster.env, 1.5, probe, seen))
+    cluster.env.run()
+    assert seen == [(True, True)]
+    assert not cluster.fabric.link_is_down("node00")
+    assert not service.crashed
+
+
+def test_node_crash_without_dyad_is_link_only(two_node_cluster):
+    cluster = two_node_cluster
+    plan = FaultPlan(events=(
+        FaultEvent("node_crash", at=1.0, target="0", duration=1.0),
+    ))
+    injector = FaultInjector(plan, cluster)
+    injector.start()
+    cluster.env.run()
+    assert injector.applied == injector.reverted == 1
+
+
+def test_lustre_slowdown_window(two_node_cluster):
+    cluster = two_node_cluster
+    servers = LustreServers(cluster.env, cluster.fabric)
+    plan = FaultPlan(events=(
+        FaultEvent("lustre_slowdown", at=1.0, target="", duration=1.0,
+                   severity=3.0),
+    ))
+    FaultInjector(plan, cluster, lustre=servers).start()
+    seen = []
+    cluster.env.process(
+        _sample(cluster.env, 1.5, lambda: servers.mds_factor, seen)
+    )
+    cluster.env.run()
+    assert seen == [3.0]
+    assert servers.mds_factor == 1.0
+
+
+# ---------------------------------------------------------------------------
+# eager target validation: bad plans fail before the simulation starts
+# ---------------------------------------------------------------------------
+
+
+def test_node_index_out_of_range_fails_fast(two_node_cluster):
+    plan = FaultPlan(events=(
+        FaultEvent("link_flap", at=0.0, target="7", duration=1.0),
+    ))
+    with pytest.raises(FaultPlanError, match="out of range"):
+        FaultInjector(plan, two_node_cluster)
+
+
+def test_unknown_node_id_fails_fast(two_node_cluster):
+    plan = FaultPlan(events=(
+        FaultEvent("link_flap", at=0.0, target="node99", duration=1.0),
+    ))
+    with pytest.raises(FaultPlanError, match="no node"):
+        FaultInjector(plan, two_node_cluster)
+
+
+def test_dyad_crash_without_runtime_fails_fast(two_node_cluster):
+    plan = FaultPlan(events=(
+        FaultEvent("dyad_crash", at=0.0, target="0", duration=1.0),
+    ))
+    with pytest.raises(FaultPlanError, match="no DYAD runtime"):
+        FaultInjector(plan, two_node_cluster)
+
+
+def test_lustre_slowdown_without_servers_fails_fast(two_node_cluster):
+    plan = FaultPlan(events=(
+        FaultEvent("lustre_slowdown", at=0.0, duration=1.0, severity=2.0),
+    ))
+    with pytest.raises(FaultPlanError, match="no Lustre"):
+        FaultInjector(plan, two_node_cluster)
+
+
+def test_bad_lustre_selector_fails_fast(two_node_cluster):
+    cluster = two_node_cluster
+    servers = LustreServers(cluster.env, cluster.fabric)
+    plan = FaultPlan(events=(
+        FaultEvent("lustre_slowdown", at=0.0, target="ost3", duration=1.0,
+                   severity=2.0),
+    ))
+    with pytest.raises(Exception, match="bad Lustre target"):
+        FaultInjector(plan, cluster, lustre=servers)
