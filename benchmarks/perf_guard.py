@@ -1,0 +1,66 @@
+"""CI perf-guard: fail on a >20% contended-kernel throughput regression.
+
+Run after ``benchmarks/test_campaign.py`` has written
+``BENCH_campaign.json``::
+
+    python benchmarks/perf_guard.py
+
+Compares the measured ``kernel.contended_events_per_sec`` against
+``benchmarks/baseline_campaign.json`` and exits non-zero when the
+measured rate falls below ``(1 - TOLERANCE)`` of the baseline. The
+tolerance absorbs run-to-run noise on shared CI runners; a genuine
+kernel regression (the naive channel coming back, a hot-path
+deoptimization) loses far more than 20%.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Allowed fractional shortfall vs the recorded baseline.
+TOLERANCE = 0.20
+
+
+def check(bench_path: pathlib.Path, baseline_path: pathlib.Path,
+          tolerance: float = TOLERANCE) -> int:
+    """Return 0 when within budget, 1 on regression. Prints a verdict."""
+    bench = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    measured = bench["kernel"]["contended_events_per_sec"]
+    recorded = baseline["contended_events_per_sec"]
+    floor = (1.0 - tolerance) * recorded
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(
+        f"perf-guard [{verdict}]: contended_events_per_sec = "
+        f"{measured:,.0f} (baseline {recorded:,.0f}, "
+        f"floor {floor:,.0f} = baseline - {tolerance:.0%})"
+    )
+    if measured < floor:
+        print(
+            "perf-guard: the contended kernel benchmark regressed more "
+            "than the tolerated noise band. If the slowdown is intended, "
+            "refresh benchmarks/baseline_campaign.json in the same PR "
+            "and explain why in docs/performance.md."
+        )
+        return 1
+    return 0
+
+
+def main(argv: list | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    bench = pathlib.Path(argv[0]) if argv else ROOT / "BENCH_campaign.json"
+    baseline = (pathlib.Path(argv[1]) if len(argv) > 1
+                else ROOT / "benchmarks" / "baseline_campaign.json")
+    if not bench.exists():
+        print(f"perf-guard: {bench} not found — run "
+              "`python -m pytest benchmarks/test_campaign.py` first")
+        return 2
+    return check(bench, baseline)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,34 +5,45 @@ module tracks the performance of the campaign engine itself and emits a
 machine-readable ``BENCH_campaign.json`` at the repository root:
 
 - ``kernel``: DES events/second on the timeout-dominated and the
-  resource-contended workloads, compared against the recorded
-  pre-optimization baseline in ``benchmarks/baseline_campaign.json``;
+  channel-contended (64 concurrent flows per fluid channel) workloads,
+  compared against the recorded baseline in
+  ``benchmarks/baseline_campaign.json`` *and* against the retained naive
+  reference channel on the identical workload (a machine-noise-immune
+  speedup measurement);
 - ``campaign``: wall time of a representative repetition campaign run
-  serially vs. fanned out over 4 worker processes (plus a bit-identity
+  serially vs. fanned out over worker processes (plus a bit-identity
   check between the two);
 - ``cache``: cold vs. warm wall time through the on-disk result cache.
 
 Numbers are recorded honestly for whatever machine runs the suite —
 ``cpu_count`` is part of the payload because the parallel speedup is
-bounded by it (on a 1-core container ``jobs=4`` cannot beat serial).
-Thresholds are asserted only under ``REPRO_BENCH_STRICT=1``, which is
-meant for the hardware class the baseline was recorded on.
+bounded by it: on a box with fewer cores than requested jobs the
+``campaign`` section reports ``parallel_speedup: null`` and
+``speedup_target_applies: false`` instead of a misleading ratio (a
+1-core container running 4 workers measures ~0.5× "speedup" that says
+nothing about the engine). Thresholds are asserted only under
+``REPRO_BENCH_STRICT=1``, which is meant for the hardware class the
+baseline was recorded on; CI's cross-machine gate is
+``benchmarks/perf_guard.py``.
 """
 
 import json
 import os
 import pathlib
+import random
 import time
 
 import pytest
 
 from repro.experiments.parallel import (
     RunTask,
+    default_jobs,
     result_fingerprint,
     run_campaign,
 )
-from repro.sim.core import Environment
-from repro.sim.resources import Resource
+from repro.sim.core import Environment, Event
+from repro.sim.reference import ReferenceSharedBandwidth
+from repro.sim.resources import SharedBandwidth
 from repro.workflow.spec import Placement, System, WorkflowSpec
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
@@ -54,7 +65,10 @@ def emit_bench_json():
     """Write whatever was measured, even if a later test fails."""
     yield
     payload = {
-        "schema": 1,
+        # 2: contended workload became the 64-flow channel fan-out;
+        #    campaign section gained jobs_requested/jobs_effective and a
+        #    null speedup in the degenerate (clamped) case.
+        "schema": 2,
         "cpu_count": os.cpu_count(),
         "python": ".".join(map(str, __import__("sys").version_info[:3])),
         "strict": STRICT,
@@ -94,28 +108,62 @@ def timeout_workload(n_procs=64, per_proc=2000):
     return n_procs * per_proc
 
 
-def contended_workload(n_procs=32, per_proc=500):
-    """Acquire/release churn through a contended FIFO resource."""
+def _channel_fanout(cls, flows=64, rounds=300):
+    """High-fan-out contention: ``flows`` concurrent transfers per channel.
+
+    One driver bursts 64 mixed-size transfers into a single fluid-flow
+    channel and waits for the round to drain, 300 times — the arrival
+    pattern of a many-pair fan-out hammering one OSS/NIC (Figs. 7/8/12 at
+    scale). Returns the number of kernel events dispatched (``env._seq``),
+    so the rate is comparable across channel implementations: both
+    schedule the identical event timeline.
+    """
     env = Environment()
-    res = Resource(env, 4)
+    chan = cls(env, bandwidth=1e9)
+    rng = random.Random(42)
+    sizes = [rng.choice((1e5, 1e6, 5e6, 2e7)) for _ in range(flows)]
 
-    def worker():
-        for _ in range(per_proc):
-            yield from res.acquire(0.001)
+    def driver():
+        for _ in range(rounds):
+            gate = Event(env)
+            left = [flows]
 
-    for _ in range(n_procs):
-        env.process(worker())
+            def _done(_ev, gate=gate, left=left):
+                left[0] -= 1
+                if not left[0]:
+                    gate.succeed(None)
+
+            for size in sizes:
+                chan.transfer(size).callbacks.append(_done)
+            yield gate
+
+    env.process(driver())
     env.run()
-    return n_procs * per_proc
+    return env._seq
+
+
+def contended_workload():
+    """The production virtual-time channel under 64-flow contention."""
+    return _channel_fanout(SharedBandwidth)
+
+
+def reference_contended_workload():
+    """The retained naive O(n²) channel on the identical workload."""
+    return _channel_fanout(ReferenceSharedBandwidth)
 
 
 def test_kernel_throughput_vs_baseline():
     baseline = json.loads(BASELINE_PATH.read_text())
     timeout_rate = best_rate(timeout_workload)
-    contended_rate = best_rate(contended_workload)
+    contended_rate = best_rate(contended_workload, repeats=7)
+    reference_rate = best_rate(reference_contended_workload, repeats=3)
     RESULTS["kernel"] = {
         "timeout_events_per_sec": round(timeout_rate, 1),
         "contended_events_per_sec": round(contended_rate, 1),
+        "reference_contended_events_per_sec": round(reference_rate, 1),
+        # same workload, same machine, same minute: immune to box noise
+        "channel_speedup_vs_reference": round(
+            contended_rate / reference_rate, 2),
         "baseline_timeout_events_per_sec": baseline["timeout_events_per_sec"],
         "baseline_contended_events_per_sec": baseline["contended_events_per_sec"],
         "timeout_speedup_vs_baseline": round(
@@ -125,6 +173,9 @@ def test_kernel_throughput_vs_baseline():
         "speedup_target": KERNEL_SPEEDUP_TARGET,
     }
     assert timeout_rate > 0 and contended_rate > 0
+    assert contended_rate > reference_rate, (
+        "virtual-time channel slower than the naive reference"
+    )
     if STRICT:
         assert timeout_rate >= KERNEL_SPEEDUP_TARGET * baseline[
             "timeout_events_per_sec"]
@@ -150,28 +201,41 @@ def campaign_tasks(seeds=10):
     ]
 
 
-def test_campaign_serial_vs_parallel():
+def test_campaign_serial_vs_parallel(monkeypatch):
     tasks = campaign_tasks()
+    jobs_requested = 4
+    jobs_effective = default_jobs(jobs_requested)  # clamped to cpu_count
+    # Fewer than 2 effective workers means fan-out cannot help here: a
+    # measured "speedup" would only describe spawn overhead, so it is
+    # reported as null. The pooled run still executes (with the clamp
+    # lifted) because the bit-identity guarantee must hold on every box.
+    degenerate = jobs_effective < 2
+    if degenerate:
+        monkeypatch.setenv("REPRO_JOBS_OVERSUBSCRIBE", "1")
     t0 = time.perf_counter()
     serial = run_campaign(tasks, jobs=1)
     serial_s = time.perf_counter() - t0
     t0 = time.perf_counter()
-    parallel = run_campaign(tasks, jobs=4)
+    parallel = run_campaign(tasks, jobs=jobs_requested)
     parallel_s = time.perf_counter() - t0
     identical = ([result_fingerprint(r) for r in serial]
                  == [result_fingerprint(r) for r in parallel])
     RESULTS["campaign"] = {
         "tasks": len(tasks),
-        "jobs": 4,
+        "jobs_requested": jobs_requested,
+        "jobs_effective": jobs_effective,
         "serial_seconds": round(serial_s, 3),
         "parallel_seconds": round(parallel_s, 3),
-        "parallel_speedup": round(serial_s / parallel_s, 3),
+        "parallel_speedup": (None if degenerate
+                             else round(serial_s / parallel_s, 3)),
         "parallel_bit_identical_to_serial": identical,
         "speedup_target": CAMPAIGN_SPEEDUP_TARGET,
-        "speedup_target_applies": (os.cpu_count() or 1) >= 4,
+        "speedup_target_applies": jobs_effective >= 4,
     }
-    assert identical, "jobs=4 diverged from the serial campaign"
-    if STRICT and (os.cpu_count() or 1) >= 4:
+    assert identical, (
+        f"jobs={jobs_requested} diverged from the serial campaign"
+    )
+    if STRICT and jobs_effective >= 4:
         assert serial_s / parallel_s >= CAMPAIGN_SPEEDUP_TARGET
 
 

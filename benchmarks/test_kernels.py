@@ -6,11 +6,13 @@ frame codec, the LJ engine), so regressions in the simulator itself are
 visible separately from changes in the modelled systems.
 """
 
+import random
+
 import numpy as np
 
 from repro.md.engine import LJConfig, LJSimulation
 from repro.md.frame import Frame
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Event
 from repro.sim.resources import Resource, SharedBandwidth
 
 
@@ -71,6 +73,46 @@ def test_shared_bandwidth_recompute_cost(benchmark):
         return len(finished)
 
     assert benchmark(run_flows) == 500
+
+
+def test_shared_bandwidth_high_fanout_64_flows(benchmark):
+    """64 concurrent flows per channel — the contention hot path.
+
+    Bursts of 64 mixed-size transfers into one channel, round after
+    round: the arrival pattern of a many-pair fan-out hammering a single
+    OSS/NIC (Figs. 7/8/12 at scale). This is the workload the
+    virtual-time rewrite targets; the naive O(n²) channel re-timed all
+    64 flows on every arrival and completion.
+    """
+
+    flows, rounds = 64, 40
+    rng = random.Random(42)
+    sizes = [rng.choice((1e5, 1e6, 5e6, 2e7)) for _ in range(flows)]
+
+    def run_fanout():
+        env = Environment()
+        chan = SharedBandwidth(env, 1e9)
+
+        def driver():
+            for _ in range(rounds):
+                gate = Event(env)
+                left = [flows]
+
+                def _done(_ev, gate=gate, left=left):
+                    left[0] -= 1
+                    if not left[0]:
+                        gate.succeed(None)
+
+                for size in sizes:
+                    chan.transfer(size).callbacks.append(_done)
+                yield gate
+
+        env.process(driver())
+        env.run()
+        return chan.bytes_moved
+
+    moved = benchmark(run_fanout)
+    assert moved == rounds * sum(sizes)
 
 
 def test_frame_codec_encode(benchmark):

@@ -95,6 +95,11 @@ class NIC:
         """In-flight flows touching this NIC (either direction)."""
         return self.egress.active_flows + self.ingress.active_flows
 
+    def channels(self):
+        """Both direction channels, for kernel-health aggregation."""
+        yield self.egress
+        yield self.ingress
+
 
 class FabricStats:
     """Lifetime transfer counters."""
@@ -150,6 +155,13 @@ class Fabric:
     def path_latency(self) -> float:
         """Base node-to-node wire latency (before jitter)."""
         return self.config.hop_latency * self.config.hops
+
+    def channels(self):
+        """Every fluid-flow channel in the fabric (NICs + bisection)."""
+        for nic in self._nics.values():
+            yield from nic.channels()
+        if self._bisection is not None:
+            yield self._bisection
 
     # -- fault injection --------------------------------------------------------
     def link_is_down(self, node_id: str) -> bool:

@@ -103,6 +103,11 @@ class SSDModel:
         self._degraded = 1.0
         self.stats = SSDStats()
 
+    def channels(self):
+        """Both device channels, for kernel-health aggregation."""
+        yield self._read_chan
+        yield self._write_chan
+
     # -- fault injection -----------------------------------------------------
     @property
     def degraded(self) -> float:

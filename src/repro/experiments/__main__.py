@@ -37,20 +37,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="output path for 'report'")
     parser.add_argument("--svg-dir", default=None,
                         help="also render the figure's panels as SVG files")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap the run in cProfile: print the top "
+                             "cumulative hot spots and write profile.pstats "
+                             "(forces --jobs 1 so the simulation itself is "
+                             "what gets measured)")
+    parser.add_argument("--profile-top", type=int, default=25,
+                        metavar="N",
+                        help="how many hot spots --profile prints "
+                             "(default: 25)")
     return parser
 
 
-def main(argv=None) -> int:
-    """Entry point."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    if args.jobs is not None and args.jobs < 1:
-        parser.error(f"argument --jobs: must be >= 1, got {args.jobs}")
-    if args.experiment == "list":
-        for name, module in EXPERIMENTS.items():
-            doc = (module.__doc__ or "").strip().splitlines()[0]
-            print(f"{name:8s} {doc}")
-        return 0
+def _dispatch(args) -> int:
+    """Run the selected experiment under the campaign scope."""
     from repro.experiments.parallel import campaign
 
     # Campaign-style invocations default to the cache ON (re-runs skip
@@ -80,6 +80,55 @@ def main(argv=None) -> int:
         for path in save_figure_svg(result, args.svg_dir):
             print(f"wrote {path}")
     return 0
+
+
+def _profiled_dispatch(args) -> int:
+    """Run :func:`_dispatch` under cProfile; report hot spots.
+
+    Perf PRs should start from this output, not from guesses: the stats
+    land in ``profile.pstats`` (browsable with ``python -m pstats`` or
+    snakeviz) and the top-N cumulative entries are printed directly.
+    """
+    import cProfile
+    import pstats
+
+    # Worker processes would hide the simulation from the profiler; the
+    # serial path computes the same results (bit-identical, see
+    # repro.experiments.parallel) in one profilable process.
+    if args.jobs is not None and args.jobs != 1:
+        print("--profile forces --jobs 1 (workers are not profiled)")
+    args.jobs = 1
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = _dispatch(args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler)
+        stats.dump_stats("profile.pstats")
+        print(f"\n-- top {args.profile_top} cumulative hot spots "
+              "(full data: profile.pstats) --")
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+    return status
+
+
+def main(argv=None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"argument --jobs: must be >= 1, got {args.jobs}")
+    if args.profile_top < 1:
+        parser.error(f"argument --profile-top: must be >= 1, "
+                     f"got {args.profile_top}")
+    if args.experiment == "list":
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {doc}")
+        return 0
+    if args.profile:
+        return _profiled_dispatch(args)
+    return _dispatch(args)
 
 
 if __name__ == "__main__":

@@ -84,7 +84,15 @@ class RunTask:
 
 
 def default_jobs(override: Optional[int] = None) -> int:
-    """Resolve the worker count: explicit > campaign scope > env > 1."""
+    """Resolve the worker count: explicit > campaign scope > env > 1.
+
+    Whatever the source, the result is clamped to ``os.cpu_count()``:
+    every worker is a CPU-bound pure-Python simulator, so oversubscribing
+    cores only adds scheduling churn and spawn overhead (a 4-worker
+    campaign on a 1-CPU box measured *slower* than serial). Set
+    ``REPRO_JOBS_OVERSUBSCRIBE=1`` to skip the clamp — the worker-fault
+    tests use it to get real worker processes regardless of box size.
+    """
     if override is None:
         override = _SCOPED["jobs"]
     if override is None:
@@ -92,6 +100,10 @@ def default_jobs(override: Optional[int] = None) -> int:
     jobs = int(override)
     if jobs < 1:
         raise ReproError(f"jobs must be >= 1, got {jobs}")
+    if os.environ.get("REPRO_JOBS_OVERSUBSCRIBE", "0") != "1":
+        cpus = os.cpu_count() or 1
+        if jobs > cpus:
+            jobs = cpus
     return jobs
 
 

@@ -212,7 +212,8 @@ def load_campaign(directory) -> Dict[str, FigureResult]:
 #: Bump to invalidate every cached repetition (e.g. after a change to the
 #: WorkflowResult layout that keeps the package version constant).
 #: 2: system_stats gained DYAD/fault counters; keys gained the fault plan.
-_CACHE_SCHEMA = 2
+#: 3: system_stats gained the channel_* kernel-health counters.
+_CACHE_SCHEMA = 3
 
 
 def default_cache_root() -> str:

@@ -37,6 +37,16 @@ entries unique, so the trailing event object is never compared. All of this
 preserves the exact event ordering of the straightforward implementation —
 the determinism tests assert serial/parallel/optimized runs are bit-identical.
 
+Scheduled events support *lazy cancellation* (:meth:`Event.cancel`): the
+heap entry stays in place, but the dispatcher skips it without invoking
+callbacks. Removing an arbitrary entry from a binary heap is O(n); the
+lazy scheme makes cancellation O(1) at the cost of a single ``is None``
+test per dispatched event. The virtual-time bandwidth channels
+(:class:`repro.sim.resources.SharedBandwidth`) rely on this to retire a
+stale wake-up whenever their flow set changes — previously every such
+re-schedule orphaned a live :class:`Timeout` whose callback still fired,
+only to discover its epoch was stale.
+
 Failure semantics
 -----------------
 A *failed* event must never vanish silently. When a failed event is
@@ -134,6 +144,24 @@ class Event:
         self._value = exception
         self.env._schedule(self, delay=delay)
         return self
+
+    def cancel(self) -> bool:
+        """Lazily cancel a triggered-but-unprocessed event.
+
+        The heap entry stays where it is; the dispatcher skips it without
+        invoking callbacks (the event then reads as *processed*). Only
+        valid for events nobody waits on — cancelling an event with
+        registered waiters would strand them, so the owner must guarantee
+        it holds the only interest (the bandwidth channels' internal
+        wake-ups satisfy this by construction). Returns ``True`` if the
+        event was live, ``False`` if it had already been processed.
+        """
+        if self._value is _PENDING:
+            raise SimulationError("cannot cancel an untriggered event")
+        if self.callbacks is None:
+            return False
+        self.callbacks = None
+        return True
 
     def __repr__(self) -> str:
         state = (
@@ -438,8 +466,9 @@ class Environment:
             raise SimulationError("event scheduled in the past")
         self._now = when
         callbacks = event.callbacks
+        if callbacks is None:
+            return  # lazily cancelled; skip without invoking anything
         event.callbacks = None  # mark processed
-        assert callbacks is not None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
@@ -464,6 +493,8 @@ class Environment:
                 when, _prio, _seq, event = _heappop(heap)
                 self._now = when
                 callbacks = event.callbacks
+                if callbacks is None:
+                    continue  # lazily cancelled (Event.cancel)
                 event.callbacks = None  # mark processed
                 for callback in callbacks:
                     callback(event)
@@ -502,6 +533,8 @@ class Environment:
             when, _prio, _seq, event = _heappop(heap)
             self._now = when
             callbacks = event.callbacks
+            if callbacks is None:
+                continue  # lazily cancelled (Event.cancel)
             event.callbacks = None  # mark processed
             for callback in callbacks:
                 callback(event)
@@ -547,6 +580,8 @@ class Environment:
             when, _prio, _seq, event = _heappop(heap)
             self._now = when
             callbacks = event.callbacks
+            if callbacks is None:
+                continue  # lazily cancelled (Event.cancel)
             event.callbacks = None  # mark processed
             for callback in callbacks:
                 callback(event)

@@ -1,0 +1,152 @@
+"""Naive reference implementations kept as differential-test oracles.
+
+:class:`ReferenceSharedBandwidth` is the pre-rewrite O(n²) fluid-flow
+channel, preserved verbatim (minus the epoch machinery's reliance on
+being the only implementation): on every flow arrival, completion, and
+``set_bandwidth`` it re-scans *all* concurrent flows to drain elapsed
+bytes and re-times the earliest completion from scratch. That is obviously
+correct — each flow's remaining byte count is materialized and advanced
+directly from the processor-sharing definition — which is exactly what an
+oracle should be.
+
+The production :class:`repro.sim.resources.SharedBandwidth` replaces the
+per-flow re-timing with a virtual service clock and a finish-key heap
+(O(log n) per event). The differential tests in
+``tests/sim/test_channel_differential.py`` drive both implementations
+through randomized arrival schedules — mixed sizes, ``per_flow_cap`` on
+and off, mid-stream ``set_bandwidth`` (the fault path), zero-byte
+transfers — and assert completion times and orders agree to within float
+tolerance. Keep this module dumb and readable; never optimize it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.core import Environment, Event
+
+__all__ = ["ReferenceSharedBandwidth"]
+
+
+class _Flow:
+    """One active transfer: remaining bytes are materialized and drained."""
+
+    __slots__ = ("total", "remaining", "done", "started")
+
+    def __init__(self, nbytes: float, done: Event, started: float) -> None:
+        self.total = float(nbytes)
+        self.remaining = float(nbytes)
+        self.done = done
+        self.started = started
+
+
+class ReferenceSharedBandwidth:
+    """O(n²) egalitarian processor-sharing channel (the rewrite's oracle).
+
+    API-compatible with :class:`repro.sim.resources.SharedBandwidth` for
+    everything the tests and benchmarks exercise: ``transfer``,
+    ``set_bandwidth``, ``current_rate``, ``active_flows``, ``bytes_moved``.
+    """
+
+    #: completion tolerance in bytes — matches the production channel
+    _RESIDUE = 1e-6
+
+    def __init__(
+        self,
+        env: Environment,
+        bandwidth: float,
+        per_flow_cap: Optional[float] = None,
+    ) -> None:
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        if per_flow_cap is not None and per_flow_cap <= 0:
+            raise ValueError(f"per_flow_cap must be positive, got {per_flow_cap}")
+        self.env = env
+        self.bandwidth = float(bandwidth)
+        self.per_flow_cap = per_flow_cap
+        self._flows: List[_Flow] = []
+        self._last_update = env.now
+        self._epoch = 0  # invalidates stale completion wake-ups
+        self._bytes_moved = 0.0
+
+    @property
+    def active_flows(self) -> int:
+        """Number of in-flight transfers."""
+        return len(self._flows)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total bytes fully delivered over the lifetime of the channel."""
+        return self._bytes_moved
+
+    def current_rate(self) -> float:
+        """Per-flow rate right now (``inf`` when idle)."""
+        if not self._flows:
+            return float("inf")
+        rate = self.bandwidth / len(self._flows)
+        if self.per_flow_cap is not None:
+            rate = min(rate, self.per_flow_cap)
+        return rate
+
+    def set_bandwidth(self, bandwidth: float) -> None:
+        """Change total bandwidth, draining then re-timing every live flow."""
+        if bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+        self._advance()
+        self.bandwidth = float(bandwidth)
+        self._reschedule()
+
+    def transfer(self, nbytes: float) -> Event:
+        """Begin moving ``nbytes``; the returned event fires at completion."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        done = Event(self.env)
+        if nbytes == 0:
+            done.succeed(0.0)
+            return done
+        self._advance()
+        self._flows.append(_Flow(nbytes, done, self.env.now))
+        self._reschedule()
+        return done
+
+    def _advance(self) -> None:
+        """Drain bytes for the elapsed interval at the prevailing rate."""
+        now = self.env.now
+        if not self._flows:
+            self._last_update = now
+            return
+        elapsed = now - self._last_update
+        self._last_update = now
+        rate = self.current_rate()
+        drained = max(rate * elapsed, 0.0)
+        finished: List[_Flow] = []
+        for flow in self._flows:
+            flow.remaining -= drained
+            if flow.remaining <= self._RESIDUE:
+                finished.append(flow)
+        for flow in finished:
+            self._flows.remove(flow)  # O(n): the oracle stays naive
+            self._bytes_moved += flow.total
+            flow.done.succeed(now - flow.started)
+
+    def _reschedule(self) -> None:
+        """Schedule a wake-up at the earliest projected completion."""
+        self._epoch += 1
+        if not self._flows:
+            return
+        rate = self.current_rate()
+        soonest = min(flow.remaining for flow in self._flows)
+        eta = soonest / rate
+        # Same strictly-after-now clamp as the production channel.
+        min_step = max(abs(self.env.now), 1.0) * 1e-12
+        if eta < min_step:
+            eta = min_step
+        epoch = self._epoch
+        wake = self.env.timeout(eta)
+        wake.callbacks.append(lambda _ev, epoch=epoch: self._on_wake(epoch))
+
+    def _on_wake(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # flow set changed since this wake-up was scheduled
+        self._advance()
+        self._reschedule()

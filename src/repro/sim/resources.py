@@ -8,23 +8,52 @@ Four primitives cover every contention point in the simulated cluster:
 - :class:`Store` — unbounded FIFO queue of items. Used for message passing
   between DYAD clients and services.
 - :class:`SharedBandwidth` — a fluid-flow *processor sharing* channel:
-  total bandwidth is divided equally among concurrent transfers, and
-  completion times are recomputed whenever a flow starts or ends. Used for
-  SSD channels, fabric links, and aggregate OSS bandwidth; this is the
-  mechanism behind the contention effects in Figs. 7, 8, and 12.
+  total bandwidth is divided equally among concurrent transfers. Flows are
+  scheduled in O(log n) via a virtual service clock (see the class
+  docstring and ``docs/performance.md``). Used for SSD channels, fabric
+  links, and aggregate OSS bandwidth; this is the mechanism behind the
+  contention effects in Figs. 7, 8, and 12.
 - :class:`Signal` — a broadcast condition that wakes *all* current waiters.
   Used for KVS watches (DYAD's loosely-coupled first-touch sync).
+
+The O(n²) reference implementation :class:`SharedBandwidth` replaced lives
+on as :class:`repro.sim.reference.ReferenceSharedBandwidth`, the oracle of
+the differential tests in ``tests/sim/test_channel_differential.py``.
 """
 
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappop as _heappop, heappush as _heappush
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import SimulationError
-from repro.sim.core import Environment, Event, Process
+from repro.sim.core import _PENDING, Environment, Event, Process, Timeout
 
-__all__ = ["Resource", "Store", "SharedBandwidth", "Signal"]
+__all__ = ["Resource", "Store", "SharedBandwidth", "Signal", "channel_health"]
+
+
+def channel_health(channels) -> dict:
+    """Aggregate kernel-health counters over an iterable of channels.
+
+    Returns ``stale_wakeups_defused`` and ``reschedules`` summed across
+    the channels and ``peak_concurrent_flows`` as the maximum seen on any
+    single channel — the numbers :mod:`repro.workflow.runner` surfaces as
+    ``channel_*`` entries in ``system_stats`` so a kernel-bench regression
+    (e.g. a re-schedule storm after a fault) is diagnosable straight from
+    experiment output.
+    """
+    stale = reschedules = peak = 0
+    for chan in channels:
+        stale += chan.stale_wakeups_defused
+        reschedules += chan.reschedules
+        if chan.peak_concurrent_flows > peak:
+            peak = chan.peak_concurrent_flows
+    return {
+        "stale_wakeups_defused": stale,
+        "peak_concurrent_flows": peak,
+        "reschedules": reschedules,
+    }
 
 
 class Request(Event):
@@ -194,31 +223,42 @@ class Signal:
         return self.fire(value)
 
 
-class _Flow:
-    """Internal: one active transfer on a :class:`SharedBandwidth`."""
-
-    __slots__ = ("total", "remaining", "done", "started")
-
-    def __init__(self, nbytes: float, done: Event, started: float) -> None:
-        self.total = float(nbytes)
-        self.remaining = float(nbytes)
-        self.done = done
-        self.started = started
-
-
 class SharedBandwidth:
     """Fluid-flow processor-sharing channel of ``bandwidth`` bytes/second.
 
     Each concurrent transfer receives an equal share of the total bandwidth
-    (capped at ``per_flow_cap`` if given). Whenever the set of active flows
-    changes, remaining byte counts are advanced and the next completion is
-    rescheduled. This reproduces the first-order behaviour of a shared NIC,
-    SSD channel, or storage server under concurrent load, and is the source
-    of the emergent contention effects in the multi-pair experiments.
+    (capped at ``per_flow_cap`` if given). This reproduces the first-order
+    behaviour of a shared NIC, SSD channel, or storage server under
+    concurrent load, and is the source of the emergent contention effects
+    in the multi-pair experiments.
+
+    Scheduling uses the classic *virtual time* formulation of egalitarian
+    processor sharing. Let ``S(t)`` be the cumulative service each active
+    flow has received (bytes); ``S`` grows at ``min(bandwidth/n(t),
+    per_flow_cap)`` while ``n(t)`` flows are active. A flow arriving with
+    ``nbytes`` completes exactly when ``S`` reaches ``S(arrival) +
+    nbytes`` — a *constant* — so flows live in a min-heap keyed by that
+    virtual finish value and never need re-timing: arrivals, completions
+    and mid-stream ``set_bandwidth`` calls only change the *rate* at which
+    the one scalar ``S`` advances (they segment the virtual clock), an
+    O(log n) heap operation each. The O(n²) alternative — re-scanning and
+    re-timing every flow on every change — is retained verbatim as
+    :class:`repro.sim.reference.ReferenceSharedBandwidth` and drives the
+    differential tests; ``docs/performance.md`` derives the equivalence.
+
+    One wake-up :class:`~repro.sim.core.Timeout` per channel is live at a
+    time: each re-schedule lazily cancels the previous one
+    (:meth:`Event.cancel <repro.sim.core.Event.cancel>`), so stale
+    wake-ups cost a heap pop instead of a callback dispatch. The
+    ``stale_wakeups_defused`` / ``peak_concurrent_flows`` /
+    ``reschedules`` counters feed the ``channel_*`` kernel-health keys of
+    ``WorkflowResult.system_stats``.
     """
 
-    __slots__ = ("env", "bandwidth", "per_flow_cap", "_flows",
-                 "_last_update", "_epoch", "_bytes_moved")
+    __slots__ = ("env", "bandwidth", "per_flow_cap", "_heap", "_seq",
+                 "_virtual", "_last_update", "_wake", "_wake_cb",
+                 "_bytes_moved", "stale_wakeups_defused",
+                 "peak_concurrent_flows", "reschedules")
 
     def __init__(
         self,
@@ -233,16 +273,27 @@ class SharedBandwidth:
         self.env = env
         self.bandwidth = float(bandwidth)
         self.per_flow_cap = per_flow_cap
-        self._flows: List[_Flow] = []
+        #: active flows as ``(virtual_finish, seq, nbytes, done, started)``
+        #: heap entries — plain tuples so heap sifts compare in C, and the
+        #: unique ``seq`` (FIFO tie-break) stops comparison ever reaching
+        #: the payload fields.
+        self._heap: List = []
+        self._seq = 0
+        self._virtual = 0.0  # S(t): cumulative per-flow service, in bytes
         self._last_update = env.now
-        self._epoch = 0  # invalidates stale completion wake-ups
+        self._wake = None  # the single live wake-up Timeout, if any
+        self._wake_cb = self._on_wake  # bound once; appended per wake-up
         self._bytes_moved = 0.0  # lifetime accounting, for tests/metrics
+        # kernel-health counters (surfaced via system_stats)
+        self.stale_wakeups_defused = 0
+        self.peak_concurrent_flows = 0
+        self.reschedules = 0
 
     # -- public ------------------------------------------------------------
     @property
     def active_flows(self) -> int:
         """Number of in-flight transfers."""
-        return len(self._flows)
+        return len(self._heap)
 
     @property
     def bytes_moved(self) -> float:
@@ -251,9 +302,9 @@ class SharedBandwidth:
 
     def current_rate(self) -> float:
         """Per-flow rate right now (``inf`` when idle)."""
-        if not self._flows:
+        if not self._heap:
             return float("inf")
-        rate = self.bandwidth / len(self._flows)
+        rate = self.bandwidth / len(self._heap)
         if self.per_flow_cap is not None:
             rate = min(rate, self.per_flow_cap)
         return rate
@@ -262,10 +313,11 @@ class SharedBandwidth:
         """Change the channel's total bandwidth, rescheduling live flows.
 
         Used by the fault layer to model device/server degradation without
-        tearing down in-flight transfers: elapsed bytes are drained at the
-        old rate first, then every remaining flow is re-timed at the new
-        rate. Restoring the original value reverses the slowdown the same
-        way.
+        tearing down in-flight transfers: the virtual clock advances at the
+        old rate up to now, then ticks at the new rate — in-flight flows
+        keep their virtual finish keys and slow down (or speed back up)
+        mid-stream. Restoring the original value reverses the slowdown the
+        same way.
         """
         if bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {bandwidth}")
@@ -273,67 +325,233 @@ class SharedBandwidth:
         self.bandwidth = float(bandwidth)
         self._reschedule()
 
-    def transfer(self, nbytes: float) -> Event:
-        """Begin moving ``nbytes``; the returned event fires at completion."""
+    def transfer(self, nbytes: float, _new=Event.__new__, _cls=Event,
+                 _tnew=Timeout.__new__, _tcls=Timeout,
+                 _push=_heappush, _pop=_heappop) -> Event:
+        """Begin moving ``nbytes``; the returned event fires at completion.
+
+        This is the per-transfer hot path of every modelled NIC/SSD/OSS
+        data channel, so — in the same style as
+        :meth:`Environment.timeout` — the completion event and the wake-up
+        are built without running ``__init__`` chains, and the
+        advance/re-aim machinery of :meth:`_advance`/:meth:`_reschedule`
+        is inlined (identical arithmetic, in the identical order; keep
+        them in sync). The trailing defaults pre-bind globals as locals —
+        never pass them.
+        """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
-        done = Event(self.env)
+        env = self.env
+        done = _new(_cls)
+        done.env = env
+        done.callbacks = []
+        done._value = _PENDING
+        done._ok = None
+        done._defused = False
         if nbytes == 0:
             done.succeed(0.0)
             return done
-        self._advance()
-        self._flows.append(_Flow(nbytes, done, self.env.now))
-        self._reschedule()
+        now = env._now
+        heap = self._heap
+        # -- inlined _advance() -------------------------------------------
+        if heap:
+            elapsed = now - self._last_update
+            self._last_update = now
+            if elapsed > 0.0:
+                rate = self.bandwidth / len(heap)
+                cap = self.per_flow_cap
+                if cap is not None and cap < rate:
+                    rate = cap
+                self._virtual += rate * elapsed
+            virtual = self._virtual
+            residue = self._RESIDUE
+            env_heap = env._heap
+            while heap and heap[0][0] - virtual <= residue:
+                _key, _fseq, fbytes, fin, started = _pop(heap)
+                self._bytes_moved += fbytes
+                if fin._value is not _PENDING:  # as Event.succeed would
+                    raise SimulationError(f"{fin!r} already triggered")
+                fin._ok = True
+                fin._value = now - started
+                eseq = env._seq
+                env._seq = eseq + 1
+                _push(env_heap, (now, 1, eseq, fin))  # 1 == NORMAL
+            if not heap:
+                self._virtual = 0.0
+        else:
+            self._last_update = now
+        # -- admit the new flow -------------------------------------------
+        seq = self._seq
+        self._seq = seq + 1
+        _push(heap, (self._virtual + nbytes, seq, nbytes, done, now))
+        n = len(heap)
+        if n > self.peak_concurrent_flows:
+            self.peak_concurrent_flows = n
+        # -- inlined _reschedule() ----------------------------------------
+        wake = self._wake
+        if wake is not None and wake.callbacks is not None:
+            wake.callbacks = None  # lazy-cancel the stale wake-up
+            self.stale_wakeups_defused += 1
+        self.reschedules += 1
+        rate = self.bandwidth / n
+        cap = self.per_flow_cap
+        if cap is not None and cap < rate:
+            rate = cap
+        eta = (heap[0][0] - self._virtual) / rate
+        # Branchy spelling of max(abs(now), 1.0) * 1e-12 — same product,
+        # same rounding, no builtin calls on the hot path.
+        if now > 1.0:
+            min_step = now * 1e-12
+        elif now < -1.0:
+            min_step = -now * 1e-12
+        else:
+            min_step = 1e-12
+        if eta < min_step:
+            eta = min_step
+        wake = _tnew(_tcls)  # keep in sync with Environment.timeout
+        wake.env = env
+        wake.callbacks = [self._wake_cb]
+        wake._ok = True
+        wake._value = None
+        wake._defused = False
+        wake.delay = eta
+        wseq = env._seq
+        env._seq = wseq + 1
+        _push(env._heap, (now + eta, 1, wseq, wake))  # 1 == NORMAL
+        self._wake = wake
         return done
 
     # -- machinery ----------------------------------------------------------
-    # Flows whose residue drops below this many bytes are complete. The
-    # residue comes from float rounding when a wake-up fires at the
+    # Flows whose virtual residue drops below this many bytes are complete.
+    # The residue comes from float rounding when a wake-up fires at the
     # projected completion instant; without a tolerance the channel can
     # spin on nanobyte remainders with zero-delay wake-ups.
     _RESIDUE = 1e-6
 
-    def _advance(self) -> None:
-        """Drain bytes for the elapsed interval at the prevailing rate."""
-        now = self.env.now
-        if not self._flows:
+    def _advance(self, _pop=_heappop) -> None:
+        """Tick the virtual clock over the elapsed interval, pop finishers."""
+        now = self.env._now
+        heap = self._heap
+        if not heap:
             self._last_update = now
             return
         elapsed = now - self._last_update
         self._last_update = now
-        rate = self.current_rate()
-        drained = max(rate * elapsed, 0.0)
-        finished: List[_Flow] = []
-        for flow in self._flows:
-            flow.remaining -= drained
-            if flow.remaining <= self._RESIDUE:
-                finished.append(flow)
-        for flow in finished:
-            self._flows.remove(flow)
-            self._bytes_moved += flow.total
-            flow.done.succeed(now - flow.started)
+        if elapsed > 0.0:
+            rate = self.bandwidth / len(heap)
+            cap = self.per_flow_cap
+            if cap is not None and cap < rate:
+                rate = cap
+            self._virtual += rate * elapsed
+        # NB: the `key - virtual <= residue` form (subtract, then compare)
+        # is deliberate — it rounds exactly like the reference oracle's
+        # materialized `remaining <= residue`, which is what keeps solo and
+        # lockstep timelines bit-identical across the rewrite.
+        virtual = self._virtual
+        residue = self._RESIDUE
+        while heap and heap[0][0] - virtual <= residue:
+            entry = _pop(heap)
+            self._bytes_moved += entry[2]
+            entry[3].succeed(now - entry[4])
+        if not heap:
+            # Idle channel: re-anchor the virtual clock at zero. Arrivals
+            # into an idle channel then carry exact finish keys (S + B with
+            # S == 0.0 is exact), which keeps solo transfers free of
+            # accumulated rounding no matter how long the run is.
+            self._virtual = 0.0
 
     def _reschedule(self) -> None:
-        """Schedule a wake-up at the earliest projected completion."""
-        self._epoch += 1
-        if not self._flows:
+        """Re-aim the single wake-up at the earliest virtual finish."""
+        wake = self._wake
+        if wake is not None:
+            self._wake = None
+            if wake.callbacks is not None:  # inlined Event.cancel()
+                wake.callbacks = None
+                self.stale_wakeups_defused += 1
+        heap = self._heap
+        if not heap:
             return
-        rate = self.current_rate()
-        soonest = min(flow.remaining for flow in self._flows)
-        eta = soonest / rate
+        self.reschedules += 1
+        rate = self.bandwidth / len(heap)
+        cap = self.per_flow_cap
+        if cap is not None and cap < rate:
+            rate = cap
+        eta = (heap[0][0] - self._virtual) / rate
         # A wake-up must land strictly after `now` in float arithmetic, or
         # `_advance` sees zero elapsed time and the channel spins forever on
         # a sub-ULP residue. The clamp is ~1e-12 relative — far below any
         # modelled device time.
-        min_step = max(abs(self.env.now), 1.0) * 1e-12
+        min_step = max(abs(self.env._now), 1.0) * 1e-12
         if eta < min_step:
             eta = min_step
-        epoch = self._epoch
         wake = self.env.timeout(eta)
-        wake.callbacks.append(lambda _ev, epoch=epoch: self._on_wake(epoch))
+        wake.callbacks.append(self._wake_cb)
+        self._wake = wake
 
-    def _on_wake(self, epoch: int) -> None:
-        if epoch != self._epoch:
-            return  # flow set changed since this wake-up was scheduled
-        self._advance()
-        self._reschedule()
+    def _on_wake(self, _event: Event, _pop=_heappop, _push=_heappush,
+                 _tnew=Timeout.__new__, _tcls=Timeout) -> None:
+        """Fired by the wake-up Timeout: advance, complete, re-aim.
+
+        Fully inlined twin of :meth:`_advance` + :meth:`_reschedule` (keep
+        them in sync) — this and :meth:`transfer` are the only two frames
+        on the contended hot path, so completion events are triggered and
+        the next wake-up is built without the ``succeed``/``timeout`` call
+        chain, exactly as :meth:`Environment.timeout` would.
+        """
+        self._wake = None
+        env = self.env
+        now = env._now
+        heap = self._heap
+        if not heap:
+            self._last_update = now
+            return
+        elapsed = now - self._last_update
+        self._last_update = now
+        if elapsed > 0.0:
+            rate = self.bandwidth / len(heap)
+            cap = self.per_flow_cap
+            if cap is not None and cap < rate:
+                rate = cap
+            self._virtual += rate * elapsed
+        virtual = self._virtual
+        residue = self._RESIDUE
+        env_heap = env._heap
+        while heap and heap[0][0] - virtual <= residue:
+            _key, _fseq, fbytes, fin, started = _pop(heap)
+            self._bytes_moved += fbytes
+            if fin._value is not _PENDING:  # as Event.succeed would raise
+                raise SimulationError(f"{fin!r} already triggered")
+            fin._ok = True
+            fin._value = now - started
+            eseq = env._seq
+            env._seq = eseq + 1
+            _push(env_heap, (now, 1, eseq, fin))  # 1 == NORMAL
+        n = len(heap)
+        if n == 0:
+            self._virtual = 0.0  # idle: re-anchor (see _advance)
+            return
+        self.reschedules += 1
+        rate = self.bandwidth / n
+        cap = self.per_flow_cap
+        if cap is not None and cap < rate:
+            rate = cap
+        eta = (heap[0][0] - virtual) / rate
+        if now > 1.0:  # max(abs(now), 1.0) * 1e-12, spelled branchy
+            min_step = now * 1e-12
+        elif now < -1.0:
+            min_step = -now * 1e-12
+        else:
+            min_step = 1e-12
+        if eta < min_step:
+            eta = min_step
+        wake = _tnew(_tcls)  # keep in sync with Environment.timeout
+        wake.env = env
+        wake.callbacks = [self._wake_cb]
+        wake._ok = True
+        wake._value = None
+        wake._defused = False
+        wake.delay = eta
+        wseq = env._seq
+        env._seq = wseq + 1
+        _push(env_heap, (now + eta, 1, wseq, wake))
+        self._wake = wake

@@ -196,6 +196,12 @@ class LustreServers:
         """The OSS fronting a given OST (block assignment)."""
         return self.oss[(ost_index // self.config.osts_per_oss) % len(self.oss)]
 
+    def channels(self):
+        """Every OSS disk channel, for kernel-health aggregation."""
+        for server in self.oss:
+            yield server.write_disk
+            yield server.read_disk
+
     def _interfere(self, stream: str, base: float) -> float:
         if self.config.interference_cv == 0.0:
             return base

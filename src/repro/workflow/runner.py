@@ -29,7 +29,7 @@ from repro.perf.caliper import Caliper, Category
 from repro.perf.calltree import CallTree
 from repro.perf.thicket import Thicket
 from repro.perf.trace import Tracer
-from repro.sim.resources import Signal
+from repro.sim.resources import Signal, channel_health
 from repro.storage.lustre import LustreConfig, LustreFileSystem, LustreServers
 from repro.storage.xfs import XFSConfig, XFSFileSystem
 from repro.workflow import emulator
@@ -258,6 +258,20 @@ def run_workflow(
             sum(node.ssd.stats.bytes_read for node in cluster.nodes)
         ),
     }
+    # Kernel-health counters over every fluid-flow channel in the run, so
+    # a kernel-bench regression (wake-up churn, re-schedule storms) is
+    # diagnosable from experiment output alone.
+    channels = list(fabric.channels())
+    for node in cluster.nodes:
+        channels.extend(node.ssd.channels())
+    if servers is not None:
+        channels.extend(servers.channels())
+    health = channel_health(channels)
+    system_stats.update({
+        "channel_stale_wakeups": float(health["stale_wakeups_defused"]),
+        "channel_peak_flows": float(health["peak_concurrent_flows"]),
+        "channel_reschedules": float(health["reschedules"]),
+    })
     if runtime is not None:
         system_stats.update({
             "dyad_kvs_waits": float(sum(c.kvs_waits for c in consumers)),

@@ -37,6 +37,9 @@ def fault_env(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_WORKER_FAULT_DIR", str(marker_dir))
     monkeypatch.delenv("REPRO_WORKER_CRASH_SEEDS", raising=False)
     monkeypatch.delenv("REPRO_WORKER_HANG_SEEDS", raising=False)
+    # These tests need real worker processes even on a 1-CPU box, so lift
+    # the default_jobs() cpu_count clamp.
+    monkeypatch.setenv("REPRO_JOBS_OVERSUBSCRIBE", "1")
     return monkeypatch
 
 

@@ -43,7 +43,9 @@ def fingerprints(results):
 
 
 @pytest.mark.parametrize("spec", [FIG5_SPEC, FIG6_SPEC], ids=["fig5", "fig6"])
-def test_parallel_matches_serial_bit_for_bit(spec):
+def test_parallel_matches_serial_bit_for_bit(spec, monkeypatch):
+    # lift the cpu_count clamp so the pool path actually runs on any box
+    monkeypatch.setenv("REPRO_JOBS_OVERSUBSCRIBE", "1")
     serial = run_repetitions(spec, runs=4, jitter_cv=0.05, jobs=1)
     parallel = run_repetitions(spec, runs=4, jitter_cv=0.05, jobs=4)
     assert fingerprints(serial) == fingerprints(parallel)
@@ -152,6 +154,8 @@ def test_cached_results_survive_pickle_roundtrip():
 
 
 def test_default_jobs_resolution(monkeypatch):
+    # oversubscribe so precedence is observable regardless of box size
+    monkeypatch.setenv("REPRO_JOBS_OVERSUBSCRIBE", "1")
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     assert default_jobs() == 1
     monkeypatch.setenv("REPRO_JOBS", "3")
@@ -163,12 +167,26 @@ def test_default_jobs_resolution(monkeypatch):
     assert default_jobs() == 3
 
 
+def test_default_jobs_clamps_to_cpu_count(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS_OVERSUBSCRIBE", raising=False)
+    cpus = os.cpu_count() or 1
+    assert default_jobs(cpus + 7) == cpus
+    monkeypatch.setenv("REPRO_JOBS", str(cpus + 100))
+    assert default_jobs() == cpus
+    # an explicit request at or below the core count is honoured
+    assert default_jobs(1) == 1
+    # ... and the escape hatch lifts the clamp
+    monkeypatch.setenv("REPRO_JOBS_OVERSUBSCRIBE", "1")
+    assert default_jobs(cpus + 7) == cpus + 7
+
+
 def test_default_jobs_rejects_nonpositive():
     with pytest.raises(ReproError):
         default_jobs(0)
 
 
 def test_campaign_scope_restores_on_exit(monkeypatch):
+    monkeypatch.setenv("REPRO_JOBS_OVERSUBSCRIBE", "1")
     monkeypatch.delenv("REPRO_JOBS", raising=False)
     with pytest.raises(RuntimeError):
         with campaign(jobs=7):

@@ -1,0 +1,51 @@
+"""The CI perf-guard's regression arithmetic and exit codes."""
+
+import importlib.util
+import json
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+_spec = importlib.util.spec_from_file_location(
+    "perf_guard", ROOT / "benchmarks" / "perf_guard.py"
+)
+perf_guard = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_spec and perf_guard)
+
+
+def _write(tmp_path, measured, recorded):
+    bench = tmp_path / "BENCH_campaign.json"
+    baseline = tmp_path / "baseline.json"
+    bench.write_text(json.dumps(
+        {"kernel": {"contended_events_per_sec": measured}}
+    ))
+    baseline.write_text(json.dumps({"contended_events_per_sec": recorded}))
+    return bench, baseline
+
+
+def test_within_noise_band_passes(tmp_path, capsys):
+    bench, baseline = _write(tmp_path, measured=810.0, recorded=1000.0)
+    assert perf_guard.check(bench, baseline) == 0
+    assert "OK" in capsys.readouterr().out
+
+
+def test_regression_beyond_tolerance_fails(tmp_path, capsys):
+    bench, baseline = _write(tmp_path, measured=790.0, recorded=1000.0)
+    assert perf_guard.check(bench, baseline) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_improvement_passes(tmp_path):
+    bench, baseline = _write(tmp_path, measured=2000.0, recorded=1000.0)
+    assert perf_guard.check(bench, baseline) == 0
+
+
+def test_missing_bench_file_is_a_distinct_error(tmp_path):
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"contended_events_per_sec": 1.0}))
+    missing = tmp_path / "nope.json"
+    assert perf_guard.main([str(missing), str(baseline)]) == 2
+
+
+def test_repo_bench_passes_repo_baseline():
+    """The numbers shipped in this PR must satisfy their own guard."""
+    assert perf_guard.main([]) == 0

@@ -19,8 +19,25 @@ def test_stats_keys_present():
     result = run(System.DYAD)
     for key in ("fabric_transfers", "fabric_rdma_transfers",
                 "fabric_messages", "fabric_bytes_moved",
-                "ssd_bytes_written", "ssd_bytes_read"):
+                "ssd_bytes_written", "ssd_bytes_read",
+                "channel_stale_wakeups", "channel_peak_flows",
+                "channel_reschedules"):
         assert key in result.system_stats
+
+
+def test_channel_health_counters_reflect_traffic():
+    result = run(System.DYAD, frames=6, pairs=4)
+    stats = result.system_stats
+    # every RDMA frame pull re-aims a channel wake-up at least once
+    assert stats["channel_reschedules"] >= stats["fabric_rdma_transfers"]
+    assert stats["channel_peak_flows"] >= 1.0
+    assert stats["channel_stale_wakeups"] >= 0.0
+
+
+def test_lustre_contention_shows_concurrent_flows():
+    result = run(System.LUSTRE, frames=4, pairs=4)
+    # four pairs hammering shared OSS channels must overlap at some point
+    assert result.system_stats["channel_peak_flows"] >= 2.0
 
 
 def test_dyad_moves_each_frame_once_over_rdma():
