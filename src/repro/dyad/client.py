@@ -32,7 +32,7 @@ from typing import Generator, Optional, Tuple
 
 from repro.dyad.mdm import OwnerRecord
 from repro.dyad.service import DyadRuntime
-from repro.errors import DyadError, KeyNotFound, TransferError
+from repro.errors import DyadError, IntegrityError, KeyNotFound, TransferError
 from repro.perf.caliper import Annotator, Category
 from repro.storage.locks import LockMode
 from repro.storage.posixfs import normalize
@@ -64,6 +64,9 @@ class DyadProducerClient:
         self.name = name
         self.service = runtime.service(node_id)
         self.env = runtime.env
+        #: simulation time of the last KVS publish (the commit instant the
+        #: invariant checker's causality rule anchors on)
+        self.last_commit_time: Optional[float] = None
 
     def produce(
         self,
@@ -88,6 +91,17 @@ class DyadProducerClient:
         regions.begin("dyad_produce", Category.MOVEMENT)
         yield self.env.timeout(cfg.client_overhead)
 
+        # ``stale_metadata`` window: the KVS record is published *before*
+        # the bytes are staged — metadata runs ahead of data, the exact
+        # race the adaptive sync normally prevents. Checked consumers
+        # absorb it (the service refuses un-staged frames, they retry).
+        stale = self.service.stale_publish
+        if stale:
+            regions.begin("dyad_commit")
+            yield from self.runtime.mdm.publish(self.node_id, path, nbytes)
+            self.last_commit_time = self.env.now
+            regions.end("dyad_commit")
+
         regions.begin("write_single_buf")
         yield self.env.timeout(cfg.flock_time)
         lock = yield from staging.locks.acquire(
@@ -107,9 +121,11 @@ class DyadProducerClient:
             staging.locks.release(lock)
         regions.end("write_single_buf")
 
-        regions.begin("dyad_commit")
-        yield from self.runtime.mdm.publish(self.node_id, path, nbytes)
-        regions.end("dyad_commit")
+        if not stale:
+            regions.begin("dyad_commit")
+            yield from self.runtime.mdm.publish(self.node_id, path, nbytes)
+            self.last_commit_time = self.env.now
+            regions.end("dyad_commit")
 
         regions.end("dyad_produce")
         return self.env.now - start
@@ -132,6 +148,12 @@ class DyadConsumerClient:
         self.transfer_retries = 0
         #: remote consumptions served from this node's staging cache
         self.cache_hits = 0
+        #: bytes actually obtained by the last :meth:`consume` (may be
+        #: short of the committed size in unchecked mode under torn_write)
+        self.last_consume_bytes: Optional[int] = None
+        #: True when the last consume returned a damaged payload that
+        #: integrity checking was not enabled to catch
+        self.last_consume_corrupt = False
 
     # -- protocol steps ------------------------------------------------------
     def _backoff_delay(self, attempt: int) -> float:
@@ -178,24 +200,41 @@ class DyadConsumerClient:
         payload (``None`` in size-only mode).
         """
         cfg = self.runtime.config
-        owner_service = self.runtime.service(record.owner)
+        runtime = self.runtime
+        owner_service = runtime.service(record.owner)
 
         regions.begin("dyad_get_data")
         attempts = cfg.max_transfer_retries + 1
-        payload = None
+        count, payload = record.size, None
         for attempt in range(attempts):
             try:
                 # Ask the owner's service to read the staged frame...
-                yield from self.runtime.cluster.fabric.message(
+                yield from runtime.cluster.fabric.message(
                     self.node_id, record.owner
                 )
-                _elapsed, payload = yield from owner_service.serve_get(
+                _elapsed, count, payload = yield from owner_service.serve_get(
                     record.path, record.size
                 )
                 # ...then pull the bytes.
-                yield from self.runtime.rdma.get(
-                    self.node_id, record.owner, record.size
+                yield from runtime.rdma.get(
+                    self.node_id, record.owner, count
                 )
+                # ``bit_corrupt`` window: the pull itself may damage the
+                # payload in flight. Checked consumers see the checksum
+                # fail and re-pull (a retry re-draws); unchecked ones
+                # carry the damage home.
+                if (runtime.corrupt_rate > 0.0
+                        and runtime.corrupt_draw() < runtime.corrupt_rate):
+                    runtime.corrupt_transfers += 1
+                    if cfg.integrity_checks:
+                        raise TransferError(
+                            f"{record.path}: transfer failed checksum "
+                            "verification (corrupted in flight)"
+                        )
+                    self.last_consume_corrupt = True
+                    if payload:
+                        payload = (bytes([payload[0] ^ 0xFF])
+                                   + bytes(payload[1:]))
                 break
             except TransferError:
                 if attempt == attempts - 1:
@@ -206,7 +245,7 @@ class DyadConsumerClient:
         regions.end("dyad_get_data")
 
         if not cfg.cache_on_consume:
-            return payload
+            return count, payload
 
         regions.begin("dyad_cons_store")
         staging = self.service.staging
@@ -218,13 +257,13 @@ class DyadConsumerClient:
             staging.makedirs(posixpath.dirname(record.path))
             handle = yield from staging.open(record.path, "w", client=self.node_id)
             try:
-                yield from handle.write(record.size, payload)
+                yield from handle.write(count, payload)
             finally:
                 yield from handle.close()
         finally:
             staging.locks.release(lock)
         regions.end("dyad_cons_store")
-        return payload
+        return count, payload
 
     def _read_local(self, record: OwnerRecord, regions: _Regions) -> Generator:
         """read_single_buf: flock-guarded read from local staging."""
@@ -246,10 +285,18 @@ class DyadConsumerClient:
                 yield from handle.close()
         finally:
             staging.locks.release(lock)
-        if count != record.size:
+        if count != record.size and cfg.integrity_checks:
             raise DyadError(
                 f"{record.path}: read {count} bytes, expected {record.size}"
             )
+        self.last_consume_bytes = count
+        if staging.is_corrupt(record.path):
+            if cfg.integrity_checks:
+                raise IntegrityError(
+                    f"{record.path}: staged frame failed checksum "
+                    "verification"
+                )
+            self.last_consume_corrupt = True
         if (cfg.unlink_after_consume
                 and record.owner != self.node_id
                 and staging is self.service.staging):
@@ -276,6 +323,8 @@ class DyadConsumerClient:
             raise DyadError(f"{path} is outside managed root {cfg.managed_root}")
         regions = _Regions(annotator)
 
+        self.last_consume_bytes = None
+        self.last_consume_corrupt = False
         regions.begin("dyad_consume", Category.MOVEMENT)
         yield self.env.timeout(cfg.client_overhead)
         record = yield from self._fetch(path, regions)
@@ -292,7 +341,8 @@ class DyadConsumerClient:
                     remote = False
                     self.cache_hits += 1
         if remote:
-            pulled = yield from self._get_remote(record, regions)
+            pulled_count, pulled = yield from self._get_remote(record, regions)
+            self.last_consume_bytes = pulled_count
         regions.end("dyad_consume")
 
         if remote and not cfg.cache_on_consume:

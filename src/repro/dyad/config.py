@@ -76,6 +76,15 @@ class DyadConfig:
         backoff delay: the delay is scaled by a factor drawn uniformly
         from ``[1, 1 + retry_jitter]``. Jitter de-synchronizes retry
         storms when many consumers lose the same service; 0 disables it.
+    integrity_checks:
+        When True (default), the service and client verify frame sizes /
+        checksums end to end: a torn or corrupted frame fails the
+        transfer with :class:`~repro.errors.TransferError` and the
+        consumer re-fetches under the normal backoff machinery. When
+        False (the "unchecked legacy consumer" ablation), damaged frames
+        are served and read as-is — the invariant checker is then what
+        notices the lie. Purely a detection switch: clean runs take
+        identical event paths either way.
     kvs:
         Configuration of the underlying key-value store.
     """
@@ -97,6 +106,7 @@ class DyadConfig:
     retry_backoff: float = usec(500.0)
     retry_backoff_cap: float = 0.05
     retry_jitter: float = 0.25
+    integrity_checks: bool = True
     kvs: KVSConfig = KVSConfig()
 
     def validate(self) -> None:

@@ -19,7 +19,7 @@ from repro.cluster.topology import Cluster
 from repro.dyad.config import DyadConfig
 from repro.dyad.mdm import MetadataManager, OwnerRecord
 from repro.dyad.rdma import make_transport
-from repro.errors import DyadError, TransferError
+from repro.errors import DyadError, FileNotFound, TransferError
 from repro.kvs.store import KVS
 from repro.sim.resources import Resource
 from repro.storage.locks import LockMode
@@ -41,6 +41,12 @@ class DyadService:
         self.crashed = False
         self.crashes = 0
         self.refused_gets = 0
+        #: integrity faults: short/missing frames refused (checked mode)
+        self.integrity_refusals = 0
+        #: ``stale_metadata`` window: producers on this node publish the
+        #: KVS record *before* staging the bytes (metadata runs ahead of
+        #: data, the race DYAD's flock fast path normally prevents)
+        self.stale_publish = False
 
     def crash(self) -> None:
         """Take the service down (fault injection).
@@ -71,13 +77,17 @@ class DyadService:
         """Generator: handle one remote-get — lock, read, return payload.
 
         Runs on the owner node; the caller (consumer client) then pulls the
-        bytes over RDMA. Returns ``(elapsed, payload_or_None)``.
+        bytes over RDMA. Returns ``(elapsed, count, payload_or_None)``.
 
         A crashed service refuses the request at three points — on arrival,
         after queueing, and after the local read (the reply never makes it
         out, modelling in-flight loss) — always with
         :class:`repro.errors.TransferError` so consumers retry rather than
-        abort.
+        abort. The same retry contract covers integrity faults when
+        ``integrity_checks`` is on: a frame advertised by the KVS but not
+        yet staged (``stale_metadata``) or staged short (``torn_write``)
+        is refused, and the consumer's backoff absorbs the window. With
+        checks off the short frame is served as-is (``count < nbytes``).
         """
         start = self.env.now
         self._check_up()
@@ -90,7 +100,17 @@ class DyadService:
             path, LockMode.SHARED, owner=f"{self.node.node_id}.dyad"
         )
         try:
-            handle = yield from self.staging.open(path, "r", client=self.node.node_id)
+            try:
+                handle = yield from self.staging.open(
+                    path, "r", client=self.node.node_id
+                )
+            except FileNotFound:
+                # The KVS advertised the frame before its bytes landed
+                # (stale_metadata) — refuse so the consumer retries.
+                self.integrity_refusals += 1
+                raise TransferError(
+                    f"{self.node.node_id}: {path} advertised but not staged"
+                ) from None
             try:
                 count, payload = yield from handle.read(nbytes)
             finally:
@@ -98,12 +118,13 @@ class DyadService:
         finally:
             self.staging.locks.release(lock)
         self._check_up()
-        if count != nbytes:
-            raise DyadError(
+        if count != nbytes and self.config.integrity_checks:
+            self.integrity_refusals += 1
+            raise TransferError(
                 f"{self.node.node_id}: staged file {path} has {count} bytes, "
-                f"expected {nbytes}"
+                f"expected {nbytes} (torn frame refused)"
             )
-        return self.env.now - start, payload
+        return self.env.now - start, count, payload
 
 
 class DyadRuntime:
@@ -137,6 +158,25 @@ class DyadRuntime:
             node.node_id: DyadService(node, self.config, store_data)
             for node in cluster.nodes
         }
+        # ``bit_corrupt`` window state (armed by the fault injector):
+        # every remote pull inside the window is damaged in flight with
+        # probability ``corrupt_rate``, decided by the seeded ``draw``.
+        self.corrupt_rate = 0.0
+        self.corrupt_draw = None
+        #: transfers the integrity layer found damaged (checked or not)
+        self.corrupt_transfers = 0
+
+    def arm_corruption(self, rate: float, draw) -> None:
+        """Start a transfer-corruption window (fault injection)."""
+        if not 0.0 < rate <= 1.0:
+            raise DyadError(f"corruption rate must be in (0, 1], got {rate}")
+        self.corrupt_rate = rate
+        self.corrupt_draw = draw
+
+    def disarm_corruption(self) -> None:
+        """End the transfer-corruption window."""
+        self.corrupt_rate = 0.0
+        self.corrupt_draw = None
 
     @property
     def env(self):

@@ -94,6 +94,16 @@ class TransferError(DyadError):
     """An RDMA/remote transfer could not be completed."""
 
 
+class IntegrityError(DyadError):
+    """Payload failed an integrity check (checksum mismatch, short frame).
+
+    Raised by :meth:`repro.md.frame.Frame.decode` when verification is
+    requested and the header checksum does not match the atom payload,
+    and by the checked DYAD/POSIX consume paths when a frame's observed
+    byte count disagrees with what its producer committed.
+    """
+
+
 class WorkflowError(ReproError):
     """Invalid workflow specification or orchestration failure."""
 
@@ -104,6 +114,19 @@ class ConfigError(ReproError):
 
 class FaultPlanError(ConfigError):
     """Invalid fault plan (unknown kind, bad target, overlapping windows)."""
+
+
+class InvariantViolation(WorkflowError):
+    """A workflow correctness invariant was broken during a run.
+
+    Raised by :class:`repro.invariants.InvariantChecker` (when fatal) the
+    moment an observation contradicts the invariant catalogue — bytes not
+    conserved across a frame's journey, a duplicate or missing consume, a
+    read that precedes its commit, leaked locks or in-flight channel
+    flows at drain, or non-monotonic per-process simulation time. The
+    message names the invariant and the offending frame/process so chaos
+    repros are diagnosable.
+    """
 
 
 class CampaignError(ReproError):

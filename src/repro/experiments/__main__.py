@@ -33,6 +33,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result cache location "
                              "(default: REPRO_CACHE_DIR or "
                              "~/.cache/repro/results)")
+    parser.add_argument("--fault-plan", default=None, metavar="FILE",
+                        help="JSON fault plan (e.g. a shrunk chaos repro) "
+                             "injected into every repetition; with the "
+                             "'chaos' experiment, replays the plan across "
+                             "the chaos workload grid instead of soaking")
     parser.add_argument("--output", default="EXPERIMENTS.md",
                         help="output path for 'report'")
     parser.add_argument("--svg-dir", default=None,
@@ -53,10 +58,15 @@ def _dispatch(args) -> int:
     """Run the selected experiment under the campaign scope."""
     from repro.experiments.parallel import campaign
 
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.chaos import load_plan
+
+        fault_plan = load_plan(args.fault_plan)
     # Campaign-style invocations default to the cache ON (re-runs skip
     # already-computed cells); --no-cache bypasses it.
     with campaign(jobs=args.jobs, cache=not args.no_cache,
-                  cache_dir=args.cache_dir):
+                  cache_dir=args.cache_dir, fault_plan=fault_plan):
         if args.experiment == "all":
             run_all(quick=args.quick)
             return 0
@@ -79,6 +89,9 @@ def _dispatch(args) -> int:
 
         for path in save_figure_svg(result, args.svg_dir):
             print(f"wrote {path}")
+    # The chaos soak is a gate: invariant violations fail the invocation.
+    if getattr(result, "failures", None):
+        return 1
     return 0
 
 

@@ -1,0 +1,86 @@
+"""Chaos — seeded random fault plans soaked against the invariant checker.
+
+Not a paper figure: a robustness gate. Each run draws a random (but
+seeded, hence fully reproducible) fault plan against a small workload
+grid and executes it with the invariant checker armed and fatal; the
+soak passes when every plan either completes with zero invariant
+violations or fails *diagnosed* (a typed error naming a cause). A
+violation or an untyped crash fails the gate, and the offending plan is
+shrunk to a minimal JSON repro (see :mod:`repro.chaos`) that
+``python -m repro.experiments --fault-plan`` can replay.
+
+CI runs ``python -m repro.experiments chaos --quick`` on every push
+(the ``chaos-smoke`` job) and uploads the shrunk plan artifact whenever
+the gate trips.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.chaos import ChaosReport, chaos_workloads, execute_plan, soak
+from repro.errors import CampaignError
+
+__all__ = ["run", "replay", "main", "DEFAULT_PLANS", "QUICK_PLANS"]
+
+#: Plans per full / quick soak. Quick stays near 20 seeded plans — small
+#: enough for a CI smoke job, large enough to cycle the workload grid
+#: five times with different fault mixes.
+DEFAULT_PLANS = 60
+QUICK_PLANS = 20
+
+
+def replay(plan, frames: int = 8) -> ChaosReport:
+    """Replay one plan (e.g. a shrunk repro) across the workload grid.
+
+    Each workload runs the plan checked-and-fatal under its grid seed;
+    exact reproduction of a *specific* soak failure uses the seed the
+    soak report printed (``repro.chaos.execute_plan(spec, plan,
+    seed=<printed>)``) — the grid sweep here is the smoke version.
+    """
+    report = ChaosReport(base_seed=0)
+    for i, spec in enumerate(chaos_workloads(frames)):
+        report.outcomes.append(execute_plan(spec, plan, seed=i))
+    return report
+
+
+def run(runs: Optional[int] = None, frames: Optional[int] = None,
+        quick: bool = False) -> ChaosReport:
+    """Run the soak; ``runs`` overrides the plan count.
+
+    A campaign-scoped fault plan (the CLI's ``--fault-plan FILE``)
+    switches to :func:`replay` mode — the deserialized plan runs across
+    the workload grid instead of a random soak.
+
+    ``REPRO_CHAOS_ARTIFACTS`` names the directory the shrunk repro (if
+    any) is serialized into (CI points it at the upload path).
+    """
+    from repro.experiments.parallel import default_fault_plan
+
+    frames = frames if frames is not None else 8
+    scoped = default_fault_plan()
+    if scoped is not None:
+        return replay(scoped, frames=frames)
+    plans = runs if runs is not None else (
+        QUICK_PLANS if quick else DEFAULT_PLANS
+    )
+    artifact_dir = os.environ.get("REPRO_CHAOS_ARTIFACTS") or None
+    return soak(plans=plans, base_seed=0, frames=frames,
+                artifact_dir=artifact_dir)
+
+
+def main(quick: bool = False) -> ChaosReport:
+    """Run, print, and *gate* the soak (raises on violations/crashes)."""
+    report = run(quick=quick)
+    print(report.render())
+    if report.failures:
+        raise CampaignError(
+            f"chaos soak failed: {len(report.failures)} plan(s) violated "
+            "invariants or crashed (see the shrunk repro artifact)"
+        )
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import CampaignError, ReproError
 from repro.faults.plan import FaultPlan
+from repro.invariants import InvariantConfig
 from repro.workflow.runner import WorkflowResult, run_workflow
 from repro.workflow.spec import WorkflowSpec
 
@@ -51,6 +52,7 @@ __all__ = [
     "RunTask",
     "campaign",
     "default_jobs",
+    "default_fault_plan",
     "run_campaign",
     "result_fingerprint",
 ]
@@ -62,7 +64,9 @@ _START_METHOD = "spawn"
 
 # Campaign-scoped defaults installed by :func:`campaign`. ``None`` means
 # "fall through to the environment".
-_SCOPED: Dict[str, Any] = {"jobs": None, "cache": None, "cache_dir": None}
+_SCOPED: Dict[str, Any] = {
+    "jobs": None, "cache": None, "cache_dir": None, "fault_plan": None,
+}
 
 
 @dataclass(frozen=True)
@@ -73,7 +77,10 @@ class RunTask:
     ``xfs_config`` / ``lustre_config`` keyword arguments of
     :func:`repro.workflow.runner.run_workflow`; ``fault_plan`` (when set)
     makes the repetition a *faulty* run — still a pure, seeded function
-    of its fields, and cached under a distinct key.
+    of its fields, and cached under a distinct key. ``invariants``
+    configures the run's invariant checker and participates in the cache
+    key the same way (a non-fatal checked run and a fatal one never
+    alias, even though clean results are bit-identical).
     """
 
     spec: WorkflowSpec
@@ -81,6 +88,7 @@ class RunTask:
     jitter_cv: float = 0.0
     system_configs: Dict[str, Any] = field(default_factory=dict)
     fault_plan: Optional[FaultPlan] = None
+    invariants: Optional[InvariantConfig] = None
 
 
 def default_jobs(override: Optional[int] = None) -> int:
@@ -116,10 +124,25 @@ def _default_cache(override: Optional[bool] = None) -> bool:
     return os.environ.get("REPRO_CACHE", "0") == "1"
 
 
+def default_fault_plan(
+    override: Optional[FaultPlan] = None,
+) -> Optional[FaultPlan]:
+    """Resolve the fault plan: explicit > campaign scope > none.
+
+    This is how ``--fault-plan FILE`` threads a deserialized chaos repro
+    into every repetition of whatever experiment the CLI dispatches,
+    without touching the figure modules' signatures.
+    """
+    if override is not None:
+        return override
+    return _SCOPED["fault_plan"]
+
+
 @contextmanager
 def campaign(jobs: Optional[int] = None, cache: Optional[bool] = None,
-             cache_dir: Optional[str] = None):
-    """Scope campaign-wide parallelism/caching defaults.
+             cache_dir: Optional[str] = None,
+             fault_plan: Optional[FaultPlan] = None):
+    """Scope campaign-wide parallelism/caching/fault defaults.
 
     Used by :func:`repro.experiments.registry.run_all` and the CLI so the
     individual figure modules keep their simple ``run(runs, frames)``
@@ -132,9 +155,12 @@ def campaign(jobs: Optional[int] = None, cache: Optional[bool] = None,
         _SCOPED["cache"] = cache
     if cache_dir is not None:
         _SCOPED["cache_dir"] = cache_dir
+    if fault_plan is not None:
+        _SCOPED["fault_plan"] = fault_plan
     try:
         yield
     finally:
+        _SCOPED.clear()
         _SCOPED.update(previous)
 
 
@@ -178,7 +204,8 @@ def _execute_task(task: RunTask) -> WorkflowResult:
     _maybe_injected_worker_fault(task.seed)
     return run_workflow(
         task.spec, seed=task.seed, jitter_cv=task.jitter_cv,
-        fault_plan=task.fault_plan, **task.system_configs,
+        fault_plan=task.fault_plan, invariants=task.invariants,
+        **task.system_configs,
     )
 
 
@@ -250,7 +277,7 @@ def run_campaign(
         for i, task in enumerate(tasks):
             keys[i] = cache.key(
                 task.spec, task.seed, task.jitter_cv, task.system_configs,
-                task.fault_plan,
+                task.fault_plan, task.invariants,
             )
             results[i] = cache.load(keys[i])
 

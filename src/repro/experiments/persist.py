@@ -213,7 +213,10 @@ def load_campaign(directory) -> Dict[str, FigureResult]:
 #: WorkflowResult layout that keeps the package version constant).
 #: 2: system_stats gained DYAD/fault counters; keys gained the fault plan.
 #: 3: system_stats gained the channel_* kernel-health counters.
-_CACHE_SCHEMA = 3
+#: 4: system_stats gained invariant_* counters; results gained
+#:    invariant_violations; keys gained the invariant-checker config and
+#:    integrity-fault plan fields.
+_CACHE_SCHEMA = 4
 
 
 def default_cache_root() -> str:
@@ -250,12 +253,13 @@ class ResultCache:
     # -- keying ------------------------------------------------------------
     def key(self, spec, seed: int, jitter_cv: float,
             system_configs: Optional[Dict[str, Any]] = None,
-            fault_plan: Optional[Any] = None) -> str:
+            fault_plan: Optional[Any] = None,
+            invariants: Optional[Any] = None) -> str:
         """Hex digest identifying one repetition's inputs.
 
-        ``fault_plan`` participates in the digest (via its deterministic
-        dataclass ``repr``) so faulty and fault-free runs of the same spec
-        can never collide.
+        ``fault_plan`` and ``invariants`` participate in the digest (via
+        their deterministic dataclass ``repr``) so faulty, fault-free,
+        checked, and unchecked runs of the same spec can never collide.
         """
         import repro
 
@@ -272,6 +276,8 @@ class ResultCache:
                     if cfg is not None
                 },
                 "fault_plan": repr(fault_plan) if fault_plan is not None
+                else None,
+                "invariants": repr(invariants) if invariants is not None
                 else None,
             },
             sort_keys=True,

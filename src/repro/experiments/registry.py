@@ -7,6 +7,7 @@ from typing import Callable, Dict, List, Optional
 from repro.errors import ReproError
 from repro.experiments import (
     ablations,
+    chaos_soak,
     extension_fanout,
     resilience,
     validate,
@@ -37,6 +38,7 @@ EXPERIMENTS: Dict[str, object] = {
     "ablations": ablations,
     "fanout": extension_fanout,
     "resilience": resilience,
+    "chaos": chaos_soak,
     "validate": validate,
 }
 

@@ -1,11 +1,20 @@
 """Turn a :class:`~repro.faults.plan.FaultPlan` into live simulation faults.
 
 The :class:`FaultInjector` resolves every event's target against the run's
-cluster / DYAD runtime / Lustre servers *before* the simulation starts (a
-bad plan fails fast with :class:`~repro.errors.FaultPlanError`, not three
-simulated hours in), then spawns one lightweight process per event that
-sleeps until the strike time, applies the fault, sleeps the window, and
-reverts it.
+cluster / DYAD runtime / Lustre servers / client file system *before* the
+simulation starts (a bad plan fails fast with
+:class:`~repro.errors.FaultPlanError`, not three simulated hours in), then
+spawns one lightweight process per event that sleeps until the strike
+time, applies the fault, sleeps the window, and reverts it.
+
+Windows on the same target may overlap or abut, so faults never set
+substrate state directly: each substrate's effective state is *derived*
+from the set of currently-active windows and recomputed on every apply
+and revert. Degradations compose multiplicatively (two 2x slowdowns make
+a 4x), outages hold until the **last** enclosing window lifts (a
+``dyad_crash`` nested inside a ``node_crash`` must not resurrect the
+service early), corruption rates combine as independent probabilities,
+and metadata lags take the maximum.
 
 Fault semantics per kind:
 
@@ -23,11 +32,23 @@ Fault semantics per kind:
   ``severity``; in-flight transfers slow down mid-stream.
 - ``lustre_slowdown`` — Lustre servers degrade by ``severity``
   (``target`` picks all / ``"mds"`` / ``"oss<i>"``).
+- ``torn_write`` — writes land only ``severity`` of their declared bytes
+  while the window is open. On DYAD the target node's staging FS tears
+  and the revert *repairs* (the producer re-publishes after the service
+  restart); on XFS/Lustre the revert leaves frames short — journal
+  replay truncates to what landed, and readers see the damage.
+- ``bit_corrupt`` — each transfer/write flips payload bytes with
+  probability ``rate`` (seeded stream, drawn only inside the window).
+  DYAD corrupts in-flight RDMA pulls; XFS/Lustre corrupt at-rest writes.
+- ``stale_metadata`` — DYAD publishes the KVS record *before* the bytes
+  are staged (consumers can win the race and must retry); Lustre's MDS
+  answers ``stat`` with attributes up to ``severity`` seconds old. XFS
+  has no metadata server to lag, so targeting it is a plan error.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.topology import Cluster
 from repro.errors import FaultPlanError
@@ -45,17 +66,37 @@ class FaultInjector:
         cluster: Cluster,
         dyad: Optional[object] = None,
         lustre: Optional[object] = None,
+        fs: Optional[object] = None,
     ) -> None:
         plan.validate()
         self.plan = plan
         self.cluster = cluster
         self.dyad = dyad
         self.lustre = lustre
+        self.fs = fs
         self.env = cluster.env
         #: fault windows applied so far (strike side)
         self.applied = 0
         #: fault windows reverted so far (restore side)
         self.reverted = 0
+        # -- active-window composition state (see module docstring) --
+        # node index -> active SSD slowdown factors
+        self._ssd_factors: Dict[int, List[float]] = {}
+        # "mds" / ("oss", i) -> active Lustre slowdown factors
+        self._lustre_factors: Dict[object, List[float]] = {}
+        # node_id -> open windows holding the fabric link down
+        self._link_refs: Dict[str, int] = {}
+        # node_id -> open windows holding the DYAD service crashed
+        self._service_refs: Dict[str, int] = {}
+        # node_id -> open windows forcing publish-before-stage
+        self._stale_refs: Dict[str, int] = {}
+        # active Lustre metadata lags (max wins)
+        self._stale_lags: List[float] = []
+        # target fs id -> (fs, active torn fractions, repair on last lift)
+        self._torn: Dict[int, Tuple[object, List[float], bool]] = {}
+        # target id -> (armable, active corruption rates)
+        self._corrupt: Dict[int, Tuple[object, List[float]]] = {}
+        self._corrupt_gen = None  # lazily-created seeded stream
         # Resolve every event now: (event, apply, revert) triples.
         self._actions: List[Tuple[FaultEvent, Callable, Callable]] = [
             (event, *self._resolve(event)) for event in plan.events
@@ -88,22 +129,127 @@ class FaultInjector:
             )
         return self.dyad.service(node_id)
 
+    def _data_fs(self, event: FaultEvent):
+        """The file system a data-integrity event tears/corrupts.
+
+        DYAD runs route to the target node's staging FS; POSIX runs route
+        to the shared client FS (XFS mount or Lustre client).
+        """
+        if self.dyad is not None:
+            node = self._node(event)
+            return self._dyad_service(event, node.node_id).staging
+        if self.fs is None:
+            raise FaultPlanError(
+                f"{event.kind} at t={event.at}: the run has neither a DYAD"
+                " runtime nor a client file system to damage"
+            )
+        return self.fs
+
+    def _draw(self) -> float:
+        """One uniform draw from the injector's seeded corruption stream.
+
+        The stream exists only once a window actually fires, so clean
+        runs and plans without ``bit_corrupt`` make no extra RNG draws.
+        """
+        if self._corrupt_gen is None:
+            self._corrupt_gen = self.cluster.rng.stream("faults.bit_corrupt")
+        return float(self._corrupt_gen.random())
+
+    # -- composed-state transitions ------------------------------------------
+    def _hold_link(self, node_id: str) -> None:
+        refs = self._link_refs.get(node_id, 0)
+        if refs == 0:
+            self.cluster.fabric.fail_link(node_id)
+        self._link_refs[node_id] = refs + 1
+
+    def _release_link(self, node_id: str) -> None:
+        refs = self._link_refs.get(node_id, 0) - 1
+        self._link_refs[node_id] = refs
+        if refs == 0:
+            self.cluster.fabric.restore_link(node_id)
+
+    def _hold_service(self, service) -> None:
+        refs = self._service_refs.get(service.node.node_id, 0)
+        if refs == 0:
+            service.crash()
+        self._service_refs[service.node.node_id] = refs + 1
+
+    def _release_service(self, service) -> None:
+        refs = self._service_refs.get(service.node.node_id, 0) - 1
+        self._service_refs[service.node.node_id] = refs
+        if refs == 0:
+            service.restart()
+
+    def _set_ssd(self, index: int) -> None:
+        factors = self._ssd_factors.get(index, [])
+        ssd = self.cluster.node(index).ssd
+        if factors:
+            product = 1.0
+            for f in factors:
+                product *= f
+            ssd.degrade(product)
+        else:
+            ssd.restore()
+
+    def _set_lustre(self, component) -> None:
+        factors = self._lustre_factors.get(component, [])
+        target = "mds" if component == "mds" else f"oss{component[1]}"
+        if factors:
+            product = 1.0
+            for f in factors:
+                product *= f
+            self.lustre.degrade(product, target)
+        else:
+            self.lustre.restore(target)
+
+    def _set_torn(self, key: int) -> None:
+        fs, fractions, repair = self._torn[key]
+        if fractions:
+            # Overlapping tears compose to the most severe active fraction.
+            fs.arm_torn_writes(min(fractions))
+        else:
+            fs.disarm_torn_writes(repair=repair)
+
+    def _set_corrupt(self, key: int) -> None:
+        armable, rates = self._corrupt[key]
+        if rates:
+            # Independent windows: P(any flips) = 1 - prod(1 - r_i).
+            survive = 1.0
+            for r in rates:
+                survive *= 1.0 - r
+            armable.arm_corruption(min(1.0, 1.0 - survive), self._draw)
+        else:
+            armable.disarm_corruption()
+
+    def _set_stale_lag(self) -> None:
+        self.lustre.stale_lag = max(self._stale_lags, default=0.0)
+
     def _resolve(self, event: FaultEvent) -> Tuple[Callable, Callable]:
         """(apply, revert) callables for one event; validates the target."""
         kind = event.kind
-        fabric = self.cluster.fabric
         if kind == "link_flap":
             node = self._node(event)
-            return (lambda: fabric.fail_link(node.node_id),
-                    lambda: fabric.restore_link(node.node_id))
+            return (lambda: self._hold_link(node.node_id),
+                    lambda: self._release_link(node.node_id))
         if kind == "ssd_degrade":
             node = self._node(event)
-            return (lambda: node.ssd.degrade(event.severity),
-                    lambda: node.ssd.restore())
+            index = self.cluster.nodes.index(node)
+            factors = self._ssd_factors.setdefault(index, [])
+
+            def apply() -> None:
+                factors.append(event.severity)
+                self._set_ssd(index)
+
+            def revert() -> None:
+                factors.remove(event.severity)
+                self._set_ssd(index)
+
+            return apply, revert
         if kind == "dyad_crash":
             node = self._node(event)
             service = self._dyad_service(event, node.node_id)
-            return service.crash, service.restart
+            return (lambda: self._hold_service(service),
+                    lambda: self._release_service(service))
         if kind == "node_crash":
             node = self._node(event)
             service = None
@@ -111,14 +257,14 @@ class FaultInjector:
                 service = self.dyad.service(node.node_id)
 
             def apply() -> None:
-                fabric.fail_link(node.node_id)
+                self._hold_link(node.node_id)
                 if service is not None:
-                    service.crash()
+                    self._hold_service(service)
 
             def revert() -> None:
                 if service is not None:
-                    service.restart()
-                fabric.restore_link(node.node_id)
+                    self._release_service(service)
+                self._release_link(node.node_id)
 
             return apply, revert
         if kind == "lustre_slowdown":
@@ -127,10 +273,98 @@ class FaultInjector:
                     f"lustre_slowdown at t={event.at}: the run has no"
                     " Lustre servers"
                 )
-            servers = self.lustre
-            servers._fault_targets(event.target)  # validate selector now
-            return (lambda: servers.degrade(event.severity, event.target),
-                    lambda: servers.restore(event.target))
+            touch_mds, indices = self.lustre._fault_targets(event.target)
+            components: List[object] = ["mds"] if touch_mds else []
+            components.extend(("oss", i) for i in indices)
+
+            def apply() -> None:
+                for component in components:
+                    self._lustre_factors.setdefault(component, []).append(
+                        event.severity
+                    )
+                    self._set_lustre(component)
+
+            def revert() -> None:
+                for component in components:
+                    self._lustre_factors[component].remove(event.severity)
+                    self._set_lustre(component)
+
+            return apply, revert
+        if kind == "torn_write":
+            fs = self._data_fs(event)
+            # DYAD staging repairs on revert (the producer re-publishes
+            # after the restart); a shared POSIX FS keeps the short frames
+            # (journal replay truncates to what landed).
+            entry = self._torn.setdefault(
+                id(fs), (fs, [], self.dyad is not None)
+            )
+
+            def apply() -> None:
+                entry[1].append(event.severity)
+                self._set_torn(id(fs))
+
+            def revert() -> None:
+                entry[1].remove(event.severity)
+                self._set_torn(id(fs))
+
+            return apply, revert
+        if kind == "bit_corrupt":
+            # DYAD corrupts the RDMA pull in flight; POSIX corrupts the
+            # write at rest.
+            if self.dyad is not None:
+                armable = self.dyad
+            elif self.fs is not None:
+                armable = self.fs
+            else:
+                raise FaultPlanError(
+                    f"bit_corrupt at t={event.at}: the run has neither a"
+                    " DYAD runtime nor a client file system to corrupt"
+                )
+            entry = self._corrupt.setdefault(id(armable), (armable, []))
+
+            def apply() -> None:
+                entry[1].append(event.rate)
+                self._set_corrupt(id(armable))
+
+            def revert() -> None:
+                entry[1].remove(event.rate)
+                self._set_corrupt(id(armable))
+
+            return apply, revert
+        if kind == "stale_metadata":
+            if self.dyad is not None:
+                node = self._node(event)
+                service = self._dyad_service(event, node.node_id)
+                node_id = service.node.node_id
+
+                def apply() -> None:
+                    refs = self._stale_refs.get(node_id, 0)
+                    service.stale_publish = True
+                    self._stale_refs[node_id] = refs + 1
+
+                def revert() -> None:
+                    refs = self._stale_refs.get(node_id, 0) - 1
+                    self._stale_refs[node_id] = refs
+                    if refs == 0:
+                        service.stale_publish = False
+
+                return apply, revert
+            if self.lustre is not None:
+                servers = self.lustre
+
+                def apply() -> None:
+                    self._stale_lags.append(event.severity)
+                    self._set_stale_lag()
+
+                def revert() -> None:
+                    self._stale_lags.remove(event.severity)
+                    self._set_stale_lag()
+
+                return apply, revert
+            raise FaultPlanError(
+                f"stale_metadata at t={event.at}: XFS is node-local and has"
+                " no metadata server to lag (use a DYAD or Lustre run)"
+            )
         raise FaultPlanError(f"unknown fault kind {kind!r}")  # pragma: no cover
 
     # -- scheduling ----------------------------------------------------------

@@ -21,7 +21,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import FaultPlanError
 
-__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS"]
+__all__ = ["FaultEvent", "FaultPlan", "FAULT_KINDS", "INTEGRITY_KINDS"]
 
 #: Recognized fault kinds → what the injector does during the window.
 FAULT_KINDS = (
@@ -30,10 +30,16 @@ FAULT_KINDS = (
     "link_flap",        # fabric link down; traffic stalls until restore
     "lustre_slowdown",  # Lustre MDS/OSS degraded by `severity`
     "dyad_crash",       # DYAD service down; remote gets fail + retry
+    "torn_write",       # writes land only `severity` of their bytes
+    "bit_corrupt",      # each write/transfer corrupted with prob. `rate`
+    "stale_metadata",   # metadata visible before data (DYAD KVS / Lustre)
 )
 
 #: Kinds whose `severity` is a slowdown factor (must be >= 1).
 _DEGRADE_KINDS = frozenset({"ssd_degrade", "lustre_slowdown"})
+
+#: Integrity kinds corrupt *data* rather than availability/performance.
+INTEGRITY_KINDS = frozenset({"torn_write", "bit_corrupt", "stale_metadata"})
 
 
 @dataclass(frozen=True)
@@ -54,7 +60,15 @@ class FaultEvent:
         Window length in seconds; the injector reverts the fault at
         ``at + duration``.
     severity:
-        Slowdown factor for the degrade kinds (>= 1); ignored otherwise.
+        Slowdown factor for the degrade kinds (>= 1). ``torn_write``
+        reinterprets it as the *fraction* of each write's declared bytes
+        that actually land (in ``(0, 1)``); ``stale_metadata`` on Lustre
+        reads it as the size/mtime lag in seconds. Ignored otherwise.
+    rate:
+        Per-operation probability for ``bit_corrupt`` (each write or
+        remote transfer inside the window is corrupted with this
+        probability, drawn from the run's seeded RNG). Ignored by the
+        other kinds.
     """
 
     kind: str
@@ -62,6 +76,7 @@ class FaultEvent:
     target: str = ""
     duration: float = 0.0
     severity: float = 1.0
+    rate: float = 0.0
 
     @property
     def until(self) -> float:
@@ -87,6 +102,26 @@ class FaultEvent:
             raise FaultPlanError(
                 f"{self.kind}: severity is a slowdown factor and must be"
                 f" >= 1, got {self.severity}"
+            )
+        if self.kind == "torn_write" and not 0.0 < self.severity < 1.0:
+            raise FaultPlanError(
+                "torn_write: severity is the fraction of declared bytes"
+                f" that land and must be in (0, 1), got {self.severity}"
+            )
+        if self.kind == "stale_metadata" and self.severity < 0.0:
+            raise FaultPlanError(
+                "stale_metadata: severity is the metadata lag in seconds"
+                f" and must be >= 0, got {self.severity}"
+            )
+        if self.kind == "bit_corrupt":
+            if not 0.0 < self.rate <= 1.0:
+                raise FaultPlanError(
+                    "bit_corrupt: rate is a per-operation corruption"
+                    f" probability and must be in (0, 1], got {self.rate}"
+                )
+        elif not 0.0 <= self.rate <= 1.0:
+            raise FaultPlanError(
+                f"{self.kind}: rate must be in [0, 1], got {self.rate}"
             )
 
 
@@ -133,18 +168,11 @@ class FaultPlan:
             raise FaultPlanError("max_events must be >= 1")
         if self.max_time is not None and self.max_time <= 0:
             raise FaultPlanError("max_time must be positive")
-        # Overlapping windows of the same (kind, target) are ambiguous:
-        # the earlier revert would cancel the later fault mid-window.
-        last_end: Dict[Tuple[str, str], Tuple[float, FaultEvent]] = {}
-        for event in self.events:  # already sorted by strike time
-            key = (event.kind, event.target)
-            if key in last_end and event.at < last_end[key][0]:
-                raise FaultPlanError(
-                    f"overlapping {event.kind} windows on target "
-                    f"{event.target!r}: [{last_end[key][1].at}, "
-                    f"{last_end[key][0]}) and [{event.at}, {event.until})"
-                )
-            last_end[key] = (event.until, event)
+        # Overlapping windows — even of the same (kind, target) — are
+        # legal: the injector derives each substrate's state from the set
+        # of currently-active windows (degradations multiply, outages
+        # hold until the last window lifts), so an early revert can never
+        # cancel a later fault mid-window.
 
     @property
     def is_trivial(self) -> bool:

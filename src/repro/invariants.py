@@ -1,0 +1,231 @@
+"""Workflow correctness invariants, checked live during every run.
+
+The paper's argument rests on DYAD moving *the right bytes* faster — so
+the simulator must be able to prove it never lies under faults, not just
+that it degrades believably. This module is that proof obligation: a
+pure-bookkeeping :class:`InvariantChecker` the workflow runner threads
+through every producer/consumer process. It adds **zero simulated time**
+and takes no event-path decisions, so a clean run with checking on is
+bit-identical to one with checking off (asserted by the fingerprint
+fixtures).
+
+The invariant catalogue:
+
+- **conservation** — every consumed frame carries exactly the bytes its
+  producer committed (torn writes and short reads violate this);
+- **exactly-once** — each consumer consumes each of its frames exactly
+  once: no duplicates at consume time, no gaps at drain;
+- **causality** — no consumer read completes before the matching commit
+  (the KVS publish for DYAD, the completed write for POSIX);
+- **integrity** — no consumer keeps a payload a corruption window
+  damaged (checked paths re-fetch; unchecked ones trip this);
+- **drain** — at workflow completion no lock is still held and no
+  channel has in-flight flows (leaked resources);
+- **monotonic-time** — per-process simulation time never runs backwards
+  (a kernel self-check; every report observes the clock).
+
+Violations are collected as human-readable strings and, when the
+checker is fatal (the default), raised immediately as
+:class:`~repro.errors.InvariantViolation` so a chaos repro fails loudly
+at the first lie instead of producing silently-wrong metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import InvariantViolation
+
+__all__ = ["InvariantConfig", "InvariantChecker"]
+
+
+@dataclass(frozen=True)
+class InvariantConfig:
+    """How a run's invariant checker behaves.
+
+    Frozen and ``repr``-stable so it participates in the result-cache
+    content hash: runs with different checking regimes never alias.
+
+    Attributes
+    ----------
+    enabled:
+        Master switch. Off = the "unchecked legacy consumer" mode: no
+        observations, no violations, ``invariant_checks == 0``.
+    fatal:
+        When True (default) the first violation raises
+        :class:`~repro.errors.InvariantViolation`; when False violations
+        are recorded and the run continues — the chaos harness uses this
+        to collect *all* lies a fault plan induces.
+    """
+
+    enabled: bool = True
+    fatal: bool = True
+
+
+class InvariantChecker:
+    """Collects invariant observations from one workflow run.
+
+    All methods are plain Python bookkeeping — no generator, no timeout,
+    no RNG draw — so threading the checker through a run cannot perturb
+    the simulation.
+    """
+
+    def __init__(self, env, config: Optional[InvariantConfig] = None) -> None:
+        self.env = env
+        self.config = config or InvariantConfig()
+        #: individual invariant evaluations performed
+        self.checks = 0
+        #: human-readable violation records (empty on a correct run)
+        self.violations: List[str] = []
+        # (pair, frame) -> (committed nbytes, commit sim-time)
+        self._commits: Dict[Tuple[int, int], Tuple[int, float]] = {}
+        # (role, pair, frame) consumed so far
+        self._consumed: Dict[Tuple[str, int, int], float] = {}
+        # role -> last observed sim-time
+        self._last_time: Dict[str, float] = {}
+
+    # -- plumbing ------------------------------------------------------------
+    def _report(self, message: str) -> None:
+        self.violations.append(message)
+        if self.config.fatal:
+            raise InvariantViolation(message)
+
+    def _observe_clock(self, role: str) -> None:
+        now = self.env.now
+        last = self._last_time.get(role)
+        self.checks += 1
+        if last is not None and now < last:
+            self._report(
+                f"monotonic-time: {role} observed t={now!r} after t={last!r}"
+            )
+        self._last_time[role] = now
+
+    # -- producer-side observations -------------------------------------------
+    def frame_committed(self, role: str, pair: int, frame: int, nbytes: int,
+                        at: Optional[float] = None) -> None:
+        """The producer of ``pair`` committed ``frame`` (``nbytes`` bytes).
+
+        ``at`` overrides the commit instant (DYAD passes the KVS publish
+        time, which under ``stale_metadata`` precedes the report).
+        """
+        if not self.config.enabled:
+            return
+        self._observe_clock(role)
+        self.checks += 1
+        key = (pair, frame)
+        if key in self._commits:
+            self._report(
+                f"exactly-once: frame {frame} of pair {pair} committed twice"
+            )
+        self._commits[key] = (
+            nbytes, self.env.now if at is None else float(at)
+        )
+
+    # -- consumer-side observations -------------------------------------------
+    def frame_consumed(self, role: str, pair: int, frame: int, expected: int,
+                       got: Optional[int], corrupt: bool = False) -> None:
+        """``role`` finished reading ``frame`` of ``pair``.
+
+        ``expected`` is what the consumer believes the frame holds (the
+        workload's frame size); ``got`` is what actually arrived
+        (``None`` is treated as ``expected`` for callers that cannot
+        observe a byte count). ``corrupt`` marks a payload a corruption
+        window damaged and no check caught.
+        """
+        if not self.config.enabled:
+            return
+        self._observe_clock(role)
+        got = expected if got is None else got
+        key = (role, pair, frame)
+        self.checks += 1
+        if key in self._consumed:
+            self._report(
+                f"exactly-once: {role} consumed frame {frame} of pair "
+                f"{pair} twice"
+            )
+        self._consumed[key] = self.env.now
+        commit = self._commits.get((pair, frame))
+        self.checks += 1
+        if commit is None:
+            self._report(
+                f"causality: {role} consumed frame {frame} of pair {pair} "
+                "before any commit"
+            )
+        else:
+            nbytes, t_commit = commit
+            if self.env.now < t_commit:
+                self._report(
+                    f"causality: {role} read frame {frame} of pair {pair} "
+                    f"at t={self.env.now!r}, before its commit at "
+                    f"t={t_commit!r}"
+                )
+            self.checks += 1
+            if nbytes != expected:
+                self._report(
+                    f"conservation: {role} expects {expected} bytes for "
+                    f"frame {frame} of pair {pair} but its producer "
+                    f"committed {nbytes}"
+                )
+        self.checks += 1
+        if got != expected:
+            self._report(
+                f"conservation: {role} read {got} of {expected} bytes for "
+                f"frame {frame} of pair {pair}"
+            )
+        self.checks += 1
+        if corrupt:
+            self._report(
+                f"integrity: {role} consumed a corrupted payload for frame "
+                f"{frame} of pair {pair}"
+            )
+
+    # -- end-of-run checks -----------------------------------------------------
+    def check_drain(self, lock_tables: Iterable = (),
+                    channels: Iterable = ()) -> None:
+        """No locks held and no in-flight channel flows at drain."""
+        if not self.config.enabled:
+            return
+        for table in lock_tables:
+            self.checks += 1
+            leaked = getattr(table, "_paths", None) or {}
+            if leaked:
+                sample = ", ".join(sorted(leaked)[:3])
+                self._report(
+                    f"drain: {len(leaked)} lock path(s) still held at "
+                    f"drain ({sample})"
+                )
+        for channel in channels:
+            self.checks += 1
+            flows = getattr(channel, "active_flows", 0)
+            if flows:
+                self._report(
+                    f"drain: channel still has {flows} in-flight flow(s) "
+                    "at drain"
+                )
+
+    def check_complete(self, consumers: Dict[str, int], frames: int) -> None:
+        """Every consumer consumed each of its pair's frames exactly once.
+
+        ``consumers`` maps consumer role name → the pair index it reads.
+        Duplicates were caught at consume time; this closes the gap side.
+        """
+        if not self.config.enabled:
+            return
+        for role, pair in sorted(consumers.items()):
+            self.checks += 1
+            missing = [f for f in range(frames)
+                       if (role, pair, f) not in self._consumed]
+            if missing:
+                shown = ", ".join(str(f) for f in missing[:5])
+                more = "" if len(missing) <= 5 else f" (+{len(missing) - 5})"
+                self._report(
+                    f"exactly-once: {role} never consumed frame(s) "
+                    f"{shown}{more} of pair {pair}"
+                )
+
+    # -- reporting --------------------------------------------------------------
+    @property
+    def violation_count(self) -> int:
+        """How many violations were recorded."""
+        return len(self.violations)

@@ -3,26 +3,40 @@
 A frame is the atom list with 3-D positions (plus per-atom metadata) that
 the simulation emits every *stride* steps. The on-disk layout is
 
-- a 44-byte header: magic, version, flags, atom count, step index,
-  simulation time, periodic box lengths;
+- a 44-byte header: magic, version, flags, atom count, payload checksum,
+  step index, simulation time, periodic box lengths;
 - one 28-byte record per atom (:data:`ATOM_DTYPE`).
 
 ``44 + 28 × natoms`` reproduces the paper's Table I frame sizes to two
 decimals for all four molecular models, so the emulated workloads move
 exactly the byte counts the paper reports.
+
+The header carries a CRC-32 of the atom payload (flag
+:data:`FLAG_CHECKSUM`) so consumers can *detect* torn or corrupted
+frames — ``Frame.decode(payload, verify=True)`` raises
+:class:`~repro.errors.IntegrityError` instead of silently returning
+damaged coordinates. Version 1 frames (no checksum, flag clear) still
+decode; verification is skipped for them.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import IntegrityError, ReproError
 
-__all__ = ["ATOM_DTYPE", "FRAME_HEADER_BYTES", "Frame", "frame_size"]
+__all__ = [
+    "ATOM_DTYPE",
+    "FLAG_CHECKSUM",
+    "FRAME_HEADER_BYTES",
+    "Frame",
+    "frame_size",
+]
 
 #: Per-atom record: 28 bytes.
 ATOM_DTYPE = np.dtype(
@@ -38,9 +52,15 @@ ATOM_DTYPE = np.dtype(
 assert ATOM_DTYPE.itemsize == 28
 
 _MAGIC = b"MDFR"
-_VERSION = 1
-#: Header: magic(4s) version(H) flags(H) natoms(Q) step(Q) time(d) box(3f)
-_HEADER = struct.Struct("<4sHHQQd3f")
+_VERSION = 2
+#: Oldest version :meth:`Frame.decode` still accepts (v1 had a 64-bit
+#: atom count where v2 stores natoms(I) + checksum(I); same 44 bytes).
+_MIN_VERSION = 1
+#: Header flag: the checksum field holds a CRC-32 of the atom payload.
+FLAG_CHECKSUM = 0x1
+#: Header: magic(4s) version(H) flags(H) natoms(I) checksum(I) step(Q)
+#: time(d) box(3f) — still 44 bytes, so Table I frame sizes are unchanged.
+_HEADER = struct.Struct("<4sHHIIQd3f")
 FRAME_HEADER_BYTES = _HEADER.size
 assert FRAME_HEADER_BYTES == 44
 
@@ -109,43 +129,62 @@ class Frame:
 
     # -- codec -------------------------------------------------------------------
     def encode(self) -> bytes:
-        """Serialize to exactly :attr:`nbytes` bytes."""
-        flags = 0
+        """Serialize to exactly :attr:`nbytes` bytes (checksum included)."""
+        atom_bytes = self.atoms.tobytes()
         header = _HEADER.pack(
             _MAGIC,
             _VERSION,
-            flags,
+            FLAG_CHECKSUM,
             self.natoms,
+            zlib.crc32(atom_bytes) & 0xFFFFFFFF,
             self.step,
             float(self.time),
             float(self.box[0]),
             float(self.box[1]),
             float(self.box[2]),
         )
-        return header + self.atoms.tobytes()
+        return header + atom_bytes
 
     @classmethod
-    def decode(cls, payload: bytes) -> "Frame":
-        """Deserialize; raises :class:`ReproError` on malformed input."""
+    def decode(cls, payload: bytes, verify: bool = True) -> "Frame":
+        """Deserialize; raises :class:`ReproError` on malformed input.
+
+        With ``verify`` (the default), a frame whose header advertises a
+        checksum is validated against its atom payload and a mismatch
+        raises :class:`~repro.errors.IntegrityError` — this is how the
+        checked consume paths detect torn/corrupted frames. ``verify=
+        False`` models a legacy consumer that trusts the bytes as-is.
+        """
         if len(payload) < FRAME_HEADER_BYTES:
             raise ReproError(
                 f"frame too short: {len(payload)} < {FRAME_HEADER_BYTES}"
             )
-        magic, version, _flags, natoms, step, time, bx, by, bz = _HEADER.unpack_from(
-            payload
-        )
+        (magic, version, flags, natoms, checksum, step, time, bx, by, bz,
+         ) = _HEADER.unpack_from(payload)
         if magic != _MAGIC:
             raise ReproError(f"bad frame magic {magic!r}")
-        if version != _VERSION:
+        if not _MIN_VERSION <= version <= _VERSION:
             raise ReproError(f"unsupported frame version {version}")
+        if version < 2:
+            # v1 stored natoms as a u64 where v2 has natoms(I)+checksum(I);
+            # little-endian, so the checksum field read the high half.
+            natoms, flags = natoms + (checksum << 32), 0
         expected = frame_size(natoms)
         if len(payload) != expected:
             raise ReproError(
                 f"frame size mismatch: {len(payload)} != {expected} "
                 f"for {natoms} atoms"
             )
+        atom_bytes = payload[FRAME_HEADER_BYTES:]
+        if verify and flags & FLAG_CHECKSUM:
+            actual = zlib.crc32(atom_bytes) & 0xFFFFFFFF
+            if actual != checksum:
+                raise IntegrityError(
+                    f"frame checksum mismatch: header says {checksum:#010x},"
+                    f" payload hashes to {actual:#010x} (step {step})"
+                )
         atoms = np.frombuffer(
-            payload, dtype=ATOM_DTYPE, count=natoms, offset=FRAME_HEADER_BYTES
+            atom_bytes, dtype=ATOM_DTYPE, count=natoms
         ).copy()
         return cls(
             atoms,

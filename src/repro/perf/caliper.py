@@ -45,6 +45,10 @@ class Annotator:
         self.clock = clock
         self.tree = CallTree(label=name)
         self._stack: List[Tuple[str, float, Optional[str]]] = []
+        #: ``(region, end_time)`` of the most recently closed region —
+        #: what a stalled process was last seen finishing (StallError
+        #: diagnostics name this, making chaos repros readable).
+        self.last_completed: Optional[Tuple[str, float]] = None
 
     @property
     def depth(self) -> int:
@@ -74,6 +78,7 @@ class Annotator:
                 f"region mismatch: end({region!r}) while {name!r} is open"
             )
         elapsed = self.clock() - started
+        self.last_completed = (name, self.clock())
         node = self.tree.node(*self.current_path(), name)
         node.add_metric("time", elapsed)
         node.add_metric("count", 1)

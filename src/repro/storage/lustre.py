@@ -143,6 +143,10 @@ class LustreServers:
             self.oss.append(server)
         self.n_osts = self.config.n_oss * self.config.osts_per_oss
         self.mds_factor = 1.0  # fault-injection slowdown on metadata service
+        # ``stale_metadata`` window: stats of files modified less than this
+        # many seconds ago report pre-modification size/mtime (client-cache
+        # coherence lag). 0 = always fresh.
+        self.stale_lag = 0.0
 
     # -- fault injection -----------------------------------------------------
     def _fault_targets(self, target: str) -> tuple:
@@ -290,6 +294,9 @@ class LustreFileSystem(PosixFileSystem):
         self.config = servers.config
         self.locks = LockTable(servers.env)
         self._next_ost = 0
+
+    def _metadata_lag(self) -> float:
+        return self.servers.stale_lag
 
     # -- striping ------------------------------------------------------------
     def _layout(self, path: str) -> int:

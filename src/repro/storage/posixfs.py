@@ -57,7 +57,7 @@ class _Inode:
     """Internal node of the namespace tree."""
 
     __slots__ = ("name", "is_dir", "size", "payload", "children", "version",
-                 "ctime", "mtime", "nlink")
+                 "ctime", "mtime", "nlink", "intended_size", "corrupt", "prev")
 
     def __init__(self, name: str, is_dir: bool, now: float) -> None:
         self.name = name
@@ -69,6 +69,10 @@ class _Inode:
         self.ctime = now
         self.mtime = now
         self.nlink = 1  # open handles keep unlinked files alive
+        self.intended_size = 0   # declared size when a torn write shortened us
+        self.corrupt = False     # a bit_corrupt window damaged the payload
+        self.prev: Optional[Tuple[int, int, float]] = None  # (size, version,
+        # mtime) before the last metadata change, for stale-stat windows
 
 
 class FileHandle:
@@ -142,24 +146,48 @@ class FileHandle:
             raise StorageError(
                 f"payload length {len(data)} != declared size {nbytes}"
             )
-        elapsed = yield from self.fs._t_write(self, nbytes)
-        end = self._offset + nbytes
-        grow = end - self._inode.size
+        fs = self.fs
+        inode = self._inode
+        # Integrity windows (armed by the fault injector): a torn write
+        # lands only a fraction of its declared bytes — the "producer
+        # crashed mid-frame" state. The application-visible contract is
+        # unchanged (offset advances by the declared size); only the
+        # persisted bytes are short.
+        landed = nbytes
+        torn = False
+        if fs._torn_fraction is not None:
+            landed = int(nbytes * fs._torn_fraction)
+            torn = landed < nbytes
+        elapsed = yield from fs._t_write(self, landed)
+        inode.prev = (inode.size, inode.version, inode.mtime)
+        end = self._offset + landed
+        grow = end - inode.size
         if grow > 0:
-            self.fs._account_growth(grow)
-            self._inode.size = end
-        if self.fs.store_data:
-            if self._inode.payload is None:
-                self._inode.payload = bytearray(self._inode.size)
-            elif len(self._inode.payload) < self._inode.size:
-                self._inode.payload.extend(
-                    b"\0" * (self._inode.size - len(self._inode.payload))
+            fs._account_growth(grow)
+            inode.size = end
+        if fs.store_data:
+            if inode.payload is None:
+                inode.payload = bytearray(inode.size)
+            elif len(inode.payload) < inode.size:
+                inode.payload.extend(
+                    b"\0" * (inode.size - len(inode.payload))
                 )
             if data is not None:
-                self._inode.payload[self._offset:end] = data
-        self._offset = end
-        self._inode.version += 1
-        self._inode.mtime = self.fs.env.now
+                inode.payload[self._offset:end] = data[:landed]
+        if torn:
+            inode.intended_size = max(
+                inode.intended_size, self._offset + nbytes
+            )
+            fs._torn.setdefault(self.path, []).append(
+                (inode, self._offset, nbytes, data)
+            )
+        if fs._corrupt_rate > 0.0 and fs._corrupt_draw() < fs._corrupt_rate:
+            inode.corrupt = True
+            if fs.store_data and inode.payload is not None and end > self._offset:
+                inode.payload[self._offset] ^= 0xFF  # flip a payload byte
+        self._offset += nbytes
+        inode.version += 1
+        inode.mtime = fs.env.now
         return elapsed
 
     def read(self, nbytes: Optional[int] = None) -> Generator:
@@ -211,6 +239,11 @@ class PosixFileSystem:
         self.env = env
         self.store_data = store_data
         self._root = _Inode("/", is_dir=True, now=env.now)
+        # Integrity-fault state, armed/disarmed by the fault injector.
+        self._torn_fraction: Optional[float] = None
+        self._torn: Dict[str, List[Tuple[_Inode, int, int, Optional[bytes]]]] = {}
+        self._corrupt_rate = 0.0
+        self._corrupt_draw = None  # zero-arg callable -> uniform [0, 1)
 
     # -- namespace helpers ------------------------------------------------------
     def _walk(self, path: str) -> Tuple[Optional[_Inode], _Inode, List[str]]:
@@ -287,26 +320,43 @@ class PosixFileSystem:
             parent.children[parts[-1]] = inode
         assert inode is not None
         if mode in ("w", "w+") and inode.size:
+            inode.prev = (inode.size, inode.version, inode.mtime)
             self._account_growth(-inode.size)
             inode.size = 0
             inode.payload = bytearray() if self.store_data else None
             inode.version += 1
+        if mode in ("w", "w+"):
+            # A truncating rewrite supersedes any earlier torn/corrupt state.
+            inode.intended_size = 0
+            inode.corrupt = False
+            self._torn.pop(normalize(path), None)
         inode.nlink += 1
         return FileHandle(self, normalize(path), inode, mode, client)
 
     def stat(self, path: str, client: Optional[str] = None) -> Generator:
-        """Timed stat; returns a :class:`FileStat`."""
+        """Timed stat; returns a :class:`FileStat`.
+
+        During a ``stale_metadata`` window (:meth:`_metadata_lag` > 0,
+        Lustre only) a file modified less than the lag ago reports the
+        metadata it had *before* that modification — the client-cache
+        size/mtime lag that defeats polling-based synchronization.
+        """
         yield from self._t_stat(path, client=client)
         inode, _, _ = self._walk(path)
         if inode is None:
             raise FileNotFound(path)
+        size, version, mtime = inode.size, inode.version, inode.mtime
+        lag = self._metadata_lag()
+        if (lag > 0.0 and inode.prev is not None
+                and self.env.now - inode.mtime < lag):
+            size, version, mtime = inode.prev
         return FileStat(
             path=normalize(path),
-            size=inode.size,
+            size=size,
             is_dir=inode.is_dir,
-            version=inode.version,
+            version=version,
             ctime=inode.ctime,
-            mtime=inode.mtime,
+            mtime=mtime,
         )
 
     def unlink(self, path: str, client: Optional[str] = None) -> Generator:
@@ -321,6 +371,90 @@ class PosixFileSystem:
         inode.nlink -= 1
         self._reap(inode)
         return None
+
+    # -- integrity-fault hooks ---------------------------------------------------
+    def arm_torn_writes(self, fraction: float) -> None:
+        """Start a torn-write window: writes land ``fraction`` of their bytes."""
+        if not 0.0 < fraction < 1.0:
+            raise StorageError(
+                f"torn-write fraction must be in (0, 1), got {fraction}"
+            )
+        self._torn_fraction = fraction
+
+    def disarm_torn_writes(self, repair: bool = False) -> int:
+        """End the torn-write window; returns how many writes were repaired.
+
+        ``repair=True`` replays every torn write in full (size, payload,
+        version) — the "producer re-publishes after restart" recovery of
+        DYAD's staging directory. ``repair=False`` leaves files short and
+        merely forgets the torn marks: XFS journal replay truncating to
+        the last consistent extent, or Lustre exposing the torn file
+        as-is until the sync barrier.
+        """
+        self._torn_fraction = None
+        torn, self._torn = self._torn, {}
+        repaired = 0
+        if not repair:
+            return repaired
+        for entries in torn.values():
+            for inode, offset, nbytes, data in entries:
+                if inode.nlink <= 0:
+                    continue  # unlinked before the producer could recover
+                end = offset + nbytes
+                grow = end - inode.size
+                if grow > 0:
+                    self._account_growth(grow)
+                    inode.size = end
+                if self.store_data:
+                    if inode.payload is None:
+                        inode.payload = bytearray(inode.size)
+                    elif len(inode.payload) < inode.size:
+                        inode.payload.extend(
+                            b"\0" * (inode.size - len(inode.payload))
+                        )
+                    if data is not None:
+                        inode.payload[offset:end] = data
+                inode.intended_size = 0
+                inode.version += 1
+                inode.mtime = self.env.now
+                repaired += 1
+        return repaired
+
+    def arm_corruption(self, rate: float, draw) -> None:
+        """Start a bit-corruption window: each write is damaged with
+        probability ``rate``, decided by ``draw()`` (a seeded stream)."""
+        if not 0.0 < rate <= 1.0:
+            raise StorageError(
+                f"corruption rate must be in (0, 1], got {rate}"
+            )
+        self._corrupt_rate = rate
+        self._corrupt_draw = draw
+
+    def disarm_corruption(self) -> None:
+        """End the bit-corruption window (damaged files stay damaged)."""
+        self._corrupt_rate = 0.0
+        self._corrupt_draw = None
+
+    def is_corrupt(self, path: str) -> bool:
+        """True when a corruption window damaged this file's payload."""
+        try:
+            inode, _, _ = self._walk(path)
+        except (FileNotFound, NotADirectory):
+            return False
+        return inode is not None and inode.corrupt
+
+    def is_torn(self, path: str) -> bool:
+        """True when the file is still short of a torn write's declared size."""
+        try:
+            inode, _, _ = self._walk(path)
+        except (FileNotFound, NotADirectory):
+            return False
+        return inode is not None and inode.size < inode.intended_size
+
+    def _metadata_lag(self) -> float:
+        """Stale-metadata window in seconds (0 = always fresh); Lustre
+        overrides this to expose its client-cache lag."""
+        return 0.0
 
     # -- accounting hooks --------------------------------------------------------
     def _account_growth(self, delta: int) -> None:

@@ -25,9 +25,12 @@ Region names match the paper's Figs. 9-10 call trees
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import TYPE_CHECKING, Generator, Optional
 
 from repro.dyad.client import DyadConsumerClient, DyadProducerClient
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.invariants import InvariantChecker
 from repro.perf.caliper import Annotator, Category
 from repro.sim.core import Environment
 from repro.sim.resources import Signal
@@ -106,6 +109,7 @@ def dyad_producer(
     annotator: Annotator,
     pair: int,
     compute: ComputeModel = _EXACT,
+    checker: Optional["InvariantChecker"] = None,
 ) -> Generator:
     """Generator: MD-sleep then produce, ``spec.frames`` times."""
     root = client.runtime.config.managed_root
@@ -116,6 +120,13 @@ def dyad_producer(
         yield from client.produce(
             frame_path(root, pair, k), spec.frame_bytes, annotator=annotator
         )
+        if checker is not None:
+            # The commit instant is the KVS publish (which a stale_metadata
+            # window moves ahead of the staged bytes).
+            checker.frame_committed(
+                f"producer{pair}", pair, k, spec.frame_bytes,
+                at=client.last_commit_time,
+            )
 
 
 def dyad_consumer(
@@ -125,11 +136,17 @@ def dyad_consumer(
     annotator: Annotator,
     pair: int,
     compute: ComputeModel = _EXACT,
+    checker: Optional["InvariantChecker"] = None,
 ) -> Generator:
     """Generator: consume then analytics-sleep, ``spec.frames`` times."""
     root = client.runtime.config.managed_root
     for k in range(spec.frames):
         yield from client.consume(frame_path(root, pair, k), annotator=annotator)
+        if checker is not None:
+            checker.frame_consumed(
+                f"consumer{pair}", pair, k, spec.frame_bytes,
+                client.last_consume_bytes, client.last_consume_corrupt,
+            )
         annotator.begin("analytics_sleep", Category.COMPUTE)
         yield env.timeout(compute.sample(f"pair{pair}.frame{k}", spec.analytics_time))
         annotator.end("analytics_sleep")
@@ -150,6 +167,7 @@ def posix_producer(
     pair: int,
     root: str = "/data",
     compute: ComputeModel = _EXACT,
+    checker: Optional["InvariantChecker"] = None,
 ) -> Generator:
     """Generator: produce all frames, then release the pair barrier.
 
@@ -165,6 +183,12 @@ def posix_producer(
         handle = yield from fs.open(frame_path(root, pair, k), "w", client=node_id)
         try:
             yield from handle.write(spec.frame_bytes)
+            if checker is not None:
+                # Data is fully visible once the write lands (a polling
+                # consumer may legally read before close completes).
+                checker.frame_committed(
+                    f"producer{pair}", pair, k, spec.frame_bytes
+                )
         finally:
             yield from handle.close()
         annotator.end(WRITE_REGION)
@@ -181,20 +205,27 @@ def posix_consumer(
     pair: int,
     root: str = "/data",
     compute: ComputeModel = _EXACT,
+    checker: Optional["InvariantChecker"] = None,
 ) -> Generator:
     """Generator: wait for the producer phase, then read + analyze each frame."""
     annotator.begin(SYNC_REGION, Category.IDLE)
     yield barrier.wait()
     annotator.end(SYNC_REGION)
     for k in range(spec.frames):
+        path = frame_path(root, pair, k)
         annotator.begin(READ_REGION, Category.MOVEMENT)
-        handle = yield from fs.open(frame_path(root, pair, k), "r", client=node_id)
+        handle = yield from fs.open(path, "r", client=node_id)
         try:
             count, _payload = yield from handle.read()
         finally:
             yield from handle.close()
         annotator.end(READ_REGION)
-        if count != spec.frame_bytes:
+        if checker is not None:
+            checker.frame_consumed(
+                f"consumer{pair}", pair, k, spec.frame_bytes, count,
+                fs.is_corrupt(path),
+            )
+        elif count != spec.frame_bytes:
             raise AssertionError(
                 f"pair {pair} frame {k}: read {count} bytes, "
                 f"expected {spec.frame_bytes}"
@@ -213,6 +244,7 @@ def posix_consumer_polling(
     pair: int,
     root: str = "/data",
     compute: ComputeModel = _EXACT,
+    checker: Optional["InvariantChecker"] = None,
 ) -> Generator:
     """Generator: Pegasus-style polling consumer (fine-grained manual sync).
 
@@ -252,7 +284,12 @@ def posix_consumer_polling(
         finally:
             yield from handle.close()
         annotator.end(READ_REGION)
-        if count != spec.frame_bytes:
+        if checker is not None:
+            checker.frame_consumed(
+                f"consumer{pair}", pair, k, spec.frame_bytes, count,
+                fs.is_corrupt(path),
+            )
+        elif count != spec.frame_bytes:
             raise AssertionError(
                 f"pair {pair} frame {k}: read {count} bytes, "
                 f"expected {spec.frame_bytes}"

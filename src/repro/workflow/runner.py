@@ -25,6 +25,7 @@ from repro.dyad.config import DyadConfig
 from repro.dyad.service import DyadRuntime
 from repro.errors import StallError, WorkflowError
 from repro.faults.plan import FaultPlan
+from repro.invariants import InvariantChecker, InvariantConfig
 from repro.perf.caliper import Caliper, Category
 from repro.perf.calltree import CallTree
 from repro.perf.thicket import Thicket
@@ -51,6 +52,9 @@ class WorkflowResult:
     tracer: Optional[Tracer] = None
     #: system-level counters of the run (network transfers, bytes, ...)
     system_stats: Dict[str, float] = field(default_factory=dict)
+    #: invariant violations recorded by a non-fatal checker (fatal
+    #: checkers raise instead; clean runs leave this empty)
+    invariant_violations: List[str] = field(default_factory=list)
 
     # -- the paper's metrics ------------------------------------------------------
     def _per_frame(self, trees: List[CallTree], category: str) -> float:
@@ -129,6 +133,7 @@ def run_workflow(
     lustre_config: Optional[LustreConfig] = None,
     trace: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    invariants: Optional[InvariantConfig] = None,
 ) -> WorkflowResult:
     """Run one workflow configuration on a fresh simulated cluster.
 
@@ -144,9 +149,15 @@ def run_workflow(
     a run whose recovery deadlocks or spins raises
     :class:`~repro.errors.StallError` naming the stuck processes instead
     of hanging or returning silently-incomplete metrics.
+
+    ``invariants`` configures the run's
+    :class:`~repro.invariants.InvariantChecker` (default: enabled and
+    fatal). The checker is pure bookkeeping — it adds no simulated time
+    and clean-run results are bit-identical with it on or off.
     """
     cluster = corona(nodes=spec.nodes_required, seed=seed, jitter_cv=jitter_cv)
     env = cluster.env
+    checker = InvariantChecker(env, invariants)
     compute = emulator.ComputeModel(
         cluster.rng, jitter_cv if compute_cv is None else compute_cv
     )
@@ -165,6 +176,7 @@ def run_workflow(
 
     runtime = None
     servers = None
+    fs = None
     consumers: List = []
     processes: List = []  # (role, Process) for stall diagnostics
     if spec.system is System.DYAD:
@@ -184,29 +196,53 @@ def run_workflow(
             consumers.append(consumer)
             processes.append((f"producer{pair}", env.process(
                 emulator.dyad_producer(
-                    env, spec, producer, producer_anns[pair], pair, compute
+                    env, spec, producer, producer_anns[pair], pair, compute,
+                    checker=checker,
                 )
             )))
             processes.append((f"consumer{pair}", env.process(
                 emulator.dyad_consumer(
-                    env, spec, consumer, consumer_anns[pair], pair, compute
+                    env, spec, consumer, consumer_anns[pair], pair, compute,
+                    checker=checker,
                 )
             )))
     elif spec.system is System.XFS:
         fs = XFSFileSystem(cluster.node(0), config=xfs_config)
         fs.makedirs("/data")
         processes = _spawn_posix(
-            env, spec, fs, cluster, placements, producer_anns, consumer_anns, compute
+            env, spec, fs, cluster, placements, producer_anns, consumer_anns,
+            compute, checker,
         )
     elif spec.system is System.LUSTRE:
         servers = LustreServers(env, cluster.fabric, lustre_config, cluster.rng)
         fs = LustreFileSystem(servers)
         fs.makedirs("/data")
         processes = _spawn_posix(
-            env, spec, fs, cluster, placements, producer_anns, consumer_anns, compute
+            env, spec, fs, cluster, placements, producer_anns, consumer_anns,
+            compute, checker,
         )
     else:  # pragma: no cover - enum is exhaustive
         raise WorkflowError(f"unknown system {spec.system!r}")
+
+    ann_by_role: Dict[str, object] = {}
+    for p in range(spec.pairs):
+        ann_by_role[f"producer{p}"] = producer_anns[p]
+        ann_by_role[f"consumer{p}"] = consumer_anns[p]
+
+    def _stuck_detail() -> List[str]:
+        """Describe each stuck process by the last event it completed."""
+        parts = []
+        for role, proc in processes:
+            if not proc.is_alive:
+                continue
+            last = getattr(ann_by_role.get(role), "last_completed", None)
+            if last is not None:
+                parts.append(
+                    f"{role} (last completed {last[0]!r} at t={last[1]:.6g}s)"
+                )
+            else:
+                parts.append(f"{role} (completed no events)")
+        return parts
 
     injector = None
     if fault_plan is None:
@@ -215,23 +251,33 @@ def run_workflow(
         from repro.faults.inject import FaultInjector
 
         injector = FaultInjector(
-            fault_plan, cluster, dyad=runtime, lustre=servers
+            fault_plan, cluster, dyad=runtime, lustre=servers, fs=fs
         )
         injector.start()
-        env.run_guarded(
-            max_events=fault_plan.max_events or _default_event_budget(spec),
-            max_time=fault_plan.max_time,
-        )
+        try:
+            env.run_guarded(
+                max_events=fault_plan.max_events or _default_event_budget(spec),
+                max_time=fault_plan.max_time,
+            )
+        except StallError as err:
+            # Budget/horizon exhausted: name what each stuck process was
+            # last seen finishing so a shrunk chaos repro is readable.
+            detail = _stuck_detail()
+            if detail:
+                raise StallError(
+                    f"{err} — stuck: {'; '.join(detail)}"
+                ) from None
+            raise
         # The guarded loop returning is necessary but not sufficient: a
         # recovery deadlock (e.g. a consumer parked on a link that never
         # came back) drains the heap with processes still waiting, which
         # run() would silently accept and report as a short makespan.
-        stuck = [role for role, proc in processes if proc.is_alive]
+        stuck = _stuck_detail()
         if stuck:
             raise StallError(
                 f"workflow ended at t={env.now:.6g}s with "
                 f"{len(stuck)} process(es) still waiting: "
-                f"{', '.join(stuck)} — the fault plan's recovery never "
+                f"{'; '.join(stuck)} — the fault plan's recovery never "
                 "completed"
             )
         # Recovery correctness: every frame must have arrived despite the
@@ -272,6 +318,21 @@ def run_workflow(
         "channel_peak_flows": float(health["peak_concurrent_flows"]),
         "channel_reschedules": float(health["reschedules"]),
     })
+    # End-of-run invariants: no leaked locks or in-flight flows, and every
+    # consumer drained its full frame sequence.
+    lock_tables = []
+    if fs is not None:
+        lock_tables.append(fs.locks)
+    if runtime is not None:
+        lock_tables.extend(
+            s.staging.locks for s in runtime.services.values()
+        )
+    checker.check_drain(lock_tables, channels)
+    checker.check_complete(
+        {f"consumer{p}": p for p in range(spec.pairs)}, spec.frames
+    )
+    system_stats["invariant_checks"] = float(checker.checks)
+    system_stats["invariant_violations"] = float(checker.violation_count)
     if runtime is not None:
         system_stats.update({
             "dyad_kvs_waits": float(sum(c.kvs_waits for c in consumers)),
@@ -299,11 +360,12 @@ def run_workflow(
         consumer_trees=[ann.finish() for ann in consumer_anns],
         tracer=tracer,
         system_stats=system_stats,
+        invariant_violations=list(checker.violations),
     )
 
 
 def _spawn_posix(env, spec, fs, cluster, placements, producer_anns, consumer_anns,
-                 compute):
+                 compute, checker):
     """Spawn traditional producer/consumer pairs with per-pair barriers.
 
     The subdirectory tree is created up front (the paper's harness sets up
@@ -317,7 +379,7 @@ def _spawn_posix(env, spec, fs, cluster, placements, producer_anns, consumer_ann
         processes.append((f"producer{pair}", env.process(
             emulator.posix_producer(
                 env, spec, fs, cluster.node(pn).node_id, barrier,
-                producer_anns[pair], pair, compute=compute,
+                producer_anns[pair], pair, compute=compute, checker=checker,
             )
         )))
         if spec.sync_mode is SyncMode.POLLING:
@@ -325,6 +387,7 @@ def _spawn_posix(env, spec, fs, cluster, placements, producer_anns, consumer_ann
                 emulator.posix_consumer_polling(
                     env, spec, fs, cluster.node(cn).node_id,
                     consumer_anns[pair], pair, compute=compute,
+                    checker=checker,
                 )
             )))
         else:
@@ -332,6 +395,7 @@ def _spawn_posix(env, spec, fs, cluster, placements, producer_anns, consumer_ann
                 emulator.posix_consumer(
                     env, spec, fs, cluster.node(cn).node_id, barrier,
                     consumer_anns[pair], pair, compute=compute,
+                    checker=checker,
                 )
             )))
     return processes
@@ -346,6 +410,7 @@ def run_repetitions(
     use_cache: Optional[bool] = None,
     cache_dir: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
+    invariants: Optional[InvariantConfig] = None,
     **system_configs,
 ) -> List[WorkflowResult]:
     """Run ``runs`` repetitions with distinct seeds (paper: 10 runs).
@@ -362,12 +427,18 @@ def run_repetitions(
         raise WorkflowError(f"runs must be >= 1, got {runs}")
     # Imported lazily: repro.experiments depends on this module at import
     # time; at call time both are fully initialized.
-    from repro.experiments.parallel import RunTask, run_campaign
+    from repro.experiments.parallel import (
+        RunTask,
+        default_fault_plan,
+        run_campaign,
+    )
 
+    fault_plan = default_fault_plan(fault_plan)
     tasks = [
         RunTask(
             spec=spec, seed=base_seed + 1000 * r, jitter_cv=jitter_cv,
             system_configs=system_configs, fault_plan=fault_plan,
+            invariants=invariants,
         )
         for r in range(runs)
     ]

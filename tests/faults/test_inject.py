@@ -200,3 +200,204 @@ def test_bad_lustre_selector_fails_fast(two_node_cluster):
     ))
     with pytest.raises(Exception, match="bad Lustre target"):
         FaultInjector(plan, cluster, lustre=servers)
+
+
+# ---------------------------------------------------------------------------
+# overlapping / abutting windows compose instead of clobbering
+# ---------------------------------------------------------------------------
+
+
+def test_overlapping_ssd_degrade_windows_compose(two_node_cluster):
+    """Two overlapping degradations multiply; restores peel off in order."""
+    cluster = two_node_cluster
+    ssd = cluster.node(0).ssd
+    plan = FaultPlan(events=(
+        FaultEvent("ssd_degrade", at=1.0, target="0", duration=4.0,
+                   severity=2.0),
+        FaultEvent("ssd_degrade", at=2.0, target="0", duration=1.0,
+                   severity=3.0),
+    ))
+    injector = FaultInjector(plan, cluster)
+    injector.start()
+    seen = []
+    for at in (1.5, 2.5, 3.5, 5.5):
+        cluster.env.process(
+            _sample(cluster.env, at, lambda: ssd.degraded, seen)
+        )
+    cluster.env.run()
+    # alone, both, inner reverted (outer factor back), fully restored
+    assert seen == [2.0, 6.0, 2.0, 1.0]
+    assert injector.applied == injector.reverted == 2
+
+
+def test_abutting_ssd_degrade_windows(two_node_cluster):
+    """Back-to-back windows end with the SSD healthy, not half-reverted."""
+    cluster = two_node_cluster
+    ssd = cluster.node(0).ssd
+    plan = FaultPlan(events=(
+        FaultEvent("ssd_degrade", at=1.0, target="0", duration=1.0,
+                   severity=2.0),
+        FaultEvent("ssd_degrade", at=2.0, target="0", duration=1.0,
+                   severity=4.0),
+    ))
+    FaultInjector(plan, cluster).start()
+    seen = []
+    cluster.env.process(_sample(cluster.env, 1.5, lambda: ssd.degraded, seen))
+    cluster.env.process(_sample(cluster.env, 2.5, lambda: ssd.degraded, seen))
+    cluster.env.run()
+    assert seen == [2.0, 4.0]
+    assert ssd.degraded == 1.0
+
+
+def test_dyad_crash_inside_node_crash_restore_ordering(two_node_cluster):
+    """The inner window's revert must not resurrect the service early."""
+    cluster = two_node_cluster
+    runtime = DyadRuntime(cluster)
+    service = runtime.service("node00")
+    plan = FaultPlan(events=(
+        FaultEvent("node_crash", at=1.0, target="0", duration=4.0),
+        FaultEvent("dyad_crash", at=2.0, target="0", duration=1.0),
+    ))
+    FaultInjector(plan, cluster, dyad=runtime).start()
+    seen = []
+    probe = lambda: (cluster.fabric.link_is_down("node00"), service.crashed)
+    for at in (2.5, 3.5, 5.5):
+        cluster.env.process(_sample(cluster.env, at, probe, seen))
+    cluster.env.run()
+    # inside both; after dyad_crash reverts the node_crash still holds
+    # the service down; everything restored after the outer window
+    assert seen == [(True, True), (True, True), (False, False)]
+    # only the outer window's 0->1 transition counts as a crash
+    assert service.crashes == 1
+
+
+def test_overlapping_link_flaps_hold_until_last(two_node_cluster):
+    cluster = two_node_cluster
+    plan = FaultPlan(events=(
+        FaultEvent("link_flap", at=1.0, target="1", duration=3.0),
+        FaultEvent("link_flap", at=2.0, target="1", duration=3.0),
+    ))
+    FaultInjector(plan, cluster).start()
+    seen = []
+    probe = lambda: cluster.fabric.link_is_down("node01")
+    for at in (3.5, 4.5, 5.5):
+        cluster.env.process(_sample(cluster.env, at, probe, seen))
+    cluster.env.run()
+    # first window reverts at t=4 but the second holds the link to t=5
+    assert seen == [True, True, False]
+
+
+def test_overlapping_lustre_slowdowns_compose(two_node_cluster):
+    cluster = two_node_cluster
+    servers = LustreServers(cluster.env, cluster.fabric)
+    plan = FaultPlan(events=(
+        FaultEvent("lustre_slowdown", at=1.0, target="mds", duration=4.0,
+                   severity=2.0),
+        FaultEvent("lustre_slowdown", at=2.0, target="mds", duration=1.0,
+                   severity=5.0),
+    ))
+    FaultInjector(plan, cluster, lustre=servers).start()
+    seen = []
+    for at in (1.5, 2.5, 3.5, 5.5):
+        cluster.env.process(
+            _sample(cluster.env, at, lambda: servers.mds_factor, seen)
+        )
+    cluster.env.run()
+    assert seen == [2.0, 10.0, 2.0, 1.0]
+
+
+# ---------------------------------------------------------------------------
+# integrity kinds: routing + windows
+# ---------------------------------------------------------------------------
+
+
+def test_torn_write_window_on_dyad_staging_repairs(two_node_cluster,
+                                                   run_process):
+    cluster = two_node_cluster
+    runtime = DyadRuntime(cluster)
+    staging = runtime.service("node00").staging
+    producer = runtime.producer("node00", "p")
+    plan = FaultPlan(events=(
+        FaultEvent("torn_write", at=0.0, target="0", duration=2.0,
+                   severity=0.25),
+    ))
+    FaultInjector(plan, cluster, dyad=runtime).start()
+    run_process(cluster.env, producer.produce("/dyad/f", 1000))
+    # the produce landed inside the window: staged file is short
+    assert staging.is_torn("/dyad/f")
+    cluster.env.run()  # window reverts -> DYAD staging repairs
+    assert not staging.is_torn("/dyad/f")
+
+
+def test_torn_write_without_any_fs_fails_fast(two_node_cluster):
+    plan = FaultPlan(events=(
+        FaultEvent("torn_write", at=0.0, target="0", duration=1.0,
+                   severity=0.5),
+    ))
+    with pytest.raises(FaultPlanError, match="neither a DYAD runtime"):
+        FaultInjector(plan, two_node_cluster)
+
+
+def test_bit_corrupt_window_arms_dyad_runtime(two_node_cluster):
+    cluster = two_node_cluster
+    runtime = DyadRuntime(cluster)
+    plan = FaultPlan(events=(
+        FaultEvent("bit_corrupt", at=1.0, target="0", duration=1.0,
+                   rate=0.5),
+    ))
+    FaultInjector(plan, cluster, dyad=runtime).start()
+    seen = []
+    cluster.env.process(
+        _sample(cluster.env, 1.5, lambda: runtime.corrupt_rate, seen)
+    )
+    cluster.env.run()
+    assert seen == [0.5]
+    assert runtime.corrupt_rate == 0.0  # disarmed after the window
+
+
+def test_overlapping_bit_corrupt_rates_combine(two_node_cluster):
+    cluster = two_node_cluster
+    runtime = DyadRuntime(cluster)
+    plan = FaultPlan(events=(
+        FaultEvent("bit_corrupt", at=1.0, target="0", duration=2.0,
+                   rate=0.5),
+        FaultEvent("bit_corrupt", at=1.5, target="0", duration=1.0,
+                   rate=0.5),
+    ))
+    FaultInjector(plan, cluster, dyad=runtime).start()
+    seen = []
+    cluster.env.process(
+        _sample(cluster.env, 2.0, lambda: runtime.corrupt_rate, seen)
+    )
+    cluster.env.run()
+    # independent windows: 1 - (1-0.5)(1-0.5)
+    assert seen == [pytest.approx(0.75)]
+    assert runtime.corrupt_rate == 0.0
+
+
+def test_stale_metadata_without_mdm_fails_fast(two_node_cluster):
+    from repro.storage.xfs import XFSFileSystem
+
+    fs = XFSFileSystem(two_node_cluster.node(0))
+    plan = FaultPlan(events=(
+        FaultEvent("stale_metadata", at=0.0, target="0", duration=1.0),
+    ))
+    with pytest.raises(FaultPlanError, match="no metadata server"):
+        FaultInjector(plan, two_node_cluster, fs=fs)
+
+
+def test_stale_metadata_sets_lustre_lag(two_node_cluster):
+    cluster = two_node_cluster
+    servers = LustreServers(cluster.env, cluster.fabric)
+    plan = FaultPlan(events=(
+        FaultEvent("stale_metadata", at=1.0, target="0", duration=1.0,
+                   severity=0.125),
+    ))
+    FaultInjector(plan, cluster, lustre=servers).start()
+    seen = []
+    cluster.env.process(
+        _sample(cluster.env, 1.5, lambda: servers.stale_lag, seen)
+    )
+    cluster.env.run()
+    assert seen == [0.125]
+    assert servers.stale_lag == 0.0

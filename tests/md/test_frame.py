@@ -1,5 +1,7 @@
 """Unit tests for the binary frame codec."""
 
+import struct
+
 import numpy as np
 import pytest
 
@@ -102,3 +104,39 @@ def test_decode_copies_buffer():
     g = Frame.decode(bytes(payload))
     payload[50] ^= 0xFF  # mutating the source must not affect the frame
     assert g == Frame.decode(f.encode())
+
+
+def test_decode_detects_corrupt_atom_payload():
+    from repro.errors import IntegrityError
+
+    payload = bytearray(Frame.random(10, np.random.default_rng(3)).encode())
+    payload[FRAME_HEADER_BYTES + 7] ^= 0xFF
+    with pytest.raises(IntegrityError, match="checksum mismatch"):
+        Frame.decode(bytes(payload))
+    # a legacy consumer that skips verification gets the damaged frame
+    damaged = Frame.decode(bytes(payload), verify=False)
+    assert damaged.natoms == 10
+
+
+def test_decode_detects_corrupt_header_checksum():
+    from repro.errors import IntegrityError
+
+    payload = bytearray(Frame.zeros(4).encode())
+    payload[12] ^= 0x01  # flip a bit in the stored checksum itself
+    with pytest.raises(IntegrityError, match="checksum mismatch"):
+        Frame.decode(bytes(payload))
+
+
+def test_decode_v1_header_compat():
+    # v1 stored natoms as a u64 spanning today's natoms+checksum fields
+    # and had no flags; craft one by hand and check it still decodes.
+    f = Frame.random(7, np.random.default_rng(4), step=9, time=1.5)
+    atom_bytes = f.atoms.tobytes()
+    header = struct.pack(
+        "<4sHHIIQd3f", b"MDFR", 1, 0, 7, 0, 9, 1.5,
+        float(f.box[0]), float(f.box[1]), float(f.box[2]),
+    )
+    g = Frame.decode(header + atom_bytes)
+    assert g == f
+    # and verify=True is a no-op for v1: no checksum to check
+    assert Frame.decode(header + atom_bytes, verify=True) == f
