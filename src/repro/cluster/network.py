@@ -135,6 +135,10 @@ class Fabric:
             else None
         )
         self.stats = FabricStats()
+        # telemetry hooks (None until attach_metrics)
+        self._m_bytes = None
+        self._m_stalls = None
+        self._m_links_down = None
 
     # -- topology -------------------------------------------------------------
     def attach(self, node_id: str) -> NIC:
@@ -163,6 +167,26 @@ class Fabric:
         if self._bisection is not None:
             yield self._bisection
 
+    # -- telemetry --------------------------------------------------------------
+    def attach_metrics(self, timeline) -> None:
+        """Meter every link plus fabric-wide totals onto ``timeline``.
+
+        Per-NIC channels appear as ``net.{node}.egress`` /
+        ``net.{node}.ingress`` gauge families, the switch as
+        ``net.bisection``; ``net.bytes_moved`` / ``net.link_stalls``
+        counters and the ``net.links_down`` gauge track fabric-wide state.
+        Attach after all nodes are registered.
+        """
+        for node_id, nic in self._nics.items():
+            nic.egress.attach_metrics(timeline, f"net.{node_id}.egress")
+            nic.ingress.attach_metrics(timeline, f"net.{node_id}.ingress")
+        if self._bisection is not None:
+            self._bisection.attach_metrics(timeline, "net.bisection")
+        self._m_bytes = timeline.counter("net.bytes_moved")
+        self._m_stalls = timeline.counter("net.link_stalls")
+        self._m_links_down = timeline.gauge("net.links_down")
+        self._m_links_down.set(float(len(self._link_down)))
+
     # -- fault injection --------------------------------------------------------
     def link_is_down(self, node_id: str) -> bool:
         """True while ``fail_link(node_id)`` is in effect."""
@@ -179,11 +203,15 @@ class Fabric:
         self.nic(node_id)  # raises TransferError for unknown nodes
         if node_id not in self._link_down:
             self._link_down[node_id] = Signal(self.env)
+            if self._m_links_down is not None:
+                self._m_links_down.set(float(len(self._link_down)))
 
     def restore_link(self, node_id: str) -> None:
         """Bring a failed link back; wakes every transfer stalled on it."""
         signal = self._link_down.pop(node_id, None)
         if signal is not None:
+            if self._m_links_down is not None:
+                self._m_links_down.set(float(len(self._link_down)))
             signal.fire()
 
     def _await_links(self, src: str, dst: str):
@@ -196,6 +224,8 @@ class Fabric:
             if not stalled:
                 stalled = True
                 self.stats.link_stalls += 1
+                if self._m_stalls is not None:
+                    self._m_stalls.inc()
             yield signal.wait()
 
     # -- data path --------------------------------------------------------------
@@ -229,6 +259,8 @@ class Fabric:
                 flows.append(self._bisection.transfer(nbytes))
             yield self.env.all_of(flows)
         self.stats.bytes_moved += nbytes
+        if self._m_bytes is not None:
+            self._m_bytes.add(nbytes)
         return self.env.now - start
 
     def transfer(self, src: str, dst: str, nbytes: int):

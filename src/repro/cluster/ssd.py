@@ -102,11 +102,25 @@ class SSDModel:
         self._used = 0
         self._degraded = 1.0
         self.stats = SSDStats()
+        self._m_used = None  # used-bytes gauge when metered
 
     def channels(self):
         """Both device channels, for kernel-health aggregation."""
         yield self._read_chan
         yield self._write_chan
+
+    # -- telemetry -----------------------------------------------------------
+    def attach_metrics(self, timeline, label: str) -> None:
+        """Meter the device as ``{label}.read`` / ``{label}.write`` channel
+        gauge families plus a ``{label}.used_bytes`` occupancy gauge.
+
+        On a DYAD staging node the occupancy gauge doubles as the staging
+        area's fill level over time.
+        """
+        self._read_chan.attach_metrics(timeline, f"{label}.read")
+        self._write_chan.attach_metrics(timeline, f"{label}.write")
+        self._m_used = timeline.gauge(f"{label}.used_bytes")
+        self._m_used.set(float(self._used))
 
     # -- fault injection -----------------------------------------------------
     @property
@@ -154,6 +168,8 @@ class SSDModel:
                 f"({self.free} B free)"
             )
         self._used += nbytes
+        if self._m_used is not None:
+            self._m_used.set(float(self._used))
 
     def release(self, nbytes: int) -> None:
         """Return space freed by an unlink/truncate."""
@@ -162,6 +178,8 @@ class SSDModel:
         if nbytes > self._used:
             raise StorageError(f"{self.name}: releasing more than allocated")
         self._used -= nbytes
+        if self._m_used is not None:
+            self._m_used.set(float(self._used))
 
     # -- data path -----------------------------------------------------------
     def _latency(self, stream: str, base: float) -> float:

@@ -241,6 +241,8 @@ class DyadConsumerClient:
                     regions.end("dyad_get_data")
                     raise
                 self.transfer_retries += 1
+                if runtime.metrics_retries is not None:
+                    runtime.metrics_retries.inc()
                 yield self.env.timeout(self._backoff_delay(attempt))
         regions.end("dyad_get_data")
 

@@ -47,6 +47,19 @@ class DyadService:
         #: KVS record *before* staging the bytes (metadata runs ahead of
         #: data, the race DYAD's flock fast path normally prevents)
         self.stale_publish = False
+        self._m_refusals = None  # refused-gets counter when metered
+
+    def attach_metrics(self, timeline) -> None:
+        """Meter the service: ``dyad.{node}.gets`` request occupancy plus
+        the ``dyad.{node}.refusals`` counter (crash + integrity refusals).
+
+        Staging occupancy is already visible as the node device's
+        ``ssd.{node}.used_bytes`` gauge — the staging FS is the only
+        tenant of a DYAD node's SSD.
+        """
+        node_id = self.node.node_id
+        self.requests.attach_metrics(timeline, f"dyad.{node_id}.gets")
+        self._m_refusals = timeline.counter(f"dyad.{node_id}.refusals")
 
     def crash(self) -> None:
         """Take the service down (fault injection).
@@ -69,6 +82,8 @@ class DyadService:
     def _check_up(self) -> None:
         if self.crashed:
             self.refused_gets += 1
+            if self._m_refusals is not None:
+                self._m_refusals.inc()
             raise TransferError(
                 f"{self.node.node_id}: DYAD service is down"
             )
@@ -108,6 +123,8 @@ class DyadService:
                 # The KVS advertised the frame before its bytes landed
                 # (stale_metadata) — refuse so the consumer retries.
                 self.integrity_refusals += 1
+                if self._m_refusals is not None:
+                    self._m_refusals.inc()
                 raise TransferError(
                     f"{self.node.node_id}: {path} advertised but not staged"
                 ) from None
@@ -120,6 +137,8 @@ class DyadService:
         self._check_up()
         if count != nbytes and self.config.integrity_checks:
             self.integrity_refusals += 1
+            if self._m_refusals is not None:
+                self._m_refusals.inc()
             raise TransferError(
                 f"{self.node.node_id}: staged file {path} has {count} bytes, "
                 f"expected {nbytes} (torn frame refused)"
@@ -165,6 +184,18 @@ class DyadRuntime:
         self.corrupt_draw = None
         #: transfers the integrity layer found damaged (checked or not)
         self.corrupt_transfers = 0
+        #: ``dyad.retries`` counter when metered (consumer clients bump it)
+        self.metrics_retries = None
+
+    def attach_metrics(self, timeline) -> None:
+        """Meter the deployment: the KVS, every per-node service, and a
+        cluster-wide ``dyad.retries`` counter fed by consumer clients'
+        remote-get retry loops.
+        """
+        self.kvs.attach_metrics(timeline)
+        for service in self.services.values():
+            service.attach_metrics(timeline)
+        self.metrics_retries = timeline.counter("dyad.retries")
 
     def arm_corruption(self, rate: float, draw) -> None:
         """Start a transfer-corruption window (fault injection)."""

@@ -38,6 +38,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "injected into every repetition; with the "
                              "'chaos' experiment, replays the plan across "
                              "the chaos workload grid instead of soaking")
+    parser.add_argument("--trace", default=None, metavar="FILE",
+                        help="export a merged Chrome-trace/Perfetto file "
+                             "(spans + substrate counters + fault windows) "
+                             "from the first repetition, which re-runs "
+                             "instrumented (results are bit-identical; the "
+                             "instrumented run bypasses the result cache)")
+    parser.add_argument("--metrics", default=None, metavar="FILE",
+                        help="export the same repetition's substrate "
+                             "telemetry timeline as JSON (or CSV if FILE "
+                             "ends in .csv)")
     parser.add_argument("--output", default="EXPERIMENTS.md",
                         help="output path for 'report'")
     parser.add_argument("--svg-dir", default=None,
@@ -66,7 +76,8 @@ def _dispatch(args) -> int:
     # Campaign-style invocations default to the cache ON (re-runs skip
     # already-computed cells); --no-cache bypasses it.
     with campaign(jobs=args.jobs, cache=not args.no_cache,
-                  cache_dir=args.cache_dir, fault_plan=fault_plan):
+                  cache_dir=args.cache_dir, fault_plan=fault_plan,
+                  trace_path=args.trace, metrics_path=args.metrics):
         if args.experiment == "all":
             run_all(quick=args.quick)
             return 0

@@ -63,9 +63,12 @@ __all__ = [
 _START_METHOD = "spawn"
 
 # Campaign-scoped defaults installed by :func:`campaign`. ``None`` means
-# "fall through to the environment".
+# "fall through to the environment". ``trace_path`` / ``metrics_path``
+# request a one-shot telemetry export (claimed by the first
+# :func:`run_campaign` in the scope; ``telemetry_done`` marks the claim).
 _SCOPED: Dict[str, Any] = {
     "jobs": None, "cache": None, "cache_dir": None, "fault_plan": None,
+    "trace_path": None, "metrics_path": None, "telemetry_done": False,
 }
 
 
@@ -141,12 +144,20 @@ def default_fault_plan(
 @contextmanager
 def campaign(jobs: Optional[int] = None, cache: Optional[bool] = None,
              cache_dir: Optional[str] = None,
-             fault_plan: Optional[FaultPlan] = None):
+             fault_plan: Optional[FaultPlan] = None,
+             trace_path: Optional[str] = None,
+             metrics_path: Optional[str] = None):
     """Scope campaign-wide parallelism/caching/fault defaults.
 
     Used by :func:`repro.experiments.registry.run_all` and the CLI so the
     individual figure modules keep their simple ``run(runs, frames)``
     signatures while still fanning out.
+
+    ``trace_path`` / ``metrics_path`` request a telemetry export: the
+    first repetition executed inside the scope re-runs instrumented
+    (span tracer + substrate timeline — bit-identical results, see
+    ``docs/observability.md``) and its merged Chrome trace / metrics dump
+    is written to the given files. One export per scope.
     """
     previous = dict(_SCOPED)
     if jobs is not None:
@@ -157,6 +168,10 @@ def campaign(jobs: Optional[int] = None, cache: Optional[bool] = None,
         _SCOPED["cache_dir"] = cache_dir
     if fault_plan is not None:
         _SCOPED["fault_plan"] = fault_plan
+    if trace_path is not None or metrics_path is not None:
+        _SCOPED["trace_path"] = trace_path
+        _SCOPED["metrics_path"] = metrics_path
+        _SCOPED["telemetry_done"] = False
     try:
         yield
     finally:
@@ -196,6 +211,39 @@ def _maybe_injected_worker_fault(seed: int) -> None:
         os._exit(17)  # skip interpreter teardown: looks like a killed worker
     if _armed("hang", "REPRO_WORKER_HANG_SEEDS"):
         time.sleep(float(os.environ.get("REPRO_WORKER_HANG_SECONDS", "5")))
+
+
+def _claim_telemetry() -> Optional[tuple]:
+    """One-shot claim of the scope's telemetry export request.
+
+    Returns ``(trace_path, metrics_path)`` exactly once per campaign
+    scope (the first :func:`run_campaign` wins — typically the first
+    figure cell), ``None`` otherwise.
+    """
+    if _SCOPED["telemetry_done"]:
+        return None
+    trace_path = _SCOPED["trace_path"]
+    metrics_path = _SCOPED["metrics_path"]
+    if trace_path is None and metrics_path is None:
+        return None
+    _SCOPED["telemetry_done"] = True
+    return trace_path, metrics_path
+
+
+def _export_telemetry(result: WorkflowResult, trace_path: Optional[str],
+                      metrics_path: Optional[str]) -> None:
+    """Write an instrumented repetition's telemetry to the requested files."""
+    from repro.perf.metrics import write_chrome_trace
+
+    if trace_path is not None:
+        write_chrome_trace(trace_path, result.tracer, result.metrics)
+        print(f"wrote {trace_path}")
+    if metrics_path is not None:
+        if str(metrics_path).endswith(".csv"):
+            result.metrics.write_csv(metrics_path)
+        else:
+            result.metrics.write_json(metrics_path)
+        print(f"wrote {metrics_path}")
 
 
 def _execute_task(task: RunTask) -> WorkflowResult:
@@ -281,9 +329,27 @@ def run_campaign(
             )
             results[i] = cache.load(keys[i])
 
+    telemetry = _claim_telemetry()
+    if telemetry is not None:
+        # Re-run the campaign's first repetition instrumented (tracer +
+        # substrate timeline) in-process and export it. Telemetry is pure
+        # observation, so this result is bit-identical to the plain run —
+        # but it carries the instrument payloads, so it bypasses the
+        # cache in both directions (load above is overwritten, key
+        # cleared so _complete never stores it).
+        task = tasks[0]
+        instrumented = run_workflow(
+            task.spec, seed=task.seed, jitter_cv=task.jitter_cv,
+            trace=True, metrics=True, fault_plan=task.fault_plan,
+            invariants=task.invariants, **task.system_configs,
+        )
+        _export_telemetry(instrumented, *telemetry)
+        results[0] = instrumented
+        keys[0] = None
+
     def _complete(i: int, result: WorkflowResult) -> None:
         results[i] = result
-        if cache is not None:
+        if cache is not None and keys[i] is not None:
             cache.store(keys[i], result)
 
     pending = [i for i, r in enumerate(results) if r is None]

@@ -313,6 +313,8 @@ class ResultCache:
         """Persist a result atomically; returns the entry path."""
         if getattr(result, "tracer", None) is not None:
             raise ReproError("refusing to cache a traced run")
+        if getattr(result, "metrics", None) is not None:
+            raise ReproError("refusing to cache a metered run")
         os.makedirs(self.root, exist_ok=True)
         path = self.path(key)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")

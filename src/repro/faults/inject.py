@@ -67,6 +67,7 @@ class FaultInjector:
         dyad: Optional[object] = None,
         lustre: Optional[object] = None,
         fs: Optional[object] = None,
+        metrics: Optional[object] = None,
     ) -> None:
         plan.validate()
         self.plan = plan
@@ -79,6 +80,10 @@ class FaultInjector:
         self.applied = 0
         #: fault windows reverted so far (restore side)
         self.reverted = 0
+        #: telemetry timeline: every window edge becomes an instant
+        #: annotation and the ``faults.active`` gauge tracks open windows
+        self.metrics = metrics
+        self._m_active = metrics.gauge("faults.active") if metrics else None
         # -- active-window composition state (see module docstring) --
         # node index -> active SSD slowdown factors
         self._ssd_factors: Dict[int, List[float]] = {}
@@ -375,9 +380,27 @@ class FaultInjector:
             yield self.env.timeout(delay)
         apply()
         self.applied += 1
+        if self.metrics is not None:
+            self._annotate(event, "apply")
         yield self.env.timeout(event.duration)
         revert()
         self.reverted += 1
+        if self.metrics is not None:
+            self._annotate(event, "revert")
+
+    def _annotate(self, event: FaultEvent, edge: str) -> None:
+        """Mark a window edge on the telemetry timeline."""
+        self.metrics.instant(
+            f"fault.{event.kind}.{edge}",
+            target=event.target,
+            at=event.at,
+            duration=event.duration,
+            severity=event.severity,
+            rate=event.rate,
+        )
+        self._m_active.set(
+            float(self.applied - self.reverted)
+        )
 
     def start(self) -> None:
         """Spawn one simulation process per scheduled fault window."""

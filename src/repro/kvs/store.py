@@ -82,6 +82,22 @@ class KVS:
         self._signals: Dict[str, Signal] = {}
         self.queue = Resource(env, self.config.server_capacity)
         self.stats = KVSStats()
+        # telemetry counters (None until attach_metrics)
+        self._m_commits = None
+        self._m_lookups = None
+        self._m_watches = None
+        self._m_wakeups = None
+
+    def attach_metrics(self, timeline) -> None:
+        """Meter the server: ``kvs.rpcs`` queue occupancy plus
+        ``kvs.commits`` / ``kvs.lookups`` / ``kvs.watches`` /
+        ``kvs.watch_wakeups`` operation counters.
+        """
+        self.queue.attach_metrics(timeline, "kvs.rpcs")
+        self._m_commits = timeline.counter("kvs.commits")
+        self._m_lookups = timeline.counter("kvs.lookups")
+        self._m_watches = timeline.counter("kvs.watches")
+        self._m_wakeups = timeline.counter("kvs.watch_wakeups")
 
     # -- server internals --------------------------------------------------------
     def _signal(self, key: str) -> Signal:
@@ -121,9 +137,13 @@ class KVS:
         yield from self._rpc(client, self.config.commit_service)
         self._data[key] = value
         self.stats.commits += 1
+        if self._m_commits is not None:
+            self._m_commits.inc()
         sig = self._signals.get(key)
         if sig is not None and not sig.latched:
-            sig.fire_once(value)
+            woken = sig.fire_once(value)
+            if self._m_wakeups is not None:
+                self._m_wakeups.add(woken)
         return self.env.now - start
 
     def lookup(self, client: str, key: str) -> Generator:
@@ -133,6 +153,8 @@ class KVS:
         """
         yield from self._rpc(client, self.config.lookup_service)
         self.stats.lookups += 1
+        if self._m_lookups is not None:
+            self._m_lookups.inc()
         if key not in self._data:
             raise KeyNotFound(key)
         return self._data[key]
@@ -146,6 +168,8 @@ class KVS:
         """
         yield from self._rpc(client, self.config.watch_service)
         self.stats.watches += 1
+        if self._m_watches is not None:
+            self._m_watches.inc()
         if key in self._data:
             return self._data[key]
         sig = self._signal(key)

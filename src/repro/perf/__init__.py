@@ -15,12 +15,22 @@ Hatchet call-path query language. This package provides working equivalents:
 - :mod:`repro.perf.report` — text rendering of trees and figure tables;
 - :mod:`repro.perf.trace` — timeline tracing with Chrome-trace export
   (see producer/consumer overlap, not just totals);
+- :mod:`repro.perf.metrics` — substrate telemetry timelines
+  (``Counter``/``Gauge`` instruments sampled on change, merged into the
+  Chrome trace as counter tracks; see ``docs/observability.md``);
 - :mod:`repro.perf.compare` — bootstrap confidence intervals for speedup
   factors.
 """
 
 from repro.perf.caliper import Annotator, Caliper, Category
 from repro.perf.compare import SpeedupEstimate, bootstrap_speedup
+from repro.perf.metrics import (
+    Counter,
+    Gauge,
+    MetricsTimeline,
+    merge_chrome_trace,
+    write_chrome_trace,
+)
 from repro.perf.trace import SpanEvent, Tracer, TracingAnnotator
 from repro.perf.calltree import CallTree, CallTreeNode, diff_trees
 from repro.perf.query import parse_query, query
@@ -41,4 +51,9 @@ __all__ = [
     "SpanEvent",
     "Tracer",
     "TracingAnnotator",
+    "Counter",
+    "Gauge",
+    "MetricsTimeline",
+    "merge_chrome_trace",
+    "write_chrome_trace",
 ]

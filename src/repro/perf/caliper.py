@@ -77,18 +77,23 @@ class Annotator:
             raise PerfError(
                 f"region mismatch: end({region!r}) while {name!r} is open"
             )
-        elapsed = self.clock() - started
-        self.last_completed = (name, self.clock())
+        now = self.clock()
+        elapsed = now - started
         node = self.tree.node(*self.current_path(), name)
-        node.add_metric("time", elapsed)
-        node.add_metric("count", 1)
         if category is not None:
             existing = node.metrics.get("category")
             if existing is not None and existing != category:
+                # A clash must leave the annotator untouched: the stack
+                # as it was, no time/count accumulated on the node.
+                self._stack.append((name, started, category))
                 raise PerfError(
                     f"category clash in {name!r}: {existing} != {category}"
                 )
+        node.add_metric("time", elapsed)
+        node.add_metric("count", 1)
+        if category is not None:
             node.metrics["category"] = category
+        self.last_completed = (name, now)
         return elapsed
 
     def region(self, region: str, category: Optional[str] = None):

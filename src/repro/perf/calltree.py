@@ -119,23 +119,35 @@ class CallTree:
 
         Numeric metrics are summed; non-numeric metrics (e.g. ``category``)
         must agree, otherwise :class:`PerfError` is raised — a category
-        clash means two semantically different regions share a path.
+        clash means two semantically different regions share a path. The
+        clash check walks both trees *before* anything is mutated, so a
+        failed merge leaves this tree exactly as it was.
         """
+
+        def _validate(dst: CallTreeNode, src: CallTreeNode) -> None:
+            for key, value in src.metrics.items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    continue
+                if key in dst.metrics and dst.metrics[key] != value:
+                    raise PerfError(
+                        f"metric {key!r} clash at {'/'.join(src.path())}: "
+                        f"{dst.metrics[key]!r} != {value!r}"
+                    )
+            for name, child in src.children.items():
+                dst_child = dst.children.get(name)
+                if dst_child is not None:
+                    _validate(dst_child, child)
 
         def _merge(dst: CallTreeNode, src: CallTreeNode) -> None:
             for key, value in src.metrics.items():
                 if isinstance(value, (int, float)) and not isinstance(value, bool):
                     dst.add_metric(key, value)
-                elif key in dst.metrics and dst.metrics[key] != value:
-                    raise PerfError(
-                        f"metric {key!r} clash at {'/'.join(src.path())}: "
-                        f"{dst.metrics[key]!r} != {value!r}"
-                    )
                 else:
                     dst.metrics[key] = value
             for name in src.children:
                 _merge(dst.child(name), src.children[name])
 
+        _validate(self.root, other.root)
         _merge(self.root, other.root)
         return self
 
@@ -255,7 +267,12 @@ def diff_trees(numerator: CallTree, denominator: CallTree,
             node.metrics["ratio"] = lhs / rhs
         else:
             node.metrics["ratio"] = float("inf") if lhs > 0 else 0.0
-        source = lhs_node or rhs_node
-        if source is not None and source.category is not None:
-            node.metrics["category"] = source.category
+        # Prefer the numerator's category, but fall back to the
+        # denominator's — a node present on both sides may only carry a
+        # category on one of them.
+        category = lhs_node.category if lhs_node is not None else None
+        if category is None and rhs_node is not None:
+            category = rhs_node.category
+        if category is not None:
+            node.metrics["category"] = category
     return out

@@ -1,0 +1,297 @@
+"""Time-series telemetry: substrate utilization timelines.
+
+The Caliper/trace layer observes the workflow *processes*; the substrates
+themselves (channels, server queues, devices, the KVS) only kept lifetime
+counters with no time resolution, so a resilience or chaos run could not
+show *when* a fault window bit or how utilization recovered. This module
+closes that gap the way Darshan's heatmap module does for POSIX/Lustre
+workloads: per-resource utilization timelines alongside the per-process
+span timelines.
+
+Two instrument kinds cover every probe point:
+
+- :class:`Counter` — a monotonically non-decreasing total (bytes moved,
+  KVS commits, retries);
+- :class:`Gauge` — an instantaneous level (active flows, queue depth,
+  utilization, staged bytes).
+
+Both *sample on change*: a sample ``(t, value)`` is appended only when the
+value actually changes, with the timestamp read from the simulation clock.
+There is no wall-clock tick anywhere, so a metered run is deterministic
+and — crucially — **pure observation**: instruments never advance the
+clock, draw randomness, or touch substrate state, and every experiment
+fingerprint is bit-identical with telemetry on or off (asserted by
+``tests/workflow/test_telemetry.py``).
+
+A :class:`MetricsTimeline` owns the instruments of one run plus *instant
+annotations* (the fault injector marks every window apply/revert). Export
+paths:
+
+- :func:`merge_chrome_trace` — one Chrome-trace/Perfetto document merging
+  the span tracer's ``'X'`` events with counter ``'C'`` events and the
+  fault annotations as ``'i'`` instant events;
+- :meth:`MetricsTimeline.write_json` / :meth:`~MetricsTimeline.write_csv`
+  — plain dumps for ad-hoc analysis.
+
+See ``docs/observability.md`` for the probe-point inventory and a
+Perfetto how-to.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import PerfError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsTimeline",
+    "merge_chrome_trace",
+    "write_chrome_trace",
+]
+
+
+class Instrument:
+    """Base of both instrument kinds: a named, sampled-on-change series."""
+
+    kind = "instrument"
+
+    __slots__ = ("name", "clock", "samples", "_value")
+
+    def __init__(self, name: str, clock: Callable[[], float]) -> None:
+        self.name = name
+        self.clock = clock
+        #: ``(time, value)`` samples, appended on every change (and once
+        #: at creation so every series anchors the idle level at t=0).
+        self.samples: List[Tuple[float, float]] = []
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """Current level (counters: lifetime total)."""
+        return self._value
+
+    def _record(self, value: float) -> None:
+        self._value = value
+        self.samples.append((self.clock(), value))
+
+    def series(self) -> List[Tuple[float, float]]:
+        """The ``(time, value)`` samples in recording order."""
+        return list(self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self.name!r} value={self._value} "
+                f"samples={len(self.samples)}>")
+
+
+class Counter(Instrument):
+    """A monotonically non-decreasing total, sampled on change."""
+
+    kind = "counter"
+
+    __slots__ = ()
+
+    def add(self, delta: float) -> None:
+        """Accumulate ``delta`` (must be >= 0); zero deltas record nothing."""
+        if delta < 0:
+            raise PerfError(
+                f"counter {self.name!r}: negative increment {delta} "
+                "(use a Gauge for levels that can fall)"
+            )
+        if delta == 0:
+            return
+        self._record(self._value + delta)
+
+    def inc(self) -> None:
+        """Shorthand for ``add(1)``."""
+        self._record(self._value + 1.0)
+
+
+class Gauge(Instrument):
+    """An instantaneous level, sampled on change."""
+
+    kind = "gauge"
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """Move the gauge to ``value``; unchanged values record nothing."""
+        if value != self._value:
+            self._record(value)
+
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (either sign)."""
+        if delta != 0:
+            self._record(self._value + delta)
+
+
+class MetricsTimeline:
+    """All instruments (and instant annotations) of one run.
+
+    Substrates create instruments through :meth:`counter`/:meth:`gauge`
+    when the workflow runner attaches telemetry; names are unique across
+    the run and dot-namespaced by substrate (``net.node0.egress.flows``,
+    ``lustre.oss0.rpcs.queued``, ``kvs.commits`` …).
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+        self._instruments: Dict[str, Instrument] = {}
+        #: ``(time, name, args)`` instant annotations (fault windows)
+        self.annotations: List[Tuple[float, str, Dict[str, Any]]] = []
+
+    # -- instrument registry -------------------------------------------------
+    def _instrument(self, name: str, cls) -> Instrument:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise PerfError(
+                    f"instrument {name!r} already exists as a "
+                    f"{existing.kind}, not a {cls.kind}"
+                )
+            return existing
+        instrument = cls(name, self.clock)
+        # Anchor the series: every timeline starts from its idle level, so
+        # plots and the monotone-time test never see an empty prefix.
+        instrument.samples.append((self.clock(), 0.0))
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the counter called ``name``."""
+        return self._instrument(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the gauge called ``name``."""
+        return self._instrument(name, Gauge)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record an instant annotation (e.g. a fault window edge)."""
+        self.annotations.append((self.clock(), name, args))
+
+    # -- queries -------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Instrument names in creation order."""
+        return list(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __getitem__(self, name: str) -> Instrument:
+        try:
+            return self._instruments[name]
+        except KeyError:
+            raise PerfError(f"no instrument {name!r}") from None
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """The samples of one instrument."""
+        return self[name].series()
+
+    # -- export --------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable dump of every series and annotation."""
+        return {
+            "clock": "simulation-seconds",
+            "instruments": {
+                name: {
+                    "kind": inst.kind,
+                    "samples": [[t, v] for t, v in inst.samples],
+                }
+                for name, inst in self._instruments.items()
+            },
+            "annotations": [
+                [t, name, dict(args)] for t, name, args in self.annotations
+            ],
+        }
+
+    def write_json(self, path) -> None:
+        """Write :meth:`to_dict` to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh)
+
+    def write_csv(self, path) -> None:
+        """Flat ``time_s,instrument,value`` rows in global time order.
+
+        Ties are broken by instrument creation order, so the file is a
+        deterministic function of the run.
+        """
+        rows = []
+        for order, (name, inst) in enumerate(self._instruments.items()):
+            for t, v in inst.samples:
+                rows.append((t, order, name, v))
+        rows.sort(key=lambda r: (r[0], r[1]))
+        with open(path, "w") as fh:
+            fh.write("time_s,instrument,value\n")
+            for t, _, name, v in rows:
+                fh.write(f"{t!r},{name},{v!r}\n")
+
+    def to_chrome_events(self, pid: int = 1) -> List[dict]:
+        """Chrome trace-event list: ``'C'`` counters + ``'i'`` instants.
+
+        All substrate telemetry lives on its own ``pid`` (default 1, the
+        span tracer uses 0) with full process/thread metadata, so Perfetto
+        groups the counter tracks under one "substrates" lane beneath the
+        per-process span tracks.
+        """
+        events: List[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "substrates"},
+            },
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "telemetry"},
+            },
+        ]
+        for name, inst in self._instruments.items():
+            for t, v in inst.samples:
+                events.append({
+                    "name": name,
+                    "ph": "C",
+                    "ts": t * 1e6,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"value": v},
+                })
+        for t, name, args in self.annotations:
+            events.append({
+                "name": name,
+                "ph": "i",
+                "s": "g",  # global scope: a fault window bites everything
+                "ts": t * 1e6,
+                "pid": pid,
+                "tid": 0,
+                "args": dict(args),
+            })
+        return events
+
+
+def merge_chrome_trace(tracer=None, timeline: Optional[MetricsTimeline] = None) -> dict:
+    """One Chrome-trace document from a span tracer and/or a timeline.
+
+    The span tracer's ``'X'`` events keep pid 0 (one tid per workflow
+    process); the timeline's counters and instants land on pid 1. Either
+    side may be ``None``.
+    """
+    if tracer is not None:
+        doc = tracer.to_chrome_trace()
+    else:
+        doc = {"traceEvents": [], "displayTimeUnit": "ms"}
+    if timeline is not None:
+        doc["traceEvents"].extend(timeline.to_chrome_events())
+    return doc
+
+
+def write_chrome_trace(path, tracer=None,
+                       timeline: Optional[MetricsTimeline] = None) -> None:
+    """Write the merged Chrome trace JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(merge_chrome_trace(tracer, timeline), fh)

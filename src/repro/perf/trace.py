@@ -52,7 +52,10 @@ class TracingAnnotator(Annotator):
     def begin(self, region: str, category: Optional[str] = None) -> None:
         """Open a region and remember its start time for the span log."""
         super().begin(region, category)
-        self._starts.append(self.clock())
+        # Reuse the timestamp the base class just pushed: under a real
+        # clock (time.monotonic) a second read would drift the span start
+        # from the call-tree accounting.
+        self._starts.append(self._stack[-1][1])
 
     def end(self, region: str) -> float:
         """Close a region, recording the completed span on the timeline."""
@@ -65,7 +68,9 @@ class TracingAnnotator(Annotator):
                 region=region,
                 category=category,
                 start=start,
-                end=start + elapsed,
+                # The base class's single clock read for this end; keeps
+                # span end == start + elapsed exactly.
+                end=self.last_completed[1],
             )
         )
         return elapsed
@@ -87,7 +92,15 @@ class Tracer:
         return TracingAnnotator(process_name, self.clock, self)
 
     def record(self, event: SpanEvent) -> None:
-        """Append one completed span."""
+        """Append one completed span.
+
+        Processes are assigned a tid on first sight, so spans recorded
+        directly (without going through :meth:`annotator`) get their own
+        Chrome-trace track and thread metadata instead of landing on the
+        first process's tid 0.
+        """
+        if event.process not in self._names:
+            self._names[event.process] = len(self._names)
         self.events.append(event)
 
     # -- queries ------------------------------------------------------------
@@ -131,10 +144,21 @@ class Tracer:
                     merged.append([span.start, span.end])
             return merged
 
+        # Two-pointer sweep over the merged (sorted, disjoint) intervals:
+        # O(n + m) instead of the pairwise O(n * m) product.
+        a = busy(process_a)
+        b = busy(process_b)
         total = 0.0
-        for a0, a1 in busy(process_a):
-            for b0, b1 in busy(process_b):
-                total += max(0.0, min(a1, b1) - max(a0, b0))
+        ia = ib = 0
+        while ia < len(a) and ib < len(b):
+            lo = a[ia][0] if a[ia][0] > b[ib][0] else b[ib][0]
+            hi = a[ia][1] if a[ia][1] < b[ib][1] else b[ib][1]
+            if hi > lo:
+                total += hi - lo
+            if a[ia][1] <= b[ib][1]:
+                ia += 1
+            else:
+                ib += 1
         return total
 
     # -- export ------------------------------------------------------------

@@ -82,7 +82,7 @@ class Resource:
     "queued fixed-cost operation" pattern.
     """
 
-    __slots__ = ("env", "capacity", "_users", "_queue")
+    __slots__ = ("env", "capacity", "_users", "_queue", "_metrics")
 
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
@@ -91,6 +91,24 @@ class Resource:
         self.capacity = capacity
         self._users: List[Request] = []
         self._queue: Deque[Request] = deque()
+        self._metrics = None  # (in_service, queued) gauges when attached
+
+    def attach_metrics(self, timeline, label: str) -> None:
+        """Meter occupancy as ``{label}.in_service`` / ``{label}.queued``.
+
+        Pure observation: gauges are sampled after state changes and never
+        affect scheduling.
+        """
+        self._metrics = (
+            timeline.gauge(f"{label}.in_service"),
+            timeline.gauge(f"{label}.queued"),
+        )
+        self._sample_metrics()
+
+    def _sample_metrics(self) -> None:
+        in_service, queued = self._metrics
+        in_service.set(float(len(self._users)))
+        queued.set(float(len(self._queue)))
 
     @property
     def count(self) -> int:
@@ -110,6 +128,8 @@ class Resource:
             req.succeed()
         else:
             self._queue.append(req)
+        if self._metrics is not None:
+            self._sample_metrics()
         return req
 
     def release(self, request: Request) -> None:
@@ -120,6 +140,8 @@ class Resource:
             # Request may still be queued (released before grant = cancel).
             try:
                 self._queue.remove(request)
+                if self._metrics is not None:
+                    self._sample_metrics()
                 return
             except ValueError:
                 raise SimulationError("release of a non-held request") from None
@@ -127,6 +149,8 @@ class Resource:
             nxt = self._queue.popleft()
             self._users.append(nxt)
             nxt.succeed()
+        if self._metrics is not None:
+            self._sample_metrics()
 
     def acquire(self, service_time: float):
         """Generator: queue for the server, hold it ``service_time``, release.
@@ -258,7 +282,8 @@ class SharedBandwidth:
     __slots__ = ("env", "bandwidth", "per_flow_cap", "_heap", "_seq",
                  "_virtual", "_last_update", "_wake", "_wake_cb",
                  "_bytes_moved", "stale_wakeups_defused",
-                 "peak_concurrent_flows", "reschedules")
+                 "peak_concurrent_flows", "reschedules",
+                 "_metrics", "_m_inflight")
 
     def __init__(
         self,
@@ -288,6 +313,39 @@ class SharedBandwidth:
         self.stale_wakeups_defused = 0
         self.peak_concurrent_flows = 0
         self.reschedules = 0
+        # telemetry (None until attach_metrics; hot paths check one slot)
+        self._metrics = None
+        self._m_inflight = 0.0
+
+    def attach_metrics(self, timeline, label: str) -> None:
+        """Meter the channel as ``{label}.flows`` / ``.bytes_in_flight`` /
+        ``.utilization`` gauges on ``timeline``.
+
+        Pure observation: gauges are sampled after the channel state has
+        already changed and never feed back into scheduling, so attached
+        and unattached runs advance identically.
+        """
+        self._metrics = (
+            timeline.gauge(f"{label}.flows"),
+            timeline.gauge(f"{label}.bytes_in_flight"),
+            timeline.gauge(f"{label}.utilization"),
+        )
+        self._m_inflight = float(sum(entry[2] for entry in self._heap))
+        self._sample_metrics()
+
+    def _sample_metrics(self) -> None:
+        flows, inflight, util = self._metrics
+        n = len(self._heap)
+        flows.set(float(n))
+        inflight.set(self._m_inflight)
+        if n == 0:
+            util.set(0.0)
+        else:
+            rate = self.bandwidth / n
+            cap = self.per_flow_cap
+            if cap is not None and cap < rate:
+                rate = cap
+            util.set(rate * n / self.bandwidth)
 
     # -- public ------------------------------------------------------------
     @property
@@ -324,6 +382,8 @@ class SharedBandwidth:
         self._advance()
         self.bandwidth = float(bandwidth)
         self._reschedule()
+        if self._metrics is not None:
+            self._sample_metrics()
 
     def transfer(self, nbytes: float, _new=Event.__new__, _cls=Event,
                  _tnew=Timeout.__new__, _tcls=Timeout,
@@ -353,6 +413,7 @@ class SharedBandwidth:
             return done
         now = env._now
         heap = self._heap
+        m = self._metrics
         # -- inlined _advance() -------------------------------------------
         if heap:
             elapsed = now - self._last_update
@@ -369,6 +430,8 @@ class SharedBandwidth:
             while heap and heap[0][0] - virtual <= residue:
                 _key, _fseq, fbytes, fin, started = _pop(heap)
                 self._bytes_moved += fbytes
+                if m is not None:
+                    self._m_inflight -= fbytes
                 if fin._value is not _PENDING:  # as Event.succeed would
                     raise SimulationError(f"{fin!r} already triggered")
                 fin._ok = True
@@ -387,6 +450,9 @@ class SharedBandwidth:
         n = len(heap)
         if n > self.peak_concurrent_flows:
             self.peak_concurrent_flows = n
+        if m is not None:
+            self._m_inflight += nbytes
+            self._sample_metrics()
         # -- inlined _reschedule() ----------------------------------------
         wake = self._wake
         if wake is not None and wake.callbacks is not None:
@@ -452,6 +518,8 @@ class SharedBandwidth:
         while heap and heap[0][0] - virtual <= residue:
             entry = _pop(heap)
             self._bytes_moved += entry[2]
+            if self._metrics is not None:
+                self._m_inflight -= entry[2]
             entry[3].succeed(now - entry[4])
         if not heap:
             # Idle channel: re-anchor the virtual clock at zero. Arrivals
@@ -505,6 +573,7 @@ class SharedBandwidth:
         if not heap:
             self._last_update = now
             return
+        m = self._metrics
         elapsed = now - self._last_update
         self._last_update = now
         if elapsed > 0.0:
@@ -519,6 +588,8 @@ class SharedBandwidth:
         while heap and heap[0][0] - virtual <= residue:
             _key, _fseq, fbytes, fin, started = _pop(heap)
             self._bytes_moved += fbytes
+            if m is not None:
+                self._m_inflight -= fbytes
             if fin._value is not _PENDING:  # as Event.succeed would raise
                 raise SimulationError(f"{fin!r} already triggered")
             fin._ok = True
@@ -529,6 +600,8 @@ class SharedBandwidth:
         n = len(heap)
         if n == 0:
             self._virtual = 0.0  # idle: re-anchor (see _advance)
+            if m is not None:
+                self._sample_metrics()
             return
         self.reschedules += 1
         rate = self.bandwidth / n
@@ -555,3 +628,5 @@ class SharedBandwidth:
         env._seq = wseq + 1
         _push(env_heap, (now + eta, 1, wseq, wake))
         self._wake = wake
+        if m is not None:
+            self._sample_metrics()

@@ -206,6 +206,18 @@ class LustreServers:
             yield server.write_disk
             yield server.read_disk
 
+    # -- telemetry -----------------------------------------------------------
+    def attach_metrics(self, timeline) -> None:
+        """Meter the servers: ``lustre.mds.rpcs`` occupancy plus, per OSS,
+        ``lustre.oss{i}.rpcs`` (in-flight bulk RPCs) and the
+        ``lustre.oss{i}.write`` / ``.read`` disk-channel gauge families.
+        """
+        self.mds.attach_metrics(timeline, "lustre.mds.rpcs")
+        for i, server in enumerate(self.oss):
+            server.queue.attach_metrics(timeline, f"lustre.oss{i}.rpcs")
+            server.write_disk.attach_metrics(timeline, f"lustre.oss{i}.write")
+            server.read_disk.attach_metrics(timeline, f"lustre.oss{i}.read")
+
     def _interfere(self, stream: str, base: float) -> float:
         if self.config.interference_cv == 0.0:
             return base

@@ -52,7 +52,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jitter", type=float, default=0.05,
                         help="device/compute jitter cv")
     parser.add_argument("--trace", default=None,
-                        help="write a Chrome trace JSON of run 0 here")
+                        help="write a merged Chrome trace JSON of run 0 "
+                             "(spans + substrate counters) here")
+    parser.add_argument("--metrics", default=None,
+                        help="write run 0's substrate telemetry timeline "
+                             "here (JSON, or CSV if the name ends in .csv)")
     return parser
 
 
@@ -92,11 +96,20 @@ def main(argv=None) -> int:
         spec, runs=args.runs, base_seed=args.seed, jitter_cv=args.jitter,
         jobs=args.jobs,
     )
-    if args.trace:
+    if args.trace or args.metrics:
+        from repro.perf.metrics import write_chrome_trace
+
         traced = run_workflow(spec, seed=args.seed, jitter_cv=args.jitter,
-                              trace=True)
-        traced.tracer.write_chrome_trace(args.trace)
-        print(f"wrote {args.trace}")
+                              trace=True, metrics=True)
+        if args.trace:
+            write_chrome_trace(args.trace, traced.tracer, traced.metrics)
+            print(f"wrote {args.trace}")
+        if args.metrics:
+            if args.metrics.endswith(".csv"):
+                traced.metrics.write_csv(args.metrics)
+            else:
+                traced.metrics.write_json(args.metrics)
+            print(f"wrote {args.metrics}")
 
     def stat(metric):
         values = [getattr(r, metric) for r in results]

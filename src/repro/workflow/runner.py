@@ -28,6 +28,7 @@ from repro.faults.plan import FaultPlan
 from repro.invariants import InvariantChecker, InvariantConfig
 from repro.perf.caliper import Caliper, Category
 from repro.perf.calltree import CallTree
+from repro.perf.metrics import MetricsTimeline
 from repro.perf.thicket import Thicket
 from repro.perf.trace import Tracer
 from repro.sim.resources import Signal, channel_health
@@ -50,6 +51,8 @@ class WorkflowResult:
     consumer_trees: List[CallTree]
     #: populated when run_workflow(..., trace=True): the full timeline
     tracer: Optional[Tracer] = None
+    #: populated when run_workflow(..., metrics=True): substrate telemetry
+    metrics: Optional[MetricsTimeline] = None
     #: system-level counters of the run (network transfers, bytes, ...)
     system_stats: Dict[str, float] = field(default_factory=dict)
     #: invariant violations recorded by a non-fatal checker (fatal
@@ -132,6 +135,7 @@ def run_workflow(
     xfs_config: Optional[XFSConfig] = None,
     lustre_config: Optional[LustreConfig] = None,
     trace: bool = False,
+    metrics: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     invariants: Optional[InvariantConfig] = None,
 ) -> WorkflowResult:
@@ -142,7 +146,10 @@ def run_workflow(
     decorrelates the ensemble's otherwise perfectly lockstep pairs.
     With ``trace=True`` the result additionally carries a
     :class:`~repro.perf.trace.Tracer` with the full region timeline
-    (Chrome-trace exportable).
+    (Chrome-trace exportable). With ``metrics=True`` it carries a
+    :class:`~repro.perf.metrics.MetricsTimeline` with every substrate's
+    utilization series (see ``docs/observability.md``); telemetry is pure
+    observation — results are bit-identical with it on or off.
 
     ``fault_plan`` injects scheduled/probabilistic faults (see
     :mod:`repro.faults`) and switches the DES loop to the guarded variant:
@@ -162,6 +169,7 @@ def run_workflow(
         cluster.rng, jitter_cv if compute_cv is None else compute_cv
     )
     tracer = Tracer(clock=lambda: env.now) if trace else None
+    timeline = MetricsTimeline(clock=lambda: env.now) if metrics else None
     caliper = Caliper(clock=lambda: env.now)
     annotate = tracer.annotator if tracer else caliper.annotator
     placements = spec.placements()
@@ -224,6 +232,17 @@ def run_workflow(
     else:  # pragma: no cover - enum is exhaustive
         raise WorkflowError(f"unknown system {spec.system!r}")
 
+    if timeline is not None:
+        # Attach probes after every substrate exists but before the first
+        # event runs; attachment only registers gauges, it never schedules.
+        cluster.fabric.attach_metrics(timeline)
+        for node in cluster.nodes:
+            node.ssd.attach_metrics(timeline, f"ssd.{node.node_id}")
+        if runtime is not None:
+            runtime.attach_metrics(timeline)
+        if servers is not None:
+            servers.attach_metrics(timeline)
+
     ann_by_role: Dict[str, object] = {}
     for p in range(spec.pairs):
         ann_by_role[f"producer{p}"] = producer_anns[p]
@@ -251,7 +270,8 @@ def run_workflow(
         from repro.faults.inject import FaultInjector
 
         injector = FaultInjector(
-            fault_plan, cluster, dyad=runtime, lustre=servers, fs=fs
+            fault_plan, cluster, dyad=runtime, lustre=servers, fs=fs,
+            metrics=timeline,
         )
         injector.start()
         try:
@@ -359,6 +379,7 @@ def run_workflow(
         producer_trees=[ann.finish() for ann in producer_anns],
         consumer_trees=[ann.finish() for ann in consumer_anns],
         tracer=tracer,
+        metrics=timeline,
         system_stats=system_stats,
         invariant_violations=list(checker.violations),
     )

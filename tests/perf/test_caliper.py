@@ -105,6 +105,25 @@ def test_category_clash_across_visits(ann, clock):
         ann.end("x")
 
 
+def test_category_clash_leaves_tree_and_stack_intact(ann, clock):
+    ann.begin("x", Category.MOVEMENT)
+    clock.now = 1.0
+    ann.end("x")
+    ann.begin("x", Category.IDLE)
+    clock.now = 3.0
+    with pytest.raises(PerfError, match="clash"):
+        ann.end("x")
+    # The failed end must not have mutated the tree: time and count still
+    # reflect only the first (successful) visit...
+    node = ann.tree.find("x")
+    assert node.time == 1.0
+    assert node.count == 1
+    assert node.category == Category.MOVEMENT
+    # ...and the stack was restored, so the region is still open.
+    assert ann.depth == 1
+    assert ann.current_path() == ("x",)
+
+
 def test_region_context_manager(ann, clock):
     with ann.region("cm", Category.COMPUTE):
         clock.now = 5.0

@@ -77,6 +77,20 @@ def test_merge_category_clash_raises():
         a.merge(b)
 
 
+def test_merge_clash_leaves_target_unchanged():
+    a = make_tree()
+    b = make_tree()
+    # enrich b so a partial merge would be visible in several places
+    b.find("read").add_metric("time", 7.0)
+    b.node("extra").add_metric("time", 1.0)
+    b.find("consume", "fetch").metrics["category"] = "movement"  # clashes
+    before = a.to_dict()
+    with pytest.raises(PerfError):
+        a.merge(b)
+    # the clash is detected before any mutation: a is bit-identical
+    assert a.to_dict() == before
+
+
 def test_copy_is_deep():
     a = make_tree()
     b = a.copy()
@@ -126,6 +140,18 @@ def test_diff_trees_ratios():
     assert diff.find("read").metrics["ratio"] == pytest.approx(1.0)
     assert diff.find("consume").metrics["lhs"] == 10.0
     assert diff.find("consume").category == "movement"
+
+
+def test_diff_trees_category_falls_back_to_rhs():
+    from repro.perf.calltree import diff_trees
+
+    a = make_tree()
+    a.find("consume").metrics.pop("category")
+    b = make_tree()  # still categorizes consume as movement
+    diff = diff_trees(a, b)
+    assert diff.find("consume").category == "movement"
+    # read has no category on either side: none invented
+    assert diff.find("read").category is None
 
 
 def test_diff_trees_missing_nodes():

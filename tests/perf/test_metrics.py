@@ -1,0 +1,157 @@
+"""Unit tests for the substrate telemetry instruments and timeline."""
+
+import json
+
+import pytest
+
+from repro.errors import PerfError
+from repro.perf.metrics import (
+    Counter,
+    Gauge,
+    MetricsTimeline,
+    merge_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def timeline(clock):
+    return MetricsTimeline(clock)
+
+
+class TestInstruments:
+    def test_counter_samples_on_change_only(self, timeline, clock):
+        c = timeline.counter("ops")
+        clock.t = 1.0
+        c.add(2)
+        c.add(0)  # zero delta: no sample
+        clock.t = 2.0
+        c.inc()
+        assert c.value == 3.0
+        assert c.series() == [(0.0, 0.0), (1.0, 2.0), (2.0, 3.0)]
+
+    def test_counter_rejects_negative(self, timeline):
+        c = timeline.counter("ops")
+        with pytest.raises(PerfError):
+            c.add(-1)
+
+    def test_gauge_dedupes_unchanged_sets(self, timeline, clock):
+        g = timeline.gauge("depth")
+        clock.t = 1.0
+        g.set(4.0)
+        g.set(4.0)  # unchanged: no sample
+        clock.t = 2.0
+        g.set(0.0)
+        assert g.series() == [(0.0, 0.0), (1.0, 4.0), (2.0, 0.0)]
+
+    def test_gauge_add_shifts_both_ways(self, timeline, clock):
+        g = timeline.gauge("depth")
+        g.add(3)
+        g.add(-3)
+        assert g.value == 0.0
+        assert len(g.series()) == 3  # anchor + two shifts
+
+    def test_get_or_create_returns_same_instrument(self, timeline):
+        assert timeline.counter("x") is timeline.counter("x")
+        assert timeline.gauge("y") is timeline.gauge("y")
+
+    def test_kind_clash_rejected(self, timeline):
+        timeline.counter("x")
+        with pytest.raises(PerfError):
+            timeline.gauge("x")
+
+    def test_unknown_instrument_rejected(self, timeline):
+        with pytest.raises(PerfError):
+            timeline["nope"]
+
+
+class TestTimeline:
+    def test_sample_times_monotone(self, timeline, clock):
+        g = timeline.gauge("load")
+        c = timeline.counter("ops")
+        for step in range(20):
+            clock.t = step * 0.5
+            g.set(float(step % 3))
+            c.add(step % 2)
+        for name in timeline.names():
+            times = [t for t, _ in timeline.series(name)]
+            assert times == sorted(times)
+
+    def test_instants_recorded_with_args(self, timeline, clock):
+        clock.t = 7.5
+        timeline.instant("fault.link_flap.apply", target="node01", duration=1.0)
+        assert timeline.annotations == [
+            (7.5, "fault.link_flap.apply",
+             {"target": "node01", "duration": 1.0})
+        ]
+
+    def test_to_dict_round_trips_through_json(self, timeline, clock):
+        timeline.gauge("g").set(1.0)
+        timeline.counter("c").add(2)
+        timeline.instant("mark", why="test")
+        payload = json.loads(json.dumps(timeline.to_dict()))
+        assert payload["instruments"]["g"]["kind"] == "gauge"
+        assert payload["instruments"]["c"]["samples"][-1] == [0.0, 2.0]
+        assert payload["annotations"] == [[0.0, "mark", {"why": "test"}]]
+
+    def test_write_json_and_csv(self, timeline, clock, tmp_path):
+        g = timeline.gauge("load")
+        clock.t = 1.0
+        g.set(2.0)
+        jpath = tmp_path / "m.json"
+        cpath = tmp_path / "m.csv"
+        timeline.write_json(jpath)
+        timeline.write_csv(cpath)
+        assert json.loads(jpath.read_text())["instruments"]["load"]
+        lines = cpath.read_text().splitlines()
+        assert lines[0] == "time_s,instrument,value"
+        assert len(lines) == 3  # header + anchor + change
+
+    def test_csv_rows_globally_time_ordered(self, timeline, clock, tmp_path):
+        a = timeline.gauge("a")
+        b = timeline.gauge("b")
+        clock.t = 2.0
+        b.set(1.0)
+        clock.t = 3.0
+        a.set(1.0)
+        path = tmp_path / "m.csv"
+        timeline.write_csv(path)
+        rows = [line.split(",") for line in path.read_text().splitlines()[1:]]
+        times = [float(r[0]) for r in rows]
+        assert times == sorted(times)
+
+
+class TestChromeExport:
+    def test_counter_events_and_metadata(self, timeline, clock):
+        clock.t = 1.5
+        timeline.gauge("load").set(3.0)
+        timeline.instant("fault.x.apply", target="n0")
+        events = timeline.to_chrome_events()
+        phases = {e["ph"] for e in events}
+        assert {"M", "C", "i"} <= phases
+        counter = [e for e in events if e["ph"] == "C" and e["args"]["value"] == 3.0]
+        assert counter and counter[0]["ts"] == pytest.approx(1.5e6)
+        # every (pid, tid) that carries events also carries thread metadata
+        meta = {(e["pid"], e["tid"]) for e in events
+                if e["ph"] == "M" and e["name"] == "thread_name"}
+        used = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
+        assert used <= meta
+
+    def test_merge_with_and_without_tracer(self, timeline):
+        timeline.counter("ops").add(1)
+        doc = merge_chrome_trace(None, timeline)
+        assert {e["ph"] for e in doc["traceEvents"]} == {"M", "C"}
+        doc = merge_chrome_trace(None, None)
+        assert doc["traceEvents"] == []

@@ -126,6 +126,71 @@ def test_overlap_merges_adjacent_spans(tracer, clock):
     assert tracer.overlap("a", "b") == pytest.approx(0.0)
 
 
+def test_recorded_only_process_gets_distinct_tid(tracer, clock):
+    # A process whose spans arrive via record() alone (no annotator) must
+    # still get its own tid and thread metadata in the Chrome export.
+    tracer.annotator("named")
+    tracer.record(SpanEvent("loner", "w", None, 0.0, 1.0))
+    doc = tracer.to_chrome_trace()
+    spans = {e["name"]: e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    meta = {e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"}
+    assert meta["named"] != meta["loner"]
+    assert spans["w"] == meta["loner"]
+
+
+def test_overlap_disjoint_busy_sets_exactly_zero(tracer, clock):
+    a = tracer.annotator("a")
+    b = tracer.annotator("b")
+    for start in (0.0, 2.0, 4.0):
+        clock.now = start
+        a.begin("w")
+        clock.now = start + 1.0
+        a.end("w")          # a busy [0,1],[2,3],[4,5]
+    for start in (1.0, 3.0, 5.0):
+        clock.now = start
+        b.begin("w")
+        clock.now = start + 1.0
+        b.end("w")          # b busy [1,2],[3,4],[5,6]
+    assert tracer.overlap("a", "b") == 0.0  # exactly, not approximately
+
+
+def test_overlap_matches_naive_on_random_spans(clock):
+    import random
+
+    def naive(a, b):
+        total = 0.0
+        for lo_a, hi_a in a:
+            for lo_b, hi_b in b:
+                total += max(0.0, min(hi_a, hi_b) - max(lo_a, lo_b))
+        return total
+
+    rng = random.Random(1234)
+    for _ in range(50):
+        tracer = Tracer(clock)
+        for process in ("a", "b"):
+            t = 0.0
+            for _ in range(rng.randrange(0, 12)):
+                t += rng.random()
+                start = t
+                t += rng.random()
+                tracer.record(SpanEvent(process, "w", None, start, t))
+
+        def busy(process):
+            merged = []
+            for e in sorted(tracer.spans(process=process),
+                            key=lambda e: e.start):
+                if merged and e.start <= merged[-1][1]:
+                    merged[-1][1] = max(merged[-1][1], e.end)
+                else:
+                    merged.append([e.start, e.end])
+            return merged
+
+        expected = naive(busy("a"), busy("b"))
+        assert tracer.overlap("a", "b") == pytest.approx(expected)
+
+
 def test_chrome_trace_format(tracer, clock, tmp_path):
     ann = tracer.annotator("proc")
     ann.begin("region", "idle")

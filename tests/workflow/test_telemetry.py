@@ -1,0 +1,197 @@
+"""Workflow-level tests of the substrate telemetry layer.
+
+The load-bearing property is the pure-observation guarantee: a run with
+telemetry attached is bit-identical (by :func:`result_fingerprint`) to the
+same run without it, for every system and for faulty runs. The rest checks
+the export surface: Chrome-trace schema, campaign-level ``--trace`` /
+``--metrics`` plumbing, and fault windows landing as timeline annotations.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.parallel import (
+    RunTask,
+    campaign,
+    result_fingerprint,
+    run_campaign,
+)
+from repro.experiments.resilience import build_plan
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.md.models import JAC, STMV
+from repro.perf.metrics import merge_chrome_trace
+from repro.workflow.runner import run_workflow
+from repro.workflow.spec import Placement, System, WorkflowSpec
+
+
+def spec_for(system, model=JAC, frames=4, pairs=2):
+    placement = (Placement.SINGLE_NODE if system is System.XFS
+                 else Placement.SPLIT)
+    return WorkflowSpec(system=system, model=model, stride=model.paper_stride,
+                        frames=frames, pairs=pairs, placement=placement)
+
+
+class TestFingerprintNeutrality:
+    """Telemetry on vs off: results bit-identical, clean and faulty."""
+
+    @pytest.mark.parametrize("system", [System.DYAD, System.XFS, System.LUSTRE])
+    def test_clean_run_neutral(self, system):
+        # fig5-style single-node XFS cell plus the fig7-style split cells.
+        spec = spec_for(system)
+        plain = run_workflow(spec, seed=11, jitter_cv=0.05)
+        metered = run_workflow(spec, seed=11, jitter_cv=0.05,
+                               trace=True, metrics=True)
+        assert result_fingerprint(plain) == result_fingerprint(metered)
+
+    def test_large_model_neutral(self):
+        # fig8-style cell: the big model exercises multi-chunk streaming.
+        spec = spec_for(System.DYAD, model=STMV, frames=2, pairs=1)
+        plain = run_workflow(spec, seed=2, jitter_cv=0.05)
+        metered = run_workflow(spec, seed=2, jitter_cv=0.05, metrics=True)
+        assert result_fingerprint(plain) == result_fingerprint(metered)
+
+    def test_resilience_run_neutral(self):
+        spec = spec_for(System.DYAD, frames=6)
+        plan, dyad_config = build_plan(System.DYAD, 0.5, spec)
+        kwargs = dict(seed=7, jitter_cv=0.05, fault_plan=plan,
+                      dyad_config=dyad_config)
+        plain = run_workflow(spec, **kwargs)
+        metered = run_workflow(spec, trace=True, metrics=True, **kwargs)
+        assert plain.system_stats["faults_applied"] > 0
+        assert result_fingerprint(plain) == result_fingerprint(metered)
+
+
+class TestTimelineContents:
+    def test_substrate_instruments_present_and_monotone(self):
+        result = run_workflow(spec_for(System.DYAD), seed=1, metrics=True)
+        names = result.metrics.names()
+        assert any(n.endswith(".egress.utilization") for n in names)
+        assert any(n.startswith("ssd.") and n.endswith(".used_bytes")
+                   for n in names)
+        assert "kvs.commits" in result.metrics
+        assert "dyad.retries" in result.metrics
+        for name in names:
+            series = result.metrics.series(name)
+            times = [t for t, _ in series]
+            assert times == sorted(times), name
+
+    def test_utilization_bounded_and_active(self):
+        result = run_workflow(spec_for(System.LUSTRE), seed=1, metrics=True)
+        series = result.metrics.series("lustre.oss0.write.utilization")
+        values = [v for _, v in series]
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in values)
+        assert max(values) > 0.0  # the OSS actually absorbed writes
+        rpcs = result.metrics.series("lustre.oss0.rpcs.in_service")
+        assert max(v for _, v in rpcs) >= 1.0
+
+    def test_channels_drain_to_zero(self):
+        result = run_workflow(spec_for(System.DYAD), seed=1, metrics=True)
+        for name in result.metrics.names():
+            if name.endswith(".flows") or name.endswith(".bytes_in_flight"):
+                assert result.metrics[name].value == 0.0, name
+
+
+class TestChromeTraceSchema:
+    def test_merged_trace_valid_with_spans_counters_and_metadata(self, tmp_path):
+        result = run_workflow(spec_for(System.DYAD), seed=1,
+                              trace=True, metrics=True)
+        path = tmp_path / "trace.json"
+        with open(path, "w") as fh:
+            json.dump(merge_chrome_trace(result.tracer, result.metrics), fh)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert "X" in phases and "C" in phases
+        named = {(e["pid"], e["tid"]) for e in events
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        used = {(e["pid"], e["tid"]) for e in events if e["ph"] != "M"}
+        assert used <= named  # complete thread metadata
+
+    def test_fault_windows_exported_as_instants(self):
+        spec = spec_for(System.DYAD, frames=6)
+        plan, dyad_config = build_plan(System.DYAD, 0.5, spec)
+        result = run_workflow(spec, seed=7, jitter_cv=0.05, fault_plan=plan,
+                              dyad_config=dyad_config, trace=True, metrics=True)
+        doc = merge_chrome_trace(result.tracer, result.metrics)
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == len(result.metrics.annotations)
+        assert any(e["name"].startswith("fault.") and e["name"].endswith(".apply")
+                   for e in instants)
+
+
+class TestFaultAnnotations:
+    def test_every_applied_window_annotated(self):
+        plan = FaultPlan(events=(
+            FaultEvent("dyad_crash", at=0.3, target="0", duration=0.2),
+            FaultEvent("ssd_degrade", at=0.5, target="1", duration=0.3,
+                       severity=4.0),
+        ))
+        spec = spec_for(System.DYAD, frames=8)
+        result = run_workflow(spec, seed=3, jitter_cv=0.05, fault_plan=plan,
+                              metrics=True)
+        names = [name for _, name, _ in result.metrics.annotations]
+        assert names.count("fault.dyad_crash.apply") == 1
+        assert names.count("fault.dyad_crash.revert") == 1
+        assert names.count("fault.ssd_degrade.apply") == 1
+        assert names.count("fault.ssd_degrade.revert") == 1
+        # the active-window gauge returned to zero after the last revert
+        assert result.metrics["faults.active"].value == 0.0
+        targets = {args["target"] for _, _, args in result.metrics.annotations}
+        assert targets == {"0", "1"}
+
+    def test_annotation_times_inside_run(self):
+        spec = spec_for(System.DYAD, frames=6)
+        plan, dyad_config = build_plan(System.DYAD, 0.5, spec)
+        result = run_workflow(spec, seed=7, jitter_cv=0.05, fault_plan=plan,
+                              dyad_config=dyad_config, metrics=True)
+        assert result.metrics.annotations
+        for t, _, _ in result.metrics.annotations:
+            assert 0.0 <= t <= result.makespan
+
+
+class TestCampaignPlumbing:
+    def _tasks(self, runs=2):
+        spec = spec_for(System.DYAD, frames=3, pairs=1)
+        return [RunTask(spec=spec, seed=100 + 1000 * r, jitter_cv=0.05)
+                for r in range(runs)]
+
+    def test_campaign_exports_once_and_results_identical(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.csv"
+        baseline = run_campaign(self._tasks(), jobs=1, use_cache=False)
+        with campaign(trace_path=str(trace_path),
+                      metrics_path=str(metrics_path)):
+            results = run_campaign(self._tasks(), jobs=1, use_cache=False)
+            # the claim is one-shot: a second campaign in the same scope
+            # does not re-export
+            trace_path.unlink()
+            run_campaign(self._tasks(1), jobs=1, use_cache=False)
+            assert not trace_path.exists()
+        assert metrics_path.read_text().startswith("time_s,")
+        assert [result_fingerprint(r) for r in results] == \
+               [result_fingerprint(r) for r in baseline]
+        assert results[0].metrics is not None  # the instrumented repetition
+        assert results[1].metrics is None
+
+    def test_telemetry_run_never_cached(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        with campaign(trace_path=str(tmp_path / "t.json"),
+                      metrics_path=str(tmp_path / "m.json")):
+            run_campaign(self._tasks(), jobs=1, use_cache=True,
+                         cache_dir=str(cache_dir))
+        # second invocation (no telemetry scope): task 0 misses the cache
+        # (its instrumented run was not stored), task 1 hits.
+        results = run_campaign(self._tasks(), jobs=1, use_cache=True,
+                               cache_dir=str(cache_dir))
+        assert all(r.metrics is None and r.tracer is None for r in results)
+
+    def test_cache_refuses_metered_results(self, tmp_path):
+        from repro.experiments.persist import ResultCache
+
+        result = run_workflow(spec_for(System.DYAD, frames=3, pairs=1),
+                              seed=1, metrics=True)
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(ReproError):
+            cache.store("somekey", result)
