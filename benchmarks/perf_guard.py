@@ -1,16 +1,29 @@
-"""CI perf-guard: fail on a >20% contended-kernel throughput regression.
+"""CI perf-guard: fail on kernel or fluid-tier performance regressions.
 
-Run after ``benchmarks/test_campaign.py`` has written
-``BENCH_campaign.json``::
+Run after the benchmark suites have written their payloads::
 
+    python -m pytest benchmarks/test_campaign.py   # -> BENCH_campaign.json
+    python -m pytest benchmarks/test_fluid.py      # -> BENCH_fluid.json
     python benchmarks/perf_guard.py
 
-Compares the measured ``kernel.contended_events_per_sec`` against
-``benchmarks/baseline_campaign.json`` and exits non-zero when the
-measured rate falls below ``(1 - TOLERANCE)`` of the baseline. The
-tolerance absorbs run-to-run noise on shared CI runners; a genuine
-kernel regression (the naive channel coming back, a hot-path
-deoptimization) loses far more than 20%.
+Two gates:
+
+- ``kernel``: the measured ``kernel.contended_events_per_sec`` in
+  ``BENCH_campaign.json`` must stay within ``TOLERANCE`` of
+  ``benchmarks/baseline_campaign.json``. The tolerance absorbs
+  run-to-run noise on shared CI runners; a genuine kernel regression
+  (the naive channel coming back, a hot-path deoptimization) loses far
+  more than 20%.
+- ``fluid``: when ``BENCH_fluid.json`` exists (the fluid-differential CI
+  job produces it; the quick-bench job does not), the fluid tier's
+  contended-workload speedup over the exact tier must clear the floor in
+  ``benchmarks/baseline_fluid.json`` — a same-machine wall-time ratio,
+  immune to box noise — and the million-flow admission throughput must
+  stay within ``FLUID_TOLERANCE`` of its recorded baseline.
+
+Missing files exit 2 with instructions; missing keys (a bench/baseline
+schema drift) exit 2 with the offending dotted key named instead of a
+bare ``KeyError``. Regressions exit 1.
 """
 
 from __future__ import annotations
@@ -21,17 +34,49 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-#: Allowed fractional shortfall vs the recorded baseline.
+#: Allowed fractional shortfall vs the recorded kernel baseline.
 TOLERANCE = 0.20
+#: Allowed fractional shortfall vs the recorded million-flow throughput
+#: (absolute flows/sec varies more across runner generations than the
+#: kernel events/sec number does, hence the wider band).
+FLUID_TOLERANCE = 0.50
 
 
-def check(bench_path: pathlib.Path, baseline_path: pathlib.Path,
-          tolerance: float = TOLERANCE) -> int:
-    """Return 0 when within budget, 1 on regression. Prints a verdict."""
+class MissingKey(KeyError):
+    """A payload lacks an expected key; carries the dotted path."""
+
+    def __init__(self, dotted: str, path: pathlib.Path) -> None:
+        super().__init__(dotted)
+        self.dotted = dotted
+        self.path = path
+
+    def __str__(self) -> str:
+        return (
+            f"perf-guard: {self.path} has no key {self.dotted!r} — the "
+            "benchmark payload and the guard disagree on schema. "
+            "Re-run the benchmark suite that writes this file; if its "
+            "schema changed intentionally, update benchmarks/perf_guard.py "
+            "and the recorded baseline in the same PR."
+        )
+
+
+def _get(payload: dict, dotted: str, path: pathlib.Path):
+    """Fetch a dotted key from nested dicts; raise MissingKey, not KeyError."""
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise MissingKey(dotted, path)
+        node = node[part]
+    return node
+
+
+def check_kernel(bench_path: pathlib.Path, baseline_path: pathlib.Path,
+                 tolerance: float = TOLERANCE) -> int:
+    """Contended-kernel throughput gate. 0 within budget, 1 on regression."""
     bench = json.loads(bench_path.read_text())
     baseline = json.loads(baseline_path.read_text())
-    measured = bench["kernel"]["contended_events_per_sec"]
-    recorded = baseline["contended_events_per_sec"]
+    measured = _get(bench, "kernel.contended_events_per_sec", bench_path)
+    recorded = _get(baseline, "contended_events_per_sec", baseline_path)
     floor = (1.0 - tolerance) * recorded
     verdict = "OK" if measured >= floor else "REGRESSION"
     print(
@@ -50,6 +95,50 @@ def check(bench_path: pathlib.Path, baseline_path: pathlib.Path,
     return 0
 
 
+def check_fluid(bench_path: pathlib.Path, baseline_path: pathlib.Path,
+                tolerance: float = FLUID_TOLERANCE) -> int:
+    """Fluid-tier gate: contended speedup floor + flow throughput floor."""
+    bench = json.loads(bench_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+    status = 0
+
+    speedup = _get(bench, "contended.speedup_fluid_vs_exact", bench_path)
+    floor = _get(baseline, "contended_speedup_floor", baseline_path)
+    verdict = "OK" if speedup >= floor else "REGRESSION"
+    print(
+        f"perf-guard [{verdict}]: fluid contended speedup = "
+        f"{speedup:.2f}x over exact (floor {floor:.1f}x; same-machine "
+        "ratio, no noise tolerance)"
+    )
+    if speedup < floor:
+        print(
+            "perf-guard: the fluid tier no longer clears its contended-"
+            "workload speedup floor. This ratio is measured back-to-back "
+            "on one machine, so it is a real regression in the flow-level "
+            "engine (or an exact-tier speedup worth recording), not noise."
+        )
+        status = 1
+
+    measured = _get(bench, "million_flows.flows_per_sec", bench_path)
+    recorded = _get(baseline, "million_flows_per_sec", baseline_path)
+    floor = (1.0 - tolerance) * recorded
+    verdict = "OK" if measured >= floor else "REGRESSION"
+    print(
+        f"perf-guard [{verdict}]: million-flow throughput = "
+        f"{measured:,.0f} flows/s (baseline {recorded:,.0f}, "
+        f"floor {floor:,.0f} = baseline - {tolerance:.0%})"
+    )
+    if measured < floor:
+        print(
+            "perf-guard: fluid-engine flow admission throughput regressed "
+            "more than the tolerated noise band. If the slowdown is "
+            "intended, refresh benchmarks/baseline_fluid.json in the same "
+            "PR and explain why in docs/performance.md."
+        )
+        status = 1
+    return status
+
+
 def main(argv: list | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     bench = pathlib.Path(argv[0]) if argv else ROOT / "BENCH_campaign.json"
@@ -59,7 +148,24 @@ def main(argv: list | None = None) -> int:
         print(f"perf-guard: {bench} not found — run "
               "`python -m pytest benchmarks/test_campaign.py` first")
         return 2
-    return check(bench, baseline)
+    try:
+        status = check_kernel(bench, baseline)
+        fluid_bench = ROOT / "BENCH_fluid.json"
+        if fluid_bench.exists():
+            fluid_status = check_fluid(
+                fluid_bench, ROOT / "benchmarks" / "baseline_fluid.json"
+            )
+            status = status or fluid_status
+        else:
+            print(
+                "perf-guard: BENCH_fluid.json not present — skipping the "
+                "fluid-tier gate (run `python -m pytest "
+                "benchmarks/test_fluid.py` to produce it)"
+            )
+    except MissingKey as exc:
+        print(exc)
+        return 2
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,237 @@
+"""Fidelity-tier benchmarks: contended speedup, 10k nodes, million flows.
+
+Tracks the performance claims of the ``fluid``/``hybrid`` tiers and
+emits a machine-readable ``BENCH_fluid.json`` at the repository root:
+
+- ``contended``: wall time of a 64-puller chunked-RDMA fan-in (the
+  arrival pattern that makes the exact tier's event count explode: 64
+  pulls x 8 concurrent chunks x 3 channel memberships per epoch) on all
+  three tiers, with the fluid-vs-exact speedup measured on the same
+  machine in the same minute — immune to box noise — and the tiers'
+  makespan agreement asserted within the documented 1e-3 tolerance;
+- ``fanout_10k``: a 10,000-node fan-out campaign on the fluid tier
+  (corona() caps at 121 real Corona nodes; this builds the cluster
+  directly), checked against the analytic egress-bottleneck makespan;
+- ``million_flows``: a synthetic 1e6-flow workload through one
+  :class:`~repro.sim.fluid.FluidNetwork`, reporting sustained flows/sec
+  and the kernel-health counters.
+
+Like ``test_campaign.py``, thresholds are asserted only under
+``REPRO_BENCH_STRICT=1``; CI's cross-machine gate is
+``benchmarks/perf_guard.py`` against ``benchmarks/baseline_fluid.json``.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.cluster.topology import Cluster, ClusterConfig
+from repro.dyad.rdma import RdmaTransport
+from repro.sim.core import Environment, Event
+from repro.sim.fluid import FluidNetwork
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE_PATH = ROOT / "benchmarks" / "baseline_fluid.json"
+OUTPUT_PATH = ROOT / "BENCH_fluid.json"
+
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "0") == "1"
+
+#: Contended-workload wall-time speedup the fluid tier must deliver over
+#: the exact tier (the ISSUE's headline acceptance number).
+FLUID_SPEEDUP_TARGET = 10.0
+#: Tier agreement on the contended fan-in makespan.
+MAKESPAN_REL_TOL = 1e-3
+
+MIB = 1 << 20
+
+RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_bench_json():
+    """Write whatever was measured, even if a later test fails."""
+    yield
+    payload = {
+        "schema": 1,
+        "cpu_count": os.cpu_count(),
+        "python": ".".join(map(str, __import__("sys").version_info[:3])),
+        "strict": STRICT,
+        **RESULTS,
+    }
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=1) + "\n")
+
+
+# ---------------------------------------------------------------------------
+# contended chunked-RDMA fan-in: exact vs hybrid vs fluid
+# ---------------------------------------------------------------------------
+
+def _fan_in(fidelity, pullers=64, frame=32 * MIB, chunk=4 * MIB, rounds=20):
+    """64 nodes pulling 32 MiB frames (4 MiB chunks) from one target.
+
+    Every round each puller issues one chunked RDMA get, so the target's
+    egress channel carries up to ``pullers * frame/chunk`` concurrent
+    flows on the exact tier. Returns (wall seconds, simulated makespan,
+    kernel events dispatched, cluster).
+    """
+    cluster = Cluster(ClusterConfig(nodes=pullers + 1, fidelity=fidelity))
+    env = cluster.env
+    transport = RdmaTransport(cluster.fabric, chunk)
+    target = cluster.node(0).node_id
+
+    def puller(me):
+        for _ in range(rounds):
+            yield from transport.get(me, target, frame)
+
+    for node in cluster.nodes[1:]:
+        env.process(puller(node.node_id))
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    return wall, env.now, env._seq, cluster
+
+
+def test_contended_fan_in_speedup():
+    walls, makespans, events = {}, {}, {}
+    for tier in ("exact", "hybrid", "fluid"):
+        wall, makespan, seq, cluster = _fan_in(tier)
+        walls[tier], makespans[tier], events[tier] = wall, makespan, seq
+        if tier == "fluid":
+            net = cluster.fluid
+            fluid_counters = {
+                "fluid_epochs": net.fluid_epochs,
+                "rate_solves": net.rate_solves,
+                "flows_admitted": net.flows_admitted,
+            }
+    rel_err = {
+        tier: abs(makespans[tier] - makespans["exact"]) / makespans["exact"]
+        for tier in ("hybrid", "fluid")
+    }
+    RESULTS["contended"] = {
+        "pullers": 64,
+        "frame_bytes": 32 * MIB,
+        "chunk_bytes": 4 * MIB,
+        "rounds": 20,
+        "wall_seconds": {t: round(w, 4) for t, w in walls.items()},
+        "kernel_events": events,
+        "makespan_seconds": round(makespans["exact"], 6),
+        "makespan_rel_err": {t: round(e, 9) for t, e in rel_err.items()},
+        "speedup_hybrid_vs_exact": round(walls["exact"] / walls["hybrid"], 2),
+        "speedup_fluid_vs_exact": round(walls["exact"] / walls["fluid"], 2),
+        "speedup_target": FLUID_SPEEDUP_TARGET,
+        **fluid_counters,
+    }
+    assert rel_err["hybrid"] <= MAKESPAN_REL_TOL
+    assert rel_err["fluid"] <= MAKESPAN_REL_TOL
+    # the fluid tiers must strictly shrink the event count; wall-clock
+    # thresholds stay behind STRICT (shared runners are noisy)
+    assert events["fluid"] < events["exact"]
+    assert events["hybrid"] < events["exact"]
+    if STRICT:
+        assert walls["exact"] / walls["fluid"] >= FLUID_SPEEDUP_TARGET
+
+
+# ---------------------------------------------------------------------------
+# 10k-node fan-out campaign (fluid tier)
+# ---------------------------------------------------------------------------
+
+def test_fanout_10k_nodes():
+    nodes, frame, rounds = 10_000, 1 * MIB, 2
+    t0 = time.perf_counter()
+    cluster = Cluster(ClusterConfig(nodes=nodes, fidelity="fluid"))
+    build = time.perf_counter() - t0
+    env = cluster.env
+    fabric = cluster.fabric
+    src = cluster.node(0).node_id
+
+    def pusher(dst):
+        for _ in range(rounds):
+            yield from fabric.transfer(src, dst, frame)
+
+    for node in cluster.nodes[1:]:
+        env.process(pusher(node.node_id))
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    flows = rounds * (nodes - 1)
+    # all (nodes-1) concurrent pushes bottleneck on the source egress
+    analytic = flows * frame / fabric.config.link_bandwidth
+    rel_err = abs(env.now - analytic) / analytic
+    RESULTS["fanout_10k"] = {
+        "nodes": nodes,
+        "frame_bytes": frame,
+        "rounds": rounds,
+        "flows": flows,
+        "build_seconds": round(build, 3),
+        "wall_seconds": round(wall, 3),
+        "flows_per_sec": round(flows / wall, 1),
+        "makespan_seconds": round(env.now, 6),
+        "analytic_makespan_seconds": round(analytic, 6),
+        "makespan_rel_err_vs_analytic": round(rel_err, 9),
+        "fluid_epochs": cluster.fluid.fluid_epochs,
+        "rate_solves": cluster.fluid.rate_solves,
+    }
+    assert cluster.fluid.flows_completed == flows
+    # folded latencies add microseconds to a multi-second makespan
+    assert rel_err < 1e-2
+    if STRICT:
+        assert wall < 60.0
+
+
+# ---------------------------------------------------------------------------
+# million-flow synthetic workload (raw FluidNetwork)
+# ---------------------------------------------------------------------------
+
+def test_million_flows():
+    total, burst, npaths = 1_000_000, 20_000, 64
+    env = Environment()
+    net = FluidNetwork(env)
+    # heterogeneous paths: two bandwidth tiers so every burst drains in
+    # several distinct departure epochs instead of one degenerate pop
+    paths = [(net.link(4e9 if i % 2 else 2e9), net.link(4e9))
+             for i in range(npaths)]
+    sizes = (1e5, 1e6, 5e6, 2e7)
+
+    def driver():
+        issued = 0
+        round_no = 0
+        while issued < total:
+            b = min(burst, total - issued)
+            issued += b
+            gate = Event(env)
+            left = [b]
+
+            def _done(_ev, gate=gate, left=left):
+                left[0] -= 1
+                if not left[0]:
+                    gate.succeed(None)
+
+            size = sizes[round_no % len(sizes)]
+            round_no += 1
+            for j in range(b):
+                eg, ing = paths[j % npaths]
+                net.transfer(size, (eg, ing)).callbacks.append(_done)
+            yield gate
+
+    env.process(driver())
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    RESULTS["million_flows"] = {
+        "flows": total,
+        "burst": burst,
+        "paths": npaths,
+        "wall_seconds": round(wall, 3),
+        "flows_per_sec": round(total / wall, 1),
+        "sim_seconds": round(env.now, 3),
+        "fluid_epochs": net.fluid_epochs,
+        "rate_solves": net.rate_solves,
+    }
+    assert net.flows_completed == total
+    assert net.active_flows == 0
+    if STRICT:
+        baseline = json.loads(BASELINE_PATH.read_text())
+        floor = 0.5 * baseline["million_flows_per_sec"]
+        assert total / wall >= floor

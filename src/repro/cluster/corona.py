@@ -49,12 +49,15 @@ CORONA_FABRIC = FabricConfig(
 CORONA_MAX_NODES = 121
 
 
-def corona(nodes: int = 2, seed: int = 0, jitter_cv: float = 0.0) -> Cluster:
+def corona(nodes: int = 2, seed: int = 0, jitter_cv: float = 0.0,
+           fidelity: str = "exact") -> Cluster:
     """Build a Corona-like cluster of ``nodes`` compute nodes.
 
     ``jitter_cv`` turns on lognormal service-time jitter across all devices
     (the experiments use a small value, ~0.05, to produce the run-to-run
     variance the paper reports; unit tests use 0 for exact determinism).
+    ``fidelity`` selects the simulation tier (``exact`` / ``hybrid`` /
+    ``fluid``, see :class:`repro.sim.fluid.Fidelity`).
     """
     if not 1 <= nodes <= CORONA_MAX_NODES:
         raise ValueError(
@@ -81,4 +84,5 @@ def corona(nodes: int = 2, seed: int = 0, jitter_cv: float = 0.0) -> Cluster:
         bisection_bandwidth=CORONA_FABRIC.bisection_bandwidth,
         jitter_cv=jitter_cv,
     )
-    return Cluster(ClusterConfig(nodes=nodes, node=node, fabric=fabric, seed=seed))
+    return Cluster(ClusterConfig(nodes=nodes, node=node, fabric=fabric,
+                                 seed=seed, fidelity=fidelity))

@@ -24,6 +24,7 @@ from typing import Dict, Optional
 
 from repro.errors import ConfigError, TransferError
 from repro.sim.core import Environment
+from repro.sim.fluid import FluidNetwork
 from repro.sim.resources import SharedBandwidth, Signal
 from repro.sim.rng import RngStreams
 from repro.units import gb_per_s, usec
@@ -83,12 +84,23 @@ class FabricConfig:
 
 
 class NIC:
-    """One full-duplex network port."""
+    """One full-duplex network port.
 
-    def __init__(self, env: Environment, node_id: str, bandwidth: float) -> None:
+    On the fluid tiers both direction channels are
+    :class:`~repro.sim.fluid.FluidLink` constraints of the cluster-wide
+    :class:`~repro.sim.fluid.FluidNetwork` instead of per-channel
+    :class:`SharedBandwidth` instances; the surface is duck-compatible.
+    """
+
+    def __init__(self, env: Environment, node_id: str, bandwidth: float,
+                 fluid: Optional[FluidNetwork] = None) -> None:
         self.node_id = node_id
-        self.egress = SharedBandwidth(env, bandwidth)
-        self.ingress = SharedBandwidth(env, bandwidth)
+        if fluid is not None:
+            self.egress = fluid.link(bandwidth, label=f"{node_id}.egress")
+            self.ingress = fluid.link(bandwidth, label=f"{node_id}.ingress")
+        else:
+            self.egress = SharedBandwidth(env, bandwidth)
+            self.ingress = SharedBandwidth(env, bandwidth)
 
     @property
     def active_flows(self) -> int:
@@ -122,18 +134,28 @@ class FabricStats:
 class Fabric:
     """The cluster interconnect: a set of NICs around a switch."""
 
-    def __init__(self, env: Environment, config: FabricConfig, rng: RngStreams) -> None:
+    def __init__(self, env: Environment, config: FabricConfig, rng: RngStreams,
+                 fluid: Optional[FluidNetwork] = None,
+                 fold_latency: bool = False) -> None:
         config.validate()
         self.env = env
         self.config = config
         self._rng = rng
+        #: Shared flow-level engine on the `hybrid`/`fluid` tiers (`None`
+        #: on `exact`); substrates downstream (SSD, Lustre OSS) read this
+        #: to place their channels on the same network.
+        self.fluid = fluid
+        #: `fluid` tier only: fixed latencies ride as flow tails.
+        self.fold_latency = fold_latency and fluid is not None
         self._nics: Dict[str, NIC] = {}
         self._link_down: Dict[str, Signal] = {}
-        self._bisection: Optional[SharedBandwidth] = (
-            SharedBandwidth(env, config.bisection_bandwidth)
-            if config.bisection_bandwidth is not None
-            else None
-        )
+        if config.bisection_bandwidth is None:
+            self._bisection = None
+        elif fluid is not None:
+            self._bisection = fluid.link(config.bisection_bandwidth,
+                                         label="bisection")
+        else:
+            self._bisection = SharedBandwidth(env, config.bisection_bandwidth)
         self.stats = FabricStats()
         # telemetry hooks (None until attach_metrics)
         self._m_bytes = None
@@ -145,7 +167,7 @@ class Fabric:
         """Register a node on the fabric and return its NIC."""
         if node_id in self._nics:
             raise ConfigError(f"node {node_id!r} already attached")
-        nic = NIC(self.env, node_id, self.config.link_bandwidth)
+        nic = NIC(self.env, node_id, self.config.link_bandwidth, self.fluid)
         self._nics[node_id] = nic
         return nic
 
@@ -234,8 +256,15 @@ class Fabric:
             return base
         return self._rng.jitter(stream, base, self.config.jitter_cv)
 
-    def _move(self, src: str, dst: str, nbytes: int, setup: float):
-        """Common generator for both transfer kinds; returns elapsed time."""
+    def _move(self, src: str, dst: str, nbytes: int, setup: float,
+              phases=None):
+        """Common generator for both transfer kinds; returns elapsed time.
+
+        ``phases`` (fluid tiers only) replaces the single unit-weight flow
+        with a sequence of ``(nbytes, weight)`` fluid flows run back to
+        back — the shape a collapsed chunk pipeline needs (see
+        :meth:`rdma_get_bulk`). Bytes must sum to ``nbytes``.
+        """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
         if src == dst:
@@ -249,15 +278,38 @@ class Fabric:
         if self._link_down:  # single falsy check on the fault-free hot path
             yield from self._await_links(src, dst)
         latency = self._jittered("fabric.latency", setup + self.path_latency())
-        yield self.env.timeout(latency)
-        if nbytes:
-            flows = [
-                src_nic.egress.transfer(nbytes),
-                dst_nic.ingress.transfer(nbytes),
-            ]
+        fluid = self.fluid
+        if fluid is None:
+            yield self.env.timeout(latency)
+            if nbytes:
+                flows = [
+                    src_nic.egress.transfer(nbytes),
+                    dst_nic.ingress.transfer(nbytes),
+                ]
+                if self._bisection is not None:
+                    flows.append(self._bisection.transfer(nbytes))
+                yield self.env.all_of(flows)
+        else:
+            # Fluid tiers: one jointly-rated flow across the whole path
+            # instead of independent per-channel flows joined by all_of.
             if self._bisection is not None:
-                flows.append(self._bisection.transfer(nbytes))
-            yield self.env.all_of(flows)
+                links = (src_nic.egress, self._bisection, dst_nic.ingress)
+            else:
+                links = (src_nic.egress, dst_nic.ingress)
+            if phases is None:
+                phases = ((nbytes, 1.0),)
+            if self.fold_latency:
+                # The head latency folds onto the last phase's tail.
+                last = len(phases) - 1
+                for i, (pbytes, pweight) in enumerate(phases):
+                    yield fluid.transfer(pbytes, links,
+                                         tail=latency if i == last else 0.0,
+                                         weight=pweight)
+            else:
+                yield self.env.timeout(latency)
+                for pbytes, pweight in phases:
+                    if pbytes:
+                        yield fluid.transfer(pbytes, links, weight=pweight)
         self.stats.bytes_moved += nbytes
         if self._m_bytes is not None:
             self._m_bytes.add(nbytes)
@@ -276,6 +328,35 @@ class Fabric:
         """
         self.stats.rdma_transfers += 1
         return (yield from self._move(target, initiator, nbytes, self.config.rdma_setup))
+
+    def rdma_get_bulk(self, initiator: str, target: str, nbytes: int,
+                      chunk: int):
+        """Generator: a chunked RDMA pull collapsed into weighted flows.
+
+        Only meaningful on the fluid tiers. Under max-min sharing, ``k``
+        concurrent chunks over a shared path each progress at the per-slot
+        rate, so the pipeline is equivalent to a weight-``k`` flow until
+        the short final chunk (``r = nbytes mod chunk`` bytes) drains —
+        ``k·r`` bytes in — then a weight-``k-1`` flow for the remaining
+        ``(k-1)·(chunk-r)`` bytes. Two flows (often one, when ``chunk``
+        divides ``nbytes``) reproduce the pipeline's completion time and
+        contention footprint without its per-chunk processes/events.
+        ``rdma_transfers`` advances by ``k`` so the wire-operation count
+        matches the exact tier's accounting.
+        """
+        k, r = divmod(nbytes, chunk)
+        if r == 0:
+            r = chunk
+        else:
+            k += 1
+        self.stats.rdma_transfers += k
+        if k == 1 or r == chunk:
+            phases = ((nbytes, float(k)),)
+        else:
+            phases = ((k * r, float(k)), ((k - 1) * (chunk - r), float(k - 1)))
+        return (yield from self._move(target, initiator, nbytes,
+                                      self.config.rdma_setup,
+                                      phases=phases))
 
     def message(self, src: str, dst: str, nbytes: int = 0):
         """Generator: small control message (eager protocol)."""

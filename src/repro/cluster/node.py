@@ -51,7 +51,9 @@ class Node:
         self.env = env
         self.node_id = node_id
         self.config = config
-        self.ssd = SSDModel(env, config.ssd, rng, name=f"{node_id}.ssd")
+        self.ssd = SSDModel(env, config.ssd, rng, name=f"{node_id}.ssd",
+                            fluid=fabric.fluid,
+                            fold_latency=fabric.fold_latency)
         self.nic: NIC = fabric.attach(node_id)
         self._gpus_claimed = 0
 

@@ -14,9 +14,11 @@ respected; exceeding it raises :class:`repro.errors.StorageError`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigError, StorageError
 from repro.sim.core import Environment
+from repro.sim.fluid import FluidNetwork
 from repro.sim.resources import SharedBandwidth
 from repro.sim.rng import RngStreams
 from repro.units import TiB, gb_per_s, usec
@@ -91,14 +93,25 @@ class SSDModel:
         config: SSDConfig,
         rng: RngStreams,
         name: str = "ssd",
+        fluid: Optional[FluidNetwork] = None,
+        fold_latency: bool = False,
     ) -> None:
         config.validate()
         self.env = env
         self.config = config
         self.name = name
         self._rng = rng
-        self._read_chan = SharedBandwidth(env, config.read_bandwidth)
-        self._write_chan = SharedBandwidth(env, config.write_bandwidth)
+        if fluid is not None:
+            self._read_chan = fluid.link(config.read_bandwidth,
+                                         label=f"{name}.read")
+            self._write_chan = fluid.link(config.write_bandwidth,
+                                          label=f"{name}.write")
+        else:
+            self._read_chan = SharedBandwidth(env, config.read_bandwidth)
+            self._write_chan = SharedBandwidth(env, config.write_bandwidth)
+        # `fluid` tier only: access latency rides as the flow's tail, so
+        # an operation costs one event instead of a Timeout plus a flow.
+        self._fold = fold_latency and fluid is not None
         self._used = 0
         self._degraded = 1.0
         self.stats = SSDStats()
@@ -192,9 +205,14 @@ class SSDModel:
         if nbytes < 0:
             raise ValueError(f"negative write size: {nbytes}")
         start = self.env.now
-        yield self.env.timeout(self._latency("wlat", self.config.write_latency))
-        if nbytes:
-            yield self._write_chan.transfer(nbytes)
+        if self._fold:
+            yield self._write_chan.transfer(
+                nbytes, tail=self._latency("wlat", self.config.write_latency))
+        else:
+            yield self.env.timeout(
+                self._latency("wlat", self.config.write_latency))
+            if nbytes:
+                yield self._write_chan.transfer(nbytes)
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
         return self.env.now - start
@@ -204,9 +222,14 @@ class SSDModel:
         if nbytes < 0:
             raise ValueError(f"negative read size: {nbytes}")
         start = self.env.now
-        yield self.env.timeout(self._latency("rlat", self.config.read_latency))
-        if nbytes:
-            yield self._read_chan.transfer(nbytes)
+        if self._fold:
+            yield self._read_chan.transfer(
+                nbytes, tail=self._latency("rlat", self.config.read_latency))
+        else:
+            yield self.env.timeout(
+                self._latency("rlat", self.config.read_latency))
+            if nbytes:
+                yield self._read_chan.transfer(nbytes)
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
         return self.env.now - start

@@ -15,6 +15,7 @@ from repro.cluster.network import Fabric, FabricConfig
 from repro.cluster.node import Node, NodeConfig
 from repro.errors import ConfigError
 from repro.sim.core import Environment
+from repro.sim.fluid import Fidelity, FluidNetwork
 from repro.sim.rng import RngStreams
 
 __all__ = ["ClusterConfig", "Cluster"]
@@ -22,17 +23,25 @@ __all__ = ["ClusterConfig", "Cluster"]
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Shape of a homogeneous cluster."""
+    """Shape of a homogeneous cluster.
+
+    ``fidelity`` selects the simulation tier (see
+    :class:`repro.sim.fluid.Fidelity`): ``exact`` is the bit-reproducible
+    per-channel kernel, ``hybrid``/``fluid`` delegate bulk byte movement
+    to a cluster-wide flow-level solver.
+    """
 
     nodes: int = 2
     node: NodeConfig = NodeConfig()
     fabric: FabricConfig = FabricConfig()
     seed: int = 0
+    fidelity: str = "exact"
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on invalid values."""
         if self.nodes < 1:
             raise ConfigError("cluster needs at least one node")
+        Fidelity.coerce(self.fidelity)
         self.node.validate()
         self.fabric.validate()
 
@@ -49,7 +58,14 @@ class Cluster:
         self.config = config
         self.env = Environment()
         self.rng = RngStreams(config.seed)
-        self.fabric = Fabric(self.env, config.fabric, self.rng)
+        self.fidelity = Fidelity.coerce(config.fidelity)
+        #: One flow-level engine shared by every substrate on the
+        #: `hybrid`/`fluid` tiers; `None` on `exact`.
+        self.fluid = (FluidNetwork(self.env) if self.fidelity.uses_fluid
+                      else None)
+        self.fabric = Fabric(self.env, config.fabric, self.rng,
+                             fluid=self.fluid,
+                             fold_latency=self.fidelity.folds_latency)
         self.nodes: List[Node] = [
             Node(self.env, f"node{i:02d}", config.node, self.fabric, self.rng)
             for i in range(config.nodes)

@@ -81,6 +81,16 @@ class RdmaTransport(_FaultModel):
             raise TransferError(
                 f"injected rdma fault pulling {nbytes} B from {target}"
             )
+        if self.fabric.fluid is not None:
+            # Fluid tiers: the chunk pipeline collapses into weighted
+            # flows with the same bandwidth footprint (equal concurrent
+            # chunks on a shared path get exactly k flow-shares),
+            # eliminating the per-chunk processes that dominate the
+            # exact tier's contended-transfer cost.
+            yield from self.fabric.rdma_get_bulk(
+                initiator, target, nbytes, self.chunk
+            )
+            return env.now - start
         remaining = nbytes
         jobs = []
         while remaining > 0:

@@ -33,6 +33,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="result cache location "
                              "(default: REPRO_CACHE_DIR or "
                              "~/.cache/repro/results)")
+    parser.add_argument("--fidelity", default=None,
+                        choices=["exact", "hybrid", "fluid"],
+                        help="simulation tier for every repetition: exact "
+                             "per-transfer events (default), hybrid "
+                             "(protocol events exact, bulk bytes on the "
+                             "flow-level fluid fabric), or fluid (hybrid "
+                             "plus latency folding and chunk collapse); "
+                             "default: REPRO_FIDELITY or exact")
     parser.add_argument("--fault-plan", default=None, metavar="FILE",
                         help="JSON fault plan (e.g. a shrunk chaos repro) "
                              "injected into every repetition; with the "
@@ -77,7 +85,8 @@ def _dispatch(args) -> int:
     # already-computed cells); --no-cache bypasses it.
     with campaign(jobs=args.jobs, cache=not args.no_cache,
                   cache_dir=args.cache_dir, fault_plan=fault_plan,
-                  trace_path=args.trace, metrics_path=args.metrics):
+                  trace_path=args.trace, metrics_path=args.metrics,
+                  fidelity=args.fidelity):
         if args.experiment == "all":
             run_all(quick=args.quick)
             return 0

@@ -97,7 +97,7 @@ class Cell:
 
 def measure(spec: WorkflowSpec, runs: int, jitter_cv: float = JITTER_CV,
             jobs: Optional[int] = None, use_cache: Optional[bool] = None,
-            fault_plan=None,
+            fault_plan=None, fidelity: Optional[str] = None,
             **system_configs) -> Tuple[Cell, List[WorkflowResult]]:
     """Run one spec ``runs`` times; returns the aggregated cell and raw runs.
 
@@ -107,11 +107,14 @@ def measure(spec: WorkflowSpec, runs: int, jitter_cv: float = JITTER_CV,
     modules calling ``measure`` inherit campaign-wide parallelism and
     caching without threading the knobs through their signatures.
     ``fault_plan`` makes every repetition a faulty run (see
-    :mod:`repro.faults`); it participates in the cache key.
+    :mod:`repro.faults`); it participates in the cache key. ``fidelity``
+    selects the simulation tier and defaults to the campaign scope (or
+    ``REPRO_FIDELITY``, or ``exact``).
     """
     results = run_repetitions(spec, runs=runs, jitter_cv=jitter_cv,
                               jobs=jobs, use_cache=use_cache,
-                              fault_plan=fault_plan, **system_configs)
+                              fault_plan=fault_plan, fidelity=fidelity,
+                              **system_configs)
     return Cell.of(results), results
 
 

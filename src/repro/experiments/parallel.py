@@ -53,6 +53,7 @@ __all__ = [
     "campaign",
     "default_jobs",
     "default_fault_plan",
+    "default_fidelity",
     "run_campaign",
     "result_fingerprint",
 ]
@@ -68,6 +69,7 @@ _START_METHOD = "spawn"
 # :func:`run_campaign` in the scope; ``telemetry_done`` marks the claim).
 _SCOPED: Dict[str, Any] = {
     "jobs": None, "cache": None, "cache_dir": None, "fault_plan": None,
+    "fidelity": None,
     "trace_path": None, "metrics_path": None, "telemetry_done": False,
 }
 
@@ -92,6 +94,9 @@ class RunTask:
     system_configs: Dict[str, Any] = field(default_factory=dict)
     fault_plan: Optional[FaultPlan] = None
     invariants: Optional[InvariantConfig] = None
+    #: simulation tier ("exact" / "hybrid" / "fluid"); participates in
+    #: the cache key — tiers never alias even when their timings agree
+    fidelity: str = "exact"
 
 
 def default_jobs(override: Optional[int] = None) -> int:
@@ -141,10 +146,29 @@ def default_fault_plan(
     return _SCOPED["fault_plan"]
 
 
+def default_fidelity(override: Optional[str] = None) -> str:
+    """Resolve the fidelity tier: explicit > campaign scope > env > exact.
+
+    This is how ``--fidelity fluid`` threads the tier into every
+    repetition of whatever experiment the CLI dispatches (same pattern as
+    :func:`default_fault_plan`); ``REPRO_FIDELITY`` provides a
+    process-wide default. The value is validated and normalized to the
+    tier's string name.
+    """
+    from repro.sim.fluid import Fidelity
+
+    if override is None:
+        override = _SCOPED["fidelity"]
+    if override is None:
+        override = os.environ.get("REPRO_FIDELITY") or "exact"
+    return Fidelity.coerce(override).value
+
+
 @contextmanager
 def campaign(jobs: Optional[int] = None, cache: Optional[bool] = None,
              cache_dir: Optional[str] = None,
              fault_plan: Optional[FaultPlan] = None,
+             fidelity: Optional[str] = None,
              trace_path: Optional[str] = None,
              metrics_path: Optional[str] = None):
     """Scope campaign-wide parallelism/caching/fault defaults.
@@ -168,6 +192,8 @@ def campaign(jobs: Optional[int] = None, cache: Optional[bool] = None,
         _SCOPED["cache_dir"] = cache_dir
     if fault_plan is not None:
         _SCOPED["fault_plan"] = fault_plan
+    if fidelity is not None:
+        _SCOPED["fidelity"] = fidelity
     if trace_path is not None or metrics_path is not None:
         _SCOPED["trace_path"] = trace_path
         _SCOPED["metrics_path"] = metrics_path
@@ -253,7 +279,7 @@ def _execute_task(task: RunTask) -> WorkflowResult:
     return run_workflow(
         task.spec, seed=task.seed, jitter_cv=task.jitter_cv,
         fault_plan=task.fault_plan, invariants=task.invariants,
-        **task.system_configs,
+        fidelity=task.fidelity, **task.system_configs,
     )
 
 
@@ -325,7 +351,7 @@ def run_campaign(
         for i, task in enumerate(tasks):
             keys[i] = cache.key(
                 task.spec, task.seed, task.jitter_cv, task.system_configs,
-                task.fault_plan, task.invariants,
+                task.fault_plan, task.invariants, task.fidelity,
             )
             results[i] = cache.load(keys[i])
 
@@ -341,7 +367,8 @@ def run_campaign(
         instrumented = run_workflow(
             task.spec, seed=task.seed, jitter_cv=task.jitter_cv,
             trace=True, metrics=True, fault_plan=task.fault_plan,
-            invariants=task.invariants, **task.system_configs,
+            invariants=task.invariants, fidelity=task.fidelity,
+            **task.system_configs,
         )
         _export_telemetry(instrumented, *telemetry)
         results[0] = instrumented

@@ -216,7 +216,9 @@ def load_campaign(directory) -> Dict[str, FigureResult]:
 #: 4: system_stats gained invariant_* counters; results gained
 #:    invariant_violations; keys gained the invariant-checker config and
 #:    integrity-fault plan fields.
-_CACHE_SCHEMA = 4
+#: 5: system_stats gained fidelity/fluid_epochs/rate_solves; results gained
+#:    the fidelity field; keys gained the fidelity tier.
+_CACHE_SCHEMA = 5
 
 
 def default_cache_root() -> str:
@@ -254,12 +256,15 @@ class ResultCache:
     def key(self, spec, seed: int, jitter_cv: float,
             system_configs: Optional[Dict[str, Any]] = None,
             fault_plan: Optional[Any] = None,
-            invariants: Optional[Any] = None) -> str:
+            invariants: Optional[Any] = None,
+            fidelity: str = "exact") -> str:
         """Hex digest identifying one repetition's inputs.
 
         ``fault_plan`` and ``invariants`` participate in the digest (via
         their deterministic dataclass ``repr``) so faulty, fault-free,
         checked, and unchecked runs of the same spec can never collide.
+        ``fidelity`` keys the simulation tier — exact and fluid runs of
+        the same cell are distinct entries.
         """
         import repro
 
@@ -279,6 +284,7 @@ class ResultCache:
                 else None,
                 "invariants": repr(invariants) if invariants is not None
                 else None,
+                "fidelity": str(fidelity),
             },
             sort_keys=True,
         )

@@ -107,15 +107,32 @@ class LustreConfig:
 
 
 class _OSS:
-    """One object storage server: a service queue + asymmetric disk channels."""
+    """One object storage server: a service queue + asymmetric disk channels.
 
-    def __init__(self, env: Environment, index: int, config: LustreConfig) -> None:
+    On the fluid tiers the disk channels live on the cluster-wide
+    :class:`~repro.sim.fluid.FluidNetwork` (preserving the per-OST write
+    cap as a per-flow cap); the RPC service queue stays an exact-tier
+    :class:`Resource` either way — queueing is protocol, not byte movement.
+    """
+
+    def __init__(self, env: Environment, index: int, config: LustreConfig,
+                 fluid=None) -> None:
         self.node_id = f"lustre-oss{index}"
         self.queue = Resource(env, config.oss_capacity)
-        self.write_disk = SharedBandwidth(
-            env, config.oss_write_bandwidth, per_flow_cap=config.ost_write_bandwidth
-        )
-        self.read_disk = SharedBandwidth(env, config.oss_read_bandwidth)
+        if fluid is not None:
+            self.write_disk = fluid.link(
+                config.oss_write_bandwidth,
+                per_flow_cap=config.ost_write_bandwidth,
+                label=f"{self.node_id}.write",
+            )
+            self.read_disk = fluid.link(config.oss_read_bandwidth,
+                                        label=f"{self.node_id}.read")
+        else:
+            self.write_disk = SharedBandwidth(
+                env, config.oss_write_bandwidth,
+                per_flow_cap=config.ost_write_bandwidth
+            )
+            self.read_disk = SharedBandwidth(env, config.oss_read_bandwidth)
 
 
 class LustreServers:
@@ -138,7 +155,7 @@ class LustreServers:
         self.mds = Resource(env, self.config.mds_capacity)
         self.oss: List[_OSS] = []
         for i in range(self.config.n_oss):
-            server = _OSS(env, i, self.config)
+            server = _OSS(env, i, self.config, fluid=fabric.fluid)
             fabric.attach(server.node_id)
             self.oss.append(server)
         self.n_osts = self.config.n_oss * self.config.osts_per_oss

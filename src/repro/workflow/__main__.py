@@ -51,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--jitter", type=float, default=0.05,
                         help="device/compute jitter cv")
+    parser.add_argument("--fidelity", default=None,
+                        choices=["exact", "hybrid", "fluid"],
+                        help="simulation tier (default: REPRO_FIDELITY "
+                             "or exact)")
     parser.add_argument("--trace", default=None,
                         help="write a merged Chrome trace JSON of run 0 "
                              "(spans + substrate counters) here")
@@ -94,13 +98,16 @@ def main(argv=None) -> int:
 
     results = run_repetitions(
         spec, runs=args.runs, base_seed=args.seed, jitter_cv=args.jitter,
-        jobs=args.jobs,
+        jobs=args.jobs, fidelity=args.fidelity,
     )
     if args.trace or args.metrics:
         from repro.perf.metrics import write_chrome_trace
 
+        from repro.experiments.parallel import default_fidelity
+
         traced = run_workflow(spec, seed=args.seed, jitter_cv=args.jitter,
-                              trace=True, metrics=True)
+                              trace=True, metrics=True,
+                              fidelity=default_fidelity(args.fidelity))
         if args.trace:
             write_chrome_trace(args.trace, traced.tracer, traced.metrics)
             print(f"wrote {args.trace}")

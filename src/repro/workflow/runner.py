@@ -31,6 +31,7 @@ from repro.perf.calltree import CallTree
 from repro.perf.metrics import MetricsTimeline
 from repro.perf.thicket import Thicket
 from repro.perf.trace import Tracer
+from repro.sim.fluid import Fidelity
 from repro.sim.resources import Signal, channel_health
 from repro.storage.lustre import LustreConfig, LustreFileSystem, LustreServers
 from repro.storage.xfs import XFSConfig, XFSFileSystem
@@ -58,6 +59,9 @@ class WorkflowResult:
     #: invariant violations recorded by a non-fatal checker (fatal
     #: checkers raise instead; clean runs leave this empty)
     invariant_violations: List[str] = field(default_factory=list)
+    #: simulation tier the run used ("exact" / "hybrid" / "fluid"); the
+    #: numeric ordinal is also in ``system_stats["fidelity"]``
+    fidelity: str = "exact"
 
     # -- the paper's metrics ------------------------------------------------------
     def _per_frame(self, trees: List[CallTree], category: str) -> float:
@@ -138,6 +142,7 @@ def run_workflow(
     metrics: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     invariants: Optional[InvariantConfig] = None,
+    fidelity: str = "exact",
 ) -> WorkflowResult:
     """Run one workflow configuration on a fresh simulated cluster.
 
@@ -161,8 +166,16 @@ def run_workflow(
     :class:`~repro.invariants.InvariantChecker` (default: enabled and
     fatal). The checker is pure bookkeeping — it adds no simulated time
     and clean-run results are bit-identical with it on or off.
+
+    ``fidelity`` selects the simulation tier (``exact`` / ``hybrid`` /
+    ``fluid``, see :class:`repro.sim.fluid.Fidelity`): ``exact`` keeps
+    bit-reproducible per-channel timelines; the others delegate bulk byte
+    movement to a flow-level solver within the tolerances documented in
+    ``docs/performance.md``.
     """
-    cluster = corona(nodes=spec.nodes_required, seed=seed, jitter_cv=jitter_cv)
+    tier = Fidelity.coerce(fidelity)
+    cluster = corona(nodes=spec.nodes_required, seed=seed, jitter_cv=jitter_cv,
+                     fidelity=tier.value)
     env = cluster.env
     checker = InvariantChecker(env, invariants)
     compute = emulator.ComputeModel(
@@ -338,6 +351,16 @@ def run_workflow(
         "channel_peak_flows": float(health["peak_concurrent_flows"]),
         "channel_reschedules": float(health["reschedules"]),
     })
+    # Fidelity-tier metadata + flow-level kernel-health counters. The tier
+    # is stored as its numeric ordinal (system_stats values are floats by
+    # contract — they render as float.hex in result fingerprints).
+    system_stats["fidelity"] = float(tier.ordinal)
+    if cluster.fluid is not None:
+        system_stats["fluid_epochs"] = float(cluster.fluid.fluid_epochs)
+        system_stats["rate_solves"] = float(cluster.fluid.rate_solves)
+    else:
+        system_stats["fluid_epochs"] = 0.0
+        system_stats["rate_solves"] = 0.0
     # End-of-run invariants: no leaked locks or in-flight flows, and every
     # consumer drained its full frame sequence.
     lock_tables = []
@@ -382,6 +405,7 @@ def run_workflow(
         metrics=timeline,
         system_stats=system_stats,
         invariant_violations=list(checker.violations),
+        fidelity=tier.value,
     )
 
 
@@ -432,12 +456,13 @@ def run_repetitions(
     cache_dir: Optional[str] = None,
     fault_plan: Optional[FaultPlan] = None,
     invariants: Optional[InvariantConfig] = None,
+    fidelity: Optional[str] = None,
     **system_configs,
 ) -> List[WorkflowResult]:
     """Run ``runs`` repetitions with distinct seeds (paper: 10 runs).
 
     Each repetition is a pure function of ``(spec, seed, jitter_cv,
-    fault_plan, system_configs)``, so the set fans out across ``jobs``
+    fault_plan, system_configs, fidelity)``, so the set fans out across ``jobs``
     worker processes (default: ``REPRO_JOBS`` or the enclosing
     :func:`repro.experiments.parallel.campaign` scope, else serial) and
     can be memoized in the on-disk result cache (``use_cache``). Results
@@ -451,15 +476,17 @@ def run_repetitions(
     from repro.experiments.parallel import (
         RunTask,
         default_fault_plan,
+        default_fidelity,
         run_campaign,
     )
 
     fault_plan = default_fault_plan(fault_plan)
+    fidelity = default_fidelity(fidelity)
     tasks = [
         RunTask(
             spec=spec, seed=base_seed + 1000 * r, jitter_cv=jitter_cv,
             system_configs=system_configs, fault_plan=fault_plan,
-            invariants=invariants,
+            invariants=invariants, fidelity=fidelity,
         )
         for r in range(runs)
     ]

@@ -1,8 +1,10 @@
-"""The CI perf-guard's regression arithmetic and exit codes."""
+"""The CI perf-guard's regression arithmetic, exit codes, and messages."""
 
 import importlib.util
 import json
 import pathlib
+
+import pytest
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
 _spec = importlib.util.spec_from_file_location(
@@ -22,21 +24,36 @@ def _write(tmp_path, measured, recorded):
     return bench, baseline
 
 
+def _write_fluid(tmp_path, speedup, flows_per_sec,
+                 speedup_floor=10.0, recorded_flows=200000.0):
+    bench = tmp_path / "BENCH_fluid.json"
+    baseline = tmp_path / "baseline_fluid.json"
+    bench.write_text(json.dumps({
+        "contended": {"speedup_fluid_vs_exact": speedup},
+        "million_flows": {"flows_per_sec": flows_per_sec},
+    }))
+    baseline.write_text(json.dumps({
+        "contended_speedup_floor": speedup_floor,
+        "million_flows_per_sec": recorded_flows,
+    }))
+    return bench, baseline
+
+
 def test_within_noise_band_passes(tmp_path, capsys):
     bench, baseline = _write(tmp_path, measured=810.0, recorded=1000.0)
-    assert perf_guard.check(bench, baseline) == 0
+    assert perf_guard.check_kernel(bench, baseline) == 0
     assert "OK" in capsys.readouterr().out
 
 
 def test_regression_beyond_tolerance_fails(tmp_path, capsys):
     bench, baseline = _write(tmp_path, measured=790.0, recorded=1000.0)
-    assert perf_guard.check(bench, baseline) == 1
+    assert perf_guard.check_kernel(bench, baseline) == 1
     assert "REGRESSION" in capsys.readouterr().out
 
 
 def test_improvement_passes(tmp_path):
     bench, baseline = _write(tmp_path, measured=2000.0, recorded=1000.0)
-    assert perf_guard.check(bench, baseline) == 0
+    assert perf_guard.check_kernel(bench, baseline) == 0
 
 
 def test_missing_bench_file_is_a_distinct_error(tmp_path):
@@ -44,6 +61,60 @@ def test_missing_bench_file_is_a_distinct_error(tmp_path):
     baseline.write_text(json.dumps({"contended_events_per_sec": 1.0}))
     missing = tmp_path / "nope.json"
     assert perf_guard.main([str(missing), str(baseline)]) == 2
+
+
+def test_missing_baseline_key_names_the_key(tmp_path, capsys):
+    """Schema drift surfaces as a clear message, not a bare KeyError."""
+    bench = tmp_path / "BENCH_campaign.json"
+    bench.write_text(json.dumps(
+        {"kernel": {"contended_events_per_sec": 1000.0}}
+    ))
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"some_other_number": 1.0}))
+    assert perf_guard.main([str(bench), str(baseline)]) == 2
+    out = capsys.readouterr().out
+    assert "contended_events_per_sec" in out
+    assert str(baseline) in out
+
+
+def test_missing_bench_key_names_the_dotted_path(tmp_path, capsys):
+    bench = tmp_path / "BENCH_campaign.json"
+    bench.write_text(json.dumps({"kernel": {}}))
+    baseline = tmp_path / "baseline.json"
+    baseline.write_text(json.dumps({"contended_events_per_sec": 1.0}))
+    assert perf_guard.main([str(bench), str(baseline)]) == 2
+    out = capsys.readouterr().out
+    assert "kernel.contended_events_per_sec" in out
+
+
+def test_missing_key_raises_missing_key_not_key_error(tmp_path):
+    path = tmp_path / "p.json"
+    with pytest.raises(perf_guard.MissingKey):
+        perf_guard._get({"a": {"b": 1}}, "a.c", path)
+    assert perf_guard._get({"a": {"b": 1}}, "a.b", path) == 1
+
+
+def test_fluid_gate_passes_within_floors(tmp_path, capsys):
+    bench, baseline = _write_fluid(tmp_path, speedup=15.0,
+                                   flows_per_sec=180000.0)
+    assert perf_guard.check_fluid(bench, baseline) == 0
+    out = capsys.readouterr().out
+    assert out.count("OK") == 2
+
+
+def test_fluid_gate_fails_below_speedup_floor(tmp_path, capsys):
+    bench, baseline = _write_fluid(tmp_path, speedup=6.0,
+                                   flows_per_sec=250000.0)
+    assert perf_guard.check_fluid(bench, baseline) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_fluid_gate_fails_below_throughput_floor(tmp_path, capsys):
+    # 50% tolerance: 90k < 0.5 * 200k
+    bench, baseline = _write_fluid(tmp_path, speedup=15.0,
+                                   flows_per_sec=90000.0)
+    assert perf_guard.check_fluid(bench, baseline) == 1
+    assert "REGRESSION" in capsys.readouterr().out
 
 
 def test_repo_bench_passes_repo_baseline():

@@ -339,3 +339,82 @@ def test_current_rate_reporting(env):
     assert chan.current_rate() == pytest.approx(100.0)
     chan.transfer(1000)
     assert chan.current_rate() == pytest.approx(50.0)
+
+
+def test_set_bandwidth_with_zero_flows_active(env):
+    """Mutating an idle channel is safe and governs the next admission.
+
+    The fault layer degrades/restores links whether or not traffic is in
+    flight; an idle-channel mutation must neither raise nor schedule a
+    spurious wake-up, and the new capacity must apply to later flows.
+    """
+    chan = SharedBandwidth(env, bandwidth=100.0)
+    chan.set_bandwidth(10.0)  # no flows in flight
+    done = {}
+    _move(env, chan, 10, delay=1.0, log=done, name="x")
+    env.run()
+    assert done["x"] == pytest.approx(2.0)
+    assert chan.active_flows == 0
+    # and again after the channel drained back to idle
+    chan.set_bandwidth(40.0)
+    done2 = {}
+    _move(env, chan, 20, log=done2, name="y")
+    env.run()
+    assert done2["y"] == pytest.approx(env.now)
+
+
+def test_per_flow_cap_change_between_epochs(env):
+    """Cap changes between service epochs govern subsequent flows.
+
+    ``per_flow_cap`` is a plain attribute: an assignment is picked up at
+    the next re-rate (arrival, departure, or ``set_bandwidth``), so the
+    supported pattern is changing it between epochs — each drained
+    epoch's flows ran under the cap in force when they were rated.
+    """
+    chan = SharedBandwidth(env, bandwidth=100.0, per_flow_cap=10.0)
+    done = {}
+    _move(env, chan, 100, log=done, name="x")
+    env.run()
+    assert done["x"] == pytest.approx(10.0)  # 100 B at 10 B/s
+    # loosen while idle: the next epoch's flow runs at the new cap
+    chan.per_flow_cap = 50.0
+    start = env.now
+    done2 = {}
+    _move(env, chan, 100, log=done2, name="y")
+    env.run()
+    assert done2["y"] - start == pytest.approx(2.0)  # 100 B at 50 B/s
+    # lift entirely: full channel bandwidth from the next epoch on
+    chan.per_flow_cap = None
+    start = env.now
+    done3 = {}
+    _move(env, chan, 100, log=done3, name="z")
+    env.run()
+    assert done3["z"] - start == pytest.approx(1.0)  # 100 B at 100 B/s
+
+
+def test_per_flow_cap_assignment_mid_epoch_is_retroactive(env):
+    """Why mid-epoch cap assignment is unsupported: it rewrites history.
+
+    The channel computes an epoch's service rate lazily, at the *next*
+    rating event, from the then-current settings — so assigning
+    ``per_flow_cap`` mid-epoch retroactively re-prices the whole elapsed
+    interval. Here the flow "moved" 5 s at the *new* 50 B/s cap (250
+    virtual units >= its 100 bytes) and completes instantly at t=5,
+    despite having run under a 10 B/s cap in real time. This pins the
+    footgun that makes between-epoch changes (previous test) the
+    supported pattern; ``set_bandwidth`` advances the clock *before*
+    mutating precisely to avoid this, and the fluid tier's
+    ``FluidLink.per_flow_cap`` setter does the same.
+    """
+    chan = SharedBandwidth(env, bandwidth=100.0, per_flow_cap=10.0)
+    done = {}
+    _move(env, chan, 100, log=done, name="x")
+
+    def controller():
+        yield env.timeout(5.0)
+        chan.per_flow_cap = 50.0  # latent until the next rating event...
+        chan.transfer(50)         # ...which re-prices the elapsed epoch
+
+    env.process(controller())
+    env.run()
+    assert done["x"] == pytest.approx(5.0)
