@@ -133,6 +133,29 @@ class CampaignError(ReproError):
     """The campaign runner exhausted a task's re-submission budget."""
 
 
+class ServiceError(ReproError):
+    """Experiment-service failure (bad request, journal damage, ...)."""
+
+
+class AdmissionError(ServiceError):
+    """A job submission was rejected by admission control.
+
+    Carries a machine-readable ``reason`` (``queue_full``,
+    ``budget_exceeded``, ``circuit_open``, ``draining``) and a
+    ``retry_after`` hint in seconds — the wire layer returns both to the
+    client instead of letting queues grow unboundedly.
+    """
+
+    def __init__(self, reason: str, retry_after: float = 1.0) -> None:
+        super().__init__(f"{reason} (retry after {retry_after:.1f}s)")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class JournalError(ServiceError):
+    """The job journal could not be written or replayed."""
+
+
 class PerfError(ReproError):
     """Performance-tooling failure (malformed call path, bad query, ...)."""
 

@@ -24,7 +24,9 @@ import hashlib
 import json
 import os
 import pickle
+import struct
 import tempfile
+import zlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -218,7 +220,18 @@ def load_campaign(directory) -> Dict[str, FigureResult]:
 #:    integrity-fault plan fields.
 #: 5: system_stats gained fidelity/fluid_epochs/rate_solves; results gained
 #:    the fidelity field; keys gained the fidelity tier.
-_CACHE_SCHEMA = 5
+#: 6: entries gained the CRC-framed on-disk format and the sharded
+#:    ``root/<key[:2]>/`` layout (multi-tenant store prerequisites).
+_CACHE_SCHEMA = 6
+
+#: On-disk entry framing: magic + payload length + CRC32 ahead of the
+#: pickle. A crashed writer (power loss between write and rename on a
+#: non-atomic filesystem, or a torn page) leaves an entry whose length or
+#: checksum disagrees; ``load`` discards it as a miss instead of
+#: unpickling garbage. Legacy raw-pickle entries fail the magic check and
+#: take the same self-heal path.
+_ENTRY_MAGIC = b"RPRC"
+_ENTRY_HEADER = struct.Struct("<4sQI")  # magic, payload length, crc32
 
 
 def default_cache_root() -> str:
@@ -243,8 +256,18 @@ class ResultCache:
     key, and any recalibration that changes an input changes the key.
 
     Values are pickled :class:`~repro.workflow.runner.WorkflowResult`
-    objects (tracers are never cached — a traced run bypasses the cache).
-    Corrupt or unreadable entries count as misses and are removed.
+    objects (tracers are never cached — a traced run bypasses the cache),
+    framed with a magic/length/CRC32 header so a torn or truncated write
+    is detected on load. Corrupt or unreadable entries count as misses
+    and are removed — recomputed, never fatal.
+
+    The store is safe for concurrent writers across processes and
+    tenants: entries are published with fsync + ``os.replace`` (readers
+    see either nothing or a complete entry), keys are content addresses
+    (two writers racing on the same cell publish byte-equivalent
+    results, so last-rename-wins is harmless), and entries are sharded
+    into 256 ``root/<key[:2]>/`` directories so a campaign-scale store
+    never degrades a single directory's listing.
     """
 
     def __init__(self, root: Optional[str] = None) -> None:
@@ -291,8 +314,12 @@ class ResultCache:
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
     def path(self, key: str) -> str:
-        """On-disk location of one entry."""
-        return os.path.join(self.root, f"{key}.pkl")
+        """On-disk location of one entry (sharded by key prefix)."""
+        return os.path.join(self.root, key[:2], f"{key}.pkl")
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists on disk (no validation; cheap probe)."""
+        return os.path.exists(self.path(key))
 
     # -- access ------------------------------------------------------------
     def load(self, key: str):
@@ -300,12 +327,20 @@ class ResultCache:
         path = self.path(key)
         try:
             with open(path, "rb") as fh:
-                result = pickle.load(fh)
+                blob = fh.read()
+            header = blob[: _ENTRY_HEADER.size]
+            magic, length, crc = _ENTRY_HEADER.unpack(header)
+            payload = blob[_ENTRY_HEADER.size:]
+            if (magic != _ENTRY_MAGIC or len(payload) != length
+                    or zlib.crc32(payload) != crc):
+                raise ReproError("cache entry failed integrity check")
+            result = pickle.loads(payload)
         except FileNotFoundError:
             self.misses += 1
             return None
         except Exception:
-            # Truncated write, unpicklable layout drift, ... — self-heal.
+            # Truncated write, torn page, unpicklable layout drift,
+            # legacy unframed entry, ... — self-heal by recomputing.
             self.misses += 1
             try:
                 os.unlink(path)
@@ -316,17 +351,32 @@ class ResultCache:
         return result
 
     def store(self, key: str, result) -> str:
-        """Persist a result atomically; returns the entry path."""
+        """Persist a result atomically; returns the entry path.
+
+        Safe under concurrent writers: the framed payload is written to a
+        same-shard temp file, flushed to stable storage (``fsync``), then
+        published with ``os.replace`` — a reader never observes a partial
+        entry, and racing writers of the same key overwrite each other
+        with byte-equivalent content.
+        """
         if getattr(result, "tracer", None) is not None:
             raise ReproError("refusing to cache a traced run")
         if getattr(result, "metrics", None) is not None:
             raise ReproError("refusing to cache a metered run")
-        os.makedirs(self.root, exist_ok=True)
         path = self.path(key)
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        shard = os.path.dirname(path)
+        os.makedirs(shard, exist_ok=True)
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        header = _ENTRY_HEADER.pack(
+            _ENTRY_MAGIC, len(payload), zlib.crc32(payload)
+        )
+        fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(header)
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -336,21 +386,30 @@ class ResultCache:
             raise
         return path
 
+    def _entries(self):
+        """Yield the path of every entry, across shards (and any legacy
+        flat-layout files still sitting in the root)."""
+        if not os.path.isdir(self.root):
+            return
+        for name in sorted(os.listdir(self.root)):
+            full = os.path.join(self.root, name)
+            if name.endswith(".pkl"):
+                yield full  # legacy flat entry
+            elif len(name) == 2 and os.path.isdir(full):
+                for entry in sorted(os.listdir(full)):
+                    if entry.endswith(".pkl"):
+                        yield os.path.join(full, entry)
+
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        if not os.path.isdir(self.root):
-            return removed
-        for name in os.listdir(self.root):
-            if name.endswith(".pkl"):
-                try:
-                    os.unlink(os.path.join(self.root, name))
-                    removed += 1
-                except OSError:
-                    pass
+        for path in self._entries():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:
+                pass
         return removed
 
     def __len__(self) -> int:
-        if not os.path.isdir(self.root):
-            return 0
-        return sum(1 for name in os.listdir(self.root) if name.endswith(".pkl"))
+        return sum(1 for _ in self._entries())

@@ -1,0 +1,312 @@
+"""CLI for the experiment service: ``python -m repro.service <cmd>``.
+
+- ``serve`` — run a server on a unix socket (SIGTERM drains cleanly).
+- ``submit`` / ``status`` / ``stats`` / ``drain`` / ``ping`` — thin
+  clients for one-off operations against a running server.
+- ``bench`` — boot a private server, drive the synthetic-client load
+  harness against it, and write ``BENCH_service.json``.
+- ``smoke`` — the CI chaos gate: like ``bench``, but additionally
+  SIGKILLs a worker (via the campaign runner's injected-fault hook) and
+  SIGKILLs + restarts the *server* mid-run, then asserts zero lost
+  jobs, zero failed jobs, consistent fingerprints, and observed
+  crash-retry activity. Exit status is the assertion result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.service.client import ServiceClient, SyncServiceClient
+from repro.service.loadgen import run_load
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="fault-tolerant campaign-as-a-service experiment server",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a server (SIGTERM drains)")
+    serve.add_argument("--socket", required=True)
+    serve.add_argument("--journal", required=True)
+    serve.add_argument("--cache-dir", default=None)
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument("--tenant-budget", type=int, default=16)
+    serve.add_argument("--shed-hybrid-depth", type=int, default=16)
+    serve.add_argument("--shed-fluid-depth", type=int, default=48)
+    serve.add_argument("--breaker-threshold", type=int, default=3)
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0)
+    serve.add_argument("--task-timeout", type=float, default=None)
+    serve.add_argument("--max-retries", type=int, default=None)
+    serve.add_argument("--inline", action="store_true",
+                       help="run jobs on threads (no crash isolation)")
+
+    submit = sub.add_parser("submit", help="submit one job and wait")
+    submit.add_argument("--socket", required=True)
+    submit.add_argument("--tenant", default="cli")
+    submit.add_argument("--system", default="dyad",
+                        choices=("dyad", "xfs", "lustre"))
+    submit.add_argument("--frames", type=int, default=8)
+    submit.add_argument("--pairs", type=int, default=1)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--jitter-cv", type=float, default=0.0)
+    submit.add_argument("--fidelity", default="exact",
+                        choices=("exact", "hybrid", "fluid"))
+    submit.add_argument("--not-degradable", action="store_true")
+    submit.add_argument("--no-wait", action="store_true")
+
+    for name, help_text in (
+        ("status", "query one job"), ("stats", "server counters"),
+        ("drain", "drain and stop the server"), ("ping", "liveness probe"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--socket", required=True)
+        if name == "status":
+            cmd.add_argument("--job-id", required=True)
+
+    for name, help_text in (
+        ("bench", "boot a server, drive load, write BENCH_service.json"),
+        ("smoke", "bench + worker-kill + server kill-restart assertions"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("--clients", type=int, default=200)
+        cmd.add_argument("--jobs-per-client", type=int, default=2)
+        cmd.add_argument("--distinct-jobs", type=int, default=12)
+        cmd.add_argument("--frames", type=int, default=2)
+        cmd.add_argument("--workers", type=int, default=2)
+        cmd.add_argument("--seed", type=int, default=1234)
+        cmd.add_argument("--shed-hybrid-depth", type=int, default=8)
+        cmd.add_argument("--kill-after", type=float, default=10.0,
+                         help="max seconds to wait for in-flight activity "
+                              "before SIGKILLing the server (smoke only)")
+        cmd.add_argument("--output", default="BENCH_service.json")
+    return parser
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from repro.service.server import ExperimentServer, ServerConfig
+
+    config = ServerConfig(
+        socket_path=args.socket, journal_path=args.journal,
+        cache_dir=args.cache_dir, workers=args.workers,
+        queue_depth=args.queue_depth, tenant_budget=args.tenant_budget,
+        shed_hybrid_depth=args.shed_hybrid_depth,
+        shed_fluid_depth=args.shed_fluid_depth,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        task_timeout=args.task_timeout, max_retries=args.max_retries,
+        inline=args.inline,
+    )
+
+    async def _run() -> None:
+        server = ExperimentServer(config)
+        await server.start(handle_signals=True)
+        print(f"serving on {config.socket_path}", flush=True)
+        await server.serve_forever()
+
+    asyncio.run(_run())
+    return 0
+
+
+def _client_command(args: argparse.Namespace) -> int:
+    client = SyncServiceClient(args.socket, connect_timeout=10.0)
+    if args.command == "submit":
+        response = client.submit({
+            "tenant": args.tenant, "system": args.system,
+            "frames": args.frames, "pairs": args.pairs, "seed": args.seed,
+            "jitter_cv": args.jitter_cv, "fidelity": args.fidelity,
+            "degradable": not args.not_degradable,
+        }, wait=not args.no_wait)
+    elif args.command == "status":
+        response = client.status(args.job_id)
+    elif args.command == "stats":
+        response = client.stats()
+    elif args.command == "drain":
+        response = client.drain()
+    else:
+        response = {"ok": client.ping()}
+    print(json.dumps(response, indent=1, sort_keys=True))
+    return 0 if response.get("ok") else 1
+
+
+def server_command(socket_path: str, journal_path: str, cache_dir: str,
+                   workers: int = 2, shed_hybrid_depth: int = 8) -> List[str]:
+    """The ``serve`` argv the orchestrated scenarios launch."""
+    return [
+        sys.executable, "-m", "repro.service", "serve",
+        "--socket", socket_path, "--journal", journal_path,
+        "--cache-dir", cache_dir, "--workers", str(workers),
+        "--shed-hybrid-depth", str(shed_hybrid_depth),
+        # keep the policy invariant hybrid_at <= fluid_at intact when a
+        # caller pushes the hybrid threshold sky-high to disable shedding
+        "--shed-fluid-depth", str(max(48, shed_hybrid_depth)),
+    ]
+
+
+def _spawn_server(cmd: List[str], env: Dict[str, str]) -> subprocess.Popen:
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+
+
+def _journal_has_retry(path: str) -> bool:
+    try:
+        with open(path, "rb") as fh:
+            return b'"ev": "retry"' in fh.read()
+    except OSError:
+        return False
+
+
+async def _orchestrate(args: argparse.Namespace, chaos: bool) -> Dict[str, Any]:
+    """Boot a private server, drive the load, optionally kill mid-run."""
+    workdir = tempfile.mkdtemp(prefix="repro-svc-")
+    socket_path = os.path.join(workdir, "svc.sock")
+    journal_path = os.path.join(workdir, "journal.jsonl")
+    cache_dir = os.path.join(workdir, "cache")
+    fault_dir = os.path.join(workdir, "faults")
+    os.makedirs(fault_dir, exist_ok=True)
+
+    env = dict(os.environ)
+    env["REPRO_JOBS_OVERSUBSCRIBE"] = "1"
+    if chaos:
+        # one worker of the first seed's jobs hard-exits mid-task, once —
+        # the injected-fault hook shared with the campaign runner
+        env["REPRO_WORKER_FAULT_DIR"] = fault_dir
+        env["REPRO_WORKER_CRASH_SEEDS"] = str(args.seed)
+
+    cmd = server_command(socket_path, journal_path, cache_dir,
+                         workers=args.workers,
+                         shed_hybrid_depth=args.shed_hybrid_depth)
+    server = _spawn_server(cmd, env)
+    kills = 0
+    try:
+        load = asyncio.ensure_future(run_load(
+            socket_path, clients=args.clients,
+            jobs_per_client=args.jobs_per_client,
+            distinct_jobs=args.distinct_jobs, frames=args.frames,
+            seed=args.seed,
+        ))
+        if chaos:
+            # sequence the chaos deterministically: wait until the journal
+            # proves the worker crash was detected and retried, *then*
+            # SIGKILL the server — killing on a fixed delay races the two
+            # faults against each other and the load's completion
+            deadline = time.monotonic() + args.kill_after
+            while not load.done() and time.monotonic() < deadline:
+                if _journal_has_retry(journal_path):
+                    break
+                await asyncio.sleep(0.05)
+            if not load.done():
+                server.kill()  # SIGKILL: no drain, no journal flush
+                server.wait()
+                kills = 1
+                server = _spawn_server(cmd, env)
+        report = await load
+        stats_client = ServiceClient(socket_path, connect_timeout=30.0)
+        try:
+            stats = await stats_client.stats()
+        finally:
+            await stats_client.close()
+    finally:
+        server.send_signal(signal.SIGTERM)
+        try:
+            server.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.wait()
+    report["server_kills"] = kills
+    report["server_stats"] = {
+        k: stats.get(k) for k in ("counters", "queue", "breaker", "store",
+                                  "latency_p50", "latency_p99", "pending")
+    }
+    return report
+
+
+def _check(report: Dict[str, Any], chaos: bool) -> List[str]:
+    """The smoke assertions; returns failure messages (empty = pass)."""
+    failures = []
+    if report["lost_jobs"] != 0:
+        failures.append(f"lost jobs: {report['lost_jobs']}")
+    if report["outcomes"]["failed"] != 0:
+        failures.append(f"failed jobs: {report['outcomes']['failed']}")
+    if report["outcomes"]["done"] != report["submitted"]:
+        failures.append(
+            f"exactly-once violated: {report['outcomes']['done']} done "
+            f"of {report['submitted']} submitted"
+        )
+    if report["divergent_fingerprints"]:
+        failures.append(
+            f"fingerprint divergence: {report['divergent_fingerprints']}"
+        )
+    if chaos:
+        counters = report["server_stats"]["counters"]
+        if counters.get("retries", 0) < 1:
+            failures.append("worker crash was never retried "
+                            "(chaos hook did not fire?)")
+        if report["server_kills"] != 1:
+            failures.append("server was never killed mid-run "
+                            "(load finished too early; raise --clients "
+                            "or lower --kill-after)")
+    return failures
+
+
+def _bench(args: argparse.Namespace, chaos: bool) -> int:
+    report = asyncio.run(_orchestrate(args, chaos=chaos))
+    failures = _check(report, chaos=chaos)
+    payload = {
+        "schema": 1,
+        "mode": "smoke" if chaos else "bench",
+        "cpu_count": os.cpu_count(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "failures": failures,
+        **report,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output}")
+    print(json.dumps({
+        "submitted": report["submitted"],
+        "done": report["outcomes"]["done"],
+        "lost": report["lost_jobs"],
+        "latency_p50": report["latency_p50"],
+        "latency_p99": report["latency_p99"],
+        "shed": report["server_stats"]["counters"].get("shed"),
+        "dedup_inflight":
+            report["server_stats"]["counters"].get("dedup_inflight"),
+        "retries": report["server_stats"]["counters"].get("retries"),
+        "server_kills": report["server_kills"],
+    }, indent=1))
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _serve(args)
+    if args.command in ("submit", "status", "stats", "drain", "ping"):
+        return _client_command(args)
+    if args.command == "bench":
+        return _bench(args, chaos=False)
+    if args.command == "smoke":
+        return _bench(args, chaos=True)
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

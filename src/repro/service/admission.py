@@ -1,0 +1,154 @@
+"""Admission control: per-tenant budgets + weighted fair queueing.
+
+Two protections keep one tenant from starving the rest:
+
+- **budgets** — each tenant may have at most ``budget`` jobs admitted
+  (queued + running) at once; excess submissions are rejected with
+  ``budget_exceeded`` and a ``Retry-After`` hint instead of queueing.
+- **weighted fair queueing** — dispatch order follows *start-time fair
+  queueing* (SFQ): job ``j`` of tenant ``T`` gets a start tag ``S =
+  max(V, F_T)`` and finish tag ``F_T = S + cost/weight_T``, where ``V``
+  is the virtual time (the start tag of the job most recently
+  dispatched) and ``cost`` is the job's work proxy. Dispatching the
+  minimum finish tag shares throughput in proportion to tenant weights
+  regardless of arrival bursts — a tenant spraying hundreds of cheap
+  jobs cannot push a patient tenant's work arbitrarily far back.
+
+The queue itself is bounded: past ``max_depth`` every submission is
+rejected with ``queue_full``. Rejections are *explicit backpressure* —
+the :class:`~repro.errors.AdmissionError` carries a ``retry_after``
+estimate derived from the caller-supplied service-time estimator, so a
+well-behaved client backs off instead of hammering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, Optional
+
+from repro.errors import AdmissionError
+from repro.service.jobs import JobRecord
+
+__all__ = ["FairQueue"]
+
+
+class _Tenant:
+    __slots__ = ("name", "weight", "budget", "admitted", "finish")
+
+    def __init__(self, name: str, weight: float, budget: int) -> None:
+        self.name = name
+        self.weight = weight
+        self.budget = budget
+        self.admitted = 0      # queued + running jobs
+        self.finish = 0.0      # SFQ finish tag of the tenant's last job
+
+
+class FairQueue:
+    """Bounded, budgeted, weighted-fair job queue."""
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        default_budget: int = 16,
+        default_weight: float = 1.0,
+        weights: Optional[Dict[str, float]] = None,
+        budgets: Optional[Dict[str, int]] = None,
+        retry_after: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.default_budget = default_budget
+        self.default_weight = default_weight
+        self._weights = dict(weights or {})
+        self._budgets = dict(budgets or {})
+        self._retry_after = retry_after or (lambda depth: 1.0 + 0.1 * depth)
+        self._tenants: Dict[str, _Tenant] = {}
+        self._heap: list = []  # (finish_tag, seq, record)
+        self._seq = itertools.count()
+        self._virtual = 0.0
+        self.rejected: Dict[str, int] = {"queue_full": 0, "budget_exceeded": 0}
+
+    # -- bookkeeping -------------------------------------------------------
+    def _tenant(self, name: str) -> _Tenant:
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            tenant = _Tenant(
+                name,
+                self._weights.get(name, self.default_weight),
+                self._budgets.get(name, self.default_budget),
+            )
+            self._tenants[name] = tenant
+        return tenant
+
+    @property
+    def depth(self) -> int:
+        """Jobs waiting for dispatch."""
+        return len(self._heap)
+
+    def admitted(self, tenant: str) -> int:
+        """Jobs the tenant currently has queued + running."""
+        entry = self._tenants.get(tenant)
+        return entry.admitted if entry is not None else 0
+
+    # -- admission ---------------------------------------------------------
+    def submit(self, record: JobRecord, force: bool = False) -> None:
+        """Admit a job or raise :class:`AdmissionError` with a retry hint.
+
+        ``force`` skips the budget/depth checks (still tagging the job for
+        fair dispatch) — used when re-enqueueing journal-replayed jobs,
+        which were already admitted by a previous incarnation and must
+        never be dropped by this one's limits.
+        """
+        tenant = self._tenant(record.spec.tenant)
+        if not force:
+            if tenant.admitted >= tenant.budget:
+                self.rejected["budget_exceeded"] += 1
+                raise AdmissionError(
+                    "budget_exceeded", self._retry_after(tenant.admitted)
+                )
+            if len(self._heap) >= self.max_depth:
+                self.rejected["queue_full"] += 1
+                raise AdmissionError(
+                    "queue_full", self._retry_after(self.depth)
+                )
+        start = max(self._virtual, tenant.finish)
+        tenant.finish = start + record.spec.cost() / tenant.weight
+        tenant.admitted += 1
+        heapq.heappush(self._heap, (tenant.finish, next(self._seq), record))
+
+    def next_job(self) -> Optional[JobRecord]:
+        """Pop the record with the minimum finish tag (None when empty).
+
+        Advances the virtual time to the dispatched job's start tag so
+        tenants going idle re-enter at the current service level rather
+        than with banked credit.
+        """
+        if not self._heap:
+            return None
+        finish, _seq, record = heapq.heappop(self._heap)
+        tenant = self._tenants[record.spec.tenant]
+        start = finish - record.spec.cost() / tenant.weight
+        if start > self._virtual:
+            self._virtual = start
+        return record
+
+    def release(self, tenant_name: str) -> None:
+        """A job of the tenant reached a terminal state: free budget."""
+        tenant = self._tenants.get(tenant_name)
+        if tenant is not None and tenant.admitted > 0:
+            tenant.admitted -= 1
+
+    def stats(self) -> Dict[str, object]:
+        """Queue depth, rejection counters, and per-tenant accounting."""
+        return {
+            "depth": self.depth,
+            "max_depth": self.max_depth,
+            "rejected": dict(self.rejected),
+            "tenants": {
+                name: {"admitted": t.admitted, "weight": t.weight,
+                       "budget": t.budget}
+                for name, t in sorted(self._tenants.items())
+            },
+        }

@@ -1,0 +1,107 @@
+"""Per-experiment-kind circuit breaker.
+
+After ``threshold`` consecutive failures of one kind (one system under
+test), the breaker *opens*: submissions of that kind are rejected with
+``circuit_open`` and the remaining cooldown as the ``Retry-After`` hint,
+so a poisoned configuration (a fault plan that reliably stalls, a spec
+that reliably crashes its workers) stops consuming worker slots and
+retry budget. When the cooldown elapses the breaker goes *half-open*:
+exactly one probe job is admitted, and its outcome closes the breaker
+(success) or re-opens it for another cooldown (failure).
+
+The clock is injectable so the state machine is unit-testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class _Kind:
+    __slots__ = ("state", "failures", "opened_at", "probing", "trips")
+
+    def __init__(self) -> None:
+        self.state = CLOSED
+        self.failures = 0       # consecutive failures
+        self.opened_at = 0.0
+        self.probing = False    # a half-open probe is in flight
+        self.trips = 0          # lifetime closed->open transitions
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker, one independent state per kind."""
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if cooldown <= 0:
+            raise ValueError(f"cooldown must be positive, got {cooldown}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock or time.monotonic
+        self._kinds: Dict[str, _Kind] = {}
+
+    def _kind(self, kind: str) -> _Kind:
+        entry = self._kinds.get(kind)
+        if entry is None:
+            entry = self._kinds[kind] = _Kind()
+        return entry
+
+    def check(self, kind: str) -> Tuple[bool, float]:
+        """(admit?, retry_after). Transitions open→half-open lazily."""
+        entry = self._kind(kind)
+        if entry.state == CLOSED:
+            return True, 0.0
+        elapsed = self._clock() - entry.opened_at
+        if entry.state == OPEN and elapsed >= self.cooldown:
+            entry.state = HALF_OPEN
+            entry.probing = False
+        if entry.state == HALF_OPEN:
+            if entry.probing:
+                return False, self.cooldown  # a probe is already out
+            entry.probing = True
+            return True, 0.0
+        return False, max(self.cooldown - elapsed, 0.0)
+
+    def record_success(self, kind: str) -> None:
+        """A job of ``kind`` completed: reset failures, close the circuit."""
+        entry = self._kind(kind)
+        entry.failures = 0
+        entry.probing = False
+        entry.state = CLOSED
+
+    def record_failure(self, kind: str) -> None:
+        """A job of ``kind`` failed; opens the circuit at the threshold."""
+        entry = self._kind(kind)
+        entry.failures += 1
+        if entry.state == HALF_OPEN or entry.failures >= self.threshold:
+            if entry.state != OPEN:
+                entry.trips += 1
+            entry.state = OPEN
+            entry.opened_at = self._clock()
+            entry.probing = False
+
+    def state(self, kind: str) -> str:
+        """Current circuit state for ``kind``: closed/open/half_open."""
+        return self._kind(kind).state
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-kind state, consecutive failures, and lifetime trips."""
+        return {
+            kind: {"state": entry.state, "failures": entry.failures,
+                   "trips": entry.trips}
+            for kind, entry in sorted(self._kinds.items())
+        }

@@ -1,0 +1,119 @@
+"""Append-only job journal: the server's crash-consistent memory.
+
+Every state transition of every accepted job is appended as one JSON
+line and flushed + fsync'd before the transition is acknowledged, so a
+``kill -9``'d server can reconstruct exactly which jobs were accepted
+and which reached a terminal state. Replay is deliberately forgiving
+about the *last* line only: a crash mid-append leaves a torn trailing
+record, which is dropped; a torn record anywhere else means external
+corruption and raises :class:`~repro.errors.JournalError` (silently
+skipping interior damage could turn "lost job" into "nobody noticed").
+
+The journal is an event log, not a state store — replay folds events in
+order (``submit`` → ``start``/``shed``/``retry`` → ``done``/``failed``)
+into final :class:`~repro.service.jobs.JobRecord` states. Compaction
+(:meth:`Journal.compact`) rewrites the log as one ``submit`` (+ optional
+terminal) event per live job, via temp-file + atomic rename, so a
+long-running server's journal stays proportional to its job count
+rather than its event count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterable, List, Optional, TextIO
+
+from repro.errors import JournalError
+
+__all__ = ["Journal", "replay_events"]
+
+
+def replay_events(path: str) -> List[Dict[str, Any]]:
+    """Parse a journal file into its event dicts (crash-tolerant tail).
+
+    Returns ``[]`` when the journal does not exist (a fresh server).
+    A truncated or torn *final* line — the signature of a crash between
+    ``write`` and ``fsync`` — is dropped; malformed interior lines raise.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().split("\n")
+    except FileNotFoundError:
+        return []
+    events: List[Dict[str, Any]] = []
+    # the file ends with "\n" normally, so a well-formed journal yields a
+    # trailing empty string; anything non-empty there is a torn append
+    body, tail = lines[:-1], lines[-1]
+    for lineno, line in enumerate(body, 1):
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if lineno == len(body) and not tail:
+                break  # torn final record (crash mid-append): drop it
+            raise JournalError(
+                f"{path}:{lineno}: corrupt journal record: {exc}"
+            ) from exc
+        if not isinstance(event, dict) or "ev" not in event:
+            raise JournalError(f"{path}:{lineno}: not a journal record")
+        events.append(event)
+    if tail:
+        try:
+            event = json.loads(tail)
+        except json.JSONDecodeError:
+            pass  # torn final record without newline: drop it
+        else:
+            if isinstance(event, dict) and "ev" in event:
+                events.append(event)
+    return events
+
+
+class Journal:
+    """Durable append-only JSON-lines event log."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        self._fh: Optional[TextIO] = open(path, "a", encoding="utf-8")
+        self.appended = 0
+
+    def append(self, event: Dict[str, Any]) -> None:
+        """Durably record one event before the caller acknowledges it."""
+        if self._fh is None:
+            raise JournalError("journal is closed")
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.appended += 1
+
+    def compact(self, events: Iterable[Dict[str, Any]]) -> None:
+        """Atomically replace the log with the given (folded) events."""
+        parent = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(dir=parent, suffix=".journal.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                for event in events:
+                    fh.write(json.dumps(event, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        # reopen the append handle on the new inode
+        if self._fh is not None:
+            self._fh.close()
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        """Close the append handle (the journal file stays on disk)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None

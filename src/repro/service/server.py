@@ -1,0 +1,638 @@
+"""The experiment server: asyncio unix-socket serving of campaign jobs.
+
+``ExperimentServer`` wraps the hardened campaign machinery of
+:mod:`repro.experiments.parallel` behind a long-running job-submission
+API. One JSON object per line in each direction over a unix socket:
+
+- ``{"op": "submit", "job": {...}, "wait": true}`` — admit a job
+  (see :class:`~repro.service.jobs.JobSpec` for the payload); with
+  ``wait`` the response arrives when the job is terminal, otherwise
+  immediately with the assigned ``job_id``. Rejections carry ``error``
+  (``queue_full`` / ``budget_exceeded`` / ``circuit_open`` /
+  ``draining``) and a ``retry_after`` hint in seconds.
+- ``{"op": "status", "job_id": ...}`` — one job's record.
+- ``{"op": "stats"}`` — server-wide counters.
+- ``{"op": "drain"}`` — stop admitting, finish in-flight work, reply.
+- ``{"op": "ping"}`` — liveness.
+
+Robustness model (the PR's headline):
+
+- **admission** — per-tenant budgets + weighted fair queueing + a
+  bounded queue (:mod:`repro.service.admission`); rejected work gets
+  explicit backpressure, never an unbounded queue.
+- **degradation** — queue pressure sheds eligible jobs to cheaper
+  fidelity tiers (:mod:`repro.service.shedding`), recorded everywhere.
+- **worker faults** — jobs execute in ``spawn`` worker processes; a
+  crashed worker (``BrokenProcessPool``) or a straggler past the task
+  timeout recycles the pool and re-submits the victim with a bounded
+  attempt budget (``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES``
+  semantics shared with :func:`repro.experiments.parallel.run_campaign`).
+- **circuit breaking** — repeated failures of one experiment kind open
+  a breaker (:mod:`repro.service.breaker`) so poisoned configurations
+  stop consuming worker slots.
+- **crash consistency** — every accepted job is journaled before it is
+  acknowledged; a ``kill -9``'d server replays the journal on restart,
+  completes already-computed jobs straight from the content-addressed
+  result store, and re-enqueues the rest. Results are exactly-once *by
+  construction*: re-executing a deterministic job publishes a
+  byte-identical entry under the same content address.
+- **drain** — SIGTERM finishes in-flight jobs, journals everything,
+  then exits; no accepted job is abandoned silently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Dict, List, Optional
+
+from repro.errors import AdmissionError, ReproError, ServiceError
+from repro.experiments.parallel import (
+    _default_task_retries,
+    _default_task_timeout,
+    _execute_task,
+    result_fingerprint,
+)
+from repro.service.admission import FairQueue
+from repro.service.breaker import CircuitBreaker
+from repro.service.jobs import DONE, FAILED, QUEUED, RUNNING, JobRecord, JobSpec
+from repro.service.journal import Journal, replay_events
+from repro.service.shedding import SheddingPolicy
+from repro.service.store import SharedResultStore
+
+__all__ = ["ServerConfig", "ExperimentServer"]
+
+
+@dataclass
+class ServerConfig:
+    """Everything that shapes one server's behaviour."""
+
+    socket_path: str
+    journal_path: str
+    cache_dir: Optional[str] = None
+    workers: int = 2
+    queue_depth: int = 64
+    tenant_budget: int = 16
+    tenant_weights: Dict[str, float] = field(default_factory=dict)
+    tenant_budgets: Dict[str, int] = field(default_factory=dict)
+    shed_hybrid_depth: int = 16
+    shed_fluid_depth: int = 48
+    breaker_threshold: int = 3
+    breaker_cooldown: float = 30.0
+    #: per-attempt wall budget; None falls back to REPRO_TASK_TIMEOUT
+    task_timeout: Optional[float] = None
+    #: crash/timeout re-submissions per job; None -> REPRO_TASK_RETRIES
+    max_retries: Optional[int] = None
+    #: run jobs on threads instead of worker processes — fast for tests
+    #: and benches that do not exercise the crash paths
+    inline: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {self.workers}")
+
+
+class ExperimentServer:
+    """One long-running serving instance (see the module docstring)."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.store = SharedResultStore(config.cache_dir)
+        self.journal = Journal(config.journal_path)
+        self.queue = FairQueue(
+            max_depth=config.queue_depth,
+            default_budget=config.tenant_budget,
+            weights=config.tenant_weights,
+            budgets=config.tenant_budgets,
+            retry_after=self._retry_after,
+        )
+        self.shedding = SheddingPolicy(
+            config.shed_hybrid_depth, config.shed_fluid_depth
+        )
+        self.breaker = CircuitBreaker(
+            config.breaker_threshold, config.breaker_cooldown
+        )
+        self.task_timeout = _default_task_timeout(config.task_timeout)
+        self.max_retries = _default_task_retries(config.max_retries)
+        self.records: Dict[str, JobRecord] = {}
+        self._inflight: Dict[str, str] = {}  # requested key -> primary id
+        self._events: Dict[str, asyncio.Event] = {}
+        self._seq = 0
+        self._running = 0
+        self._draining = False
+        self._stopping = False
+        self._work: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._runners: List[asyncio.Task] = []
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool = None
+        self._pool_generation = 0
+        self._service_ewma = 1.0  # seconds per job, for Retry-After hints
+        self.counters = {
+            "submitted": 0, "accepted": 0, "completed": 0, "failed": 0,
+            "shed": 0, "dedup_inflight": 0, "retries": 0, "resumed": 0,
+            "rejected_circuit": 0, "rejected_draining": 0,
+        }
+        self.latencies: List[float] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self, handle_signals: bool = False) -> None:
+        """Replay the journal, bind the socket, start the runner tasks."""
+        loop = asyncio.get_running_loop()
+        self._work = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._resume()
+        sock_dir = os.path.dirname(os.path.abspath(self.config.socket_path))
+        os.makedirs(sock_dir, exist_ok=True)
+        try:
+            os.unlink(self.config.socket_path)
+        except FileNotFoundError:
+            pass
+        self._server = await asyncio.start_unix_server(
+            self._handle_client, path=self.config.socket_path,
+            limit=4 * 1024 * 1024,
+        )
+        self._runners = [
+            asyncio.ensure_future(self._runner())
+            for _ in range(self.config.workers)
+        ]
+        if handle_signals:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(self.shutdown())
+                )
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`shutdown` cancels the accept loop."""
+        assert self._server is not None, "call start() first"
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def shutdown(self) -> None:
+        """Graceful drain: finish in-flight jobs, journal, close, stop."""
+        if self._stopping:
+            return
+        self._draining = True
+        await self._idle.wait()
+        self._stopping = True
+        self._work.set()  # release idle runners so they observe stopping
+        for runner in self._runners:
+            runner.cancel()
+        await asyncio.gather(*self._runners, return_exceptions=True)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._teardown_pool()
+        self.journal.close()
+        try:
+            os.unlink(self.config.socket_path)
+        except OSError:
+            pass
+
+    # -- journal resume ----------------------------------------------------
+    def _resume(self) -> None:
+        """Fold journal events into records; finish or re-enqueue them."""
+        events = replay_events(self.journal.path)
+        for event in events:
+            ev, job_id = event["ev"], event.get("id")
+            if ev == "submit":
+                spec = JobSpec.from_wire(event["job"])
+                record = JobRecord(
+                    job_id=job_id, spec=spec, key=event.get("key"),
+                    submitted_at=event.get("t", 0.0),
+                )
+                self.records[job_id] = record
+                num = int(job_id.split("-")[-1])
+                if num >= self._seq:
+                    self._seq = num + 1
+            elif job_id not in self.records:
+                continue  # event for a compacted-away record
+            elif ev == "shed":
+                self.records[job_id].shed_to = event["to"]
+            elif ev == "retry":
+                self.records[job_id].attempts = event["attempts"]
+            elif ev == "done":
+                record = self.records[job_id]
+                record.state = DONE
+                record.key = event.get("key", record.key)
+                record.fingerprint = event.get("fingerprint")
+                record.makespan = event.get("makespan")
+                record.latency = event.get("latency")
+                record.source = event.get("source", "computed")
+            elif ev == "failed":
+                record = self.records[job_id]
+                record.state = FAILED
+                record.error = event.get("error")
+        # fold replayed history into the counters so stats() reports
+        # lifetime-of-the-journal numbers, not just this incarnation's
+        for record in self.records.values():
+            self.counters["submitted"] += 1
+            self.counters["accepted"] += 1
+            self.counters["retries"] += record.attempts
+            if record.shed_to:
+                self.counters["shed"] += 1
+            if record.state == DONE:
+                self.counters["completed"] += 1
+            elif record.state == FAILED:
+                self.counters["failed"] += 1
+        pending = [r for r in self.records.values() if not r.terminal]
+        for record in pending:
+            # a job that was RUNNING at the crash never finished: treat it
+            # as queued — deterministic re-execution is side-effect-free
+            record.state = QUEUED
+            effective = record.shed_to or record.spec.fidelity
+            key = self.store.key_for(record.spec, effective)
+            record.key = key
+            cached = self.store.load(key, record.spec.tenant)
+            if cached is not None:
+                # finished before the crash but after the last durable
+                # "done" record — the content-addressed store is the
+                # source of truth, so complete it without recomputing
+                self._finish(record, cached, source="hit", journal=True)
+                self.counters["resumed"] += 1
+                continue
+            self.queue.submit(record, force=True)
+            # restore singleflight so post-restart duplicates coalesce
+            # (new submissions look up the *requested*-tier key)
+            self._inflight.setdefault(key, record.job_id)
+            requested_key = self.store.key_for(record.spec)
+            self._inflight.setdefault(requested_key, record.job_id)
+            self.counters["resumed"] += 1
+        if events:
+            self._compact()
+        if self.queue.depth:
+            self._work.set()
+            self._idle.clear()
+
+    def _compact(self) -> None:
+        """Rewrite the journal as one submit (+ terminal) line per job."""
+        folded: List[Dict[str, Any]] = []
+        for record in self.records.values():
+            folded.append({
+                "ev": "submit", "id": record.job_id,
+                "job": record.spec.to_wire(), "key": record.key,
+                "t": record.submitted_at,
+            })
+            if record.shed_to:
+                folded.append({"ev": "shed", "id": record.job_id,
+                               "to": record.shed_to})
+            if record.attempts:
+                folded.append({"ev": "retry", "id": record.job_id,
+                               "attempts": record.attempts})
+            if record.state == DONE:
+                folded.append({
+                    "ev": "done", "id": record.job_id, "key": record.key,
+                    "fingerprint": record.fingerprint,
+                    "makespan": record.makespan,
+                    "latency": record.latency, "source": record.source,
+                })
+            elif record.state == FAILED:
+                folded.append({"ev": "failed", "id": record.job_id,
+                               "error": record.error})
+        self.journal.compact(folded)
+
+    # -- wire --------------------------------------------------------------
+    async def _handle_client(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                    response = await self._dispatch(request)
+                except (ServiceError, ValueError) as exc:
+                    response = {"ok": False, "error": "bad_request",
+                                "detail": str(exc)}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError):
+            pass
+        except asyncio.CancelledError:
+            # shutdown cancels handler tasks; finish cleanly instead of
+            # ending CANCELLED (asyncio.streams logs a spurious traceback
+            # for cancelled connection tasks)
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            return await self._submit(request)
+        if op == "status":
+            record = self.records.get(request.get("job_id", ""))
+            if record is None:
+                return {"ok": False, "error": "unknown_job"}
+            return {"ok": True, **record.to_dict()}
+        if op == "stats":
+            return {"ok": True, **self.stats()}
+        if op == "drain":
+            await self.shutdown()
+            return {"ok": True, "drained": True}
+        return {"ok": False, "error": "unknown_op", "detail": str(op)}
+
+    async def _submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        self.counters["submitted"] += 1
+        spec = JobSpec.from_wire(request.get("job"))
+        if self._draining:
+            self.counters["rejected_draining"] += 1
+            return {"ok": False, "error": "draining", "retry_after": 5.0}
+        allowed, retry_after = self.breaker.check(spec.kind)
+        if not allowed:
+            self.counters["rejected_circuit"] += 1
+            return {"ok": False, "error": "circuit_open",
+                    "retry_after": retry_after}
+        key = self.store.key_for(spec)
+        job_id = f"job-{self._seq}"
+        record = JobRecord(job_id=job_id, spec=spec, key=key,
+                           submitted_at=time.time())
+        # singleflight: identical content already in flight -> coalesce
+        primary_id = self._inflight.get(key)
+        primary = self.records.get(primary_id) if primary_id else None
+        if primary is not None and not primary.terminal:
+            self._seq += 1
+            record.dedup_of = primary_id
+            self.records[job_id] = record
+            self.journal.append({
+                "ev": "submit", "id": job_id, "job": spec.to_wire(),
+                "key": key, "t": record.submitted_at,
+            })
+            primary.followers.append(job_id)
+            self.counters["accepted"] += 1
+            self.counters["dedup_inflight"] += 1
+            return await self._respond(record, request)
+        # already computed -> serve straight from the shared store
+        cached = self.store.load(key, spec.tenant)
+        if cached is not None:
+            self._seq += 1
+            self.records[job_id] = record
+            self.journal.append({
+                "ev": "submit", "id": job_id, "job": spec.to_wire(),
+                "key": key, "t": record.submitted_at,
+            })
+            self.counters["accepted"] += 1
+            self._finish(record, cached, source="hit", journal=True)
+            return await self._respond(record, request)
+        try:
+            self.queue.submit(record)
+        except AdmissionError as exc:
+            return {"ok": False, "error": exc.reason,
+                    "retry_after": exc.retry_after}
+        self._seq += 1
+        self.records[job_id] = record
+        self._inflight[key] = job_id
+        self.journal.append({
+            "ev": "submit", "id": job_id, "job": spec.to_wire(),
+            "key": key, "t": record.submitted_at,
+        })
+        self.counters["accepted"] += 1
+        self._idle.clear()
+        self._work.set()
+        return await self._respond(record, request)
+
+    async def _respond(self, record: JobRecord,
+                       request: Dict[str, Any]) -> Dict[str, Any]:
+        if request.get("wait"):
+            await self._event(record.job_id).wait()
+        return {"ok": True, **record.to_dict()}
+
+    def _event(self, job_id: str) -> asyncio.Event:
+        event = self._events.get(job_id)
+        if event is None:
+            event = self._events[job_id] = asyncio.Event()
+            if self.records[job_id].terminal:
+                event.set()
+        return event
+
+    # -- execution ---------------------------------------------------------
+    async def _runner(self) -> None:
+        """One dispatch loop; ``config.workers`` of these run concurrently."""
+        while not self._stopping:
+            record = self.queue.next_job()
+            if record is None:
+                if self._running == 0:
+                    self._idle.set()
+                self._work.clear()
+                try:
+                    await self._work.wait()
+                except asyncio.CancelledError:
+                    return
+                continue
+            self._running += 1
+            try:
+                await self._run_job(record)
+            finally:
+                self._running -= 1
+                if self._running == 0 and self.queue.depth == 0:
+                    self._idle.set()
+
+    async def _run_job(self, record: JobRecord) -> None:
+        spec = record.spec
+        shed_to = self.shedding.choose(self.queue.depth, spec)
+        effective = shed_to or spec.fidelity
+        if shed_to is not None:
+            record.shed_to = shed_to
+            record.key = self.store.key_for(spec, shed_to)
+            self.counters["shed"] += 1
+            self.journal.append({"ev": "shed", "id": record.job_id,
+                                 "to": shed_to})
+            cached = self.store.load(record.key, spec.tenant)
+            if cached is not None:  # the degraded tier is already computed
+                self._finish(record, cached, source="hit", journal=True)
+                return
+        record.state = RUNNING
+        self.journal.append({"ev": "start", "id": record.job_id,
+                             "fidelity": effective})
+        task = spec.run_task(effective)
+        loop = asyncio.get_running_loop()
+        started = time.monotonic()
+        while True:
+            generation = self._pool_generation
+            pool = self._ensure_pool()
+            future = loop.run_in_executor(pool, _execute_task, task)
+            try:
+                result = await asyncio.wait_for(future, self.task_timeout)
+                break
+            except asyncio.TimeoutError:
+                reason = "task timeout"
+            except BrokenProcessPool:
+                reason = "worker crashed"
+            except ReproError as exc:
+                # deterministic simulation failure: retrying cannot help
+                self._fail(record, f"{type(exc).__name__}: {exc}")
+                return
+            except asyncio.CancelledError:
+                record.state = QUEUED  # server stopping; resume re-runs it
+                raise
+            self._recycle_pool(generation)
+            record.attempts += 1
+            self.counters["retries"] += 1
+            self.journal.append({"ev": "retry", "id": record.job_id,
+                                 "attempts": record.attempts,
+                                 "reason": reason})
+            if record.attempts > self.max_retries:
+                self._fail(record, f"{reason}; retry budget exhausted "
+                                   f"after {record.attempts} attempts")
+                return
+        elapsed = time.monotonic() - started
+        self._service_ewma += 0.2 * (elapsed - self._service_ewma)
+        self.store.store(record.key, result, spec.tenant)
+        self._finish(record, result, source="computed", journal=True)
+
+    def _finish(self, record: JobRecord, result, source: str,
+                journal: bool) -> None:
+        record.state = DONE
+        record.source = source
+        record.makespan = result.makespan
+        record.fingerprint = result_fingerprint(result)
+        record.finished_at = time.time()
+        record.latency = max(record.finished_at - record.submitted_at, 0.0)
+        if journal:
+            self.journal.append({
+                "ev": "done", "id": record.job_id, "key": record.key,
+                "fingerprint": record.fingerprint,
+                "makespan": record.makespan, "latency": record.latency,
+                "source": source,
+            })
+        self.counters["completed"] += 1
+        self.latencies.append(record.latency)
+        del self.latencies[:-10000]  # bound the stats buffer
+        self.breaker.record_success(record.spec.kind)
+        self.queue.release(record.spec.tenant)
+        self._wake(record)
+        self._resolve_followers(record, result)
+
+    def _fail(self, record: JobRecord, error: str) -> None:
+        record.state = FAILED
+        record.error = error
+        record.finished_at = time.time()
+        record.latency = max(record.finished_at - record.submitted_at, 0.0)
+        self.journal.append({"ev": "failed", "id": record.job_id,
+                             "error": error})
+        self.counters["failed"] += 1
+        self.breaker.record_failure(record.spec.kind)
+        self.queue.release(record.spec.tenant)
+        self._wake(record)
+        self._resolve_followers(record, None)
+
+    def _resolve_followers(self, primary: JobRecord, result) -> None:
+        if self._inflight.get(primary.key) == primary.job_id:
+            del self._inflight[primary.key]
+        # a requested-tier key may differ after a shed; clear that too
+        requested_key = self.store.key_for(primary.spec)
+        if self._inflight.get(requested_key) == primary.job_id:
+            del self._inflight[requested_key]
+        for follower_id in primary.followers:
+            follower = self.records.get(follower_id)
+            if follower is None or follower.terminal:
+                continue
+            if result is None:
+                follower.state = FAILED
+                follower.error = primary.error
+                self.journal.append({"ev": "failed", "id": follower_id,
+                                     "error": primary.error})
+                self.counters["failed"] += 1
+            else:
+                follower.state = DONE
+                follower.source = "dedup"
+                follower.shed_to = primary.shed_to
+                follower.key = primary.key
+                follower.makespan = primary.makespan
+                follower.fingerprint = primary.fingerprint
+                follower.finished_at = time.time()
+                follower.latency = max(
+                    follower.finished_at - follower.submitted_at, 0.0)
+                self.journal.append({
+                    "ev": "done", "id": follower_id, "key": follower.key,
+                    "fingerprint": follower.fingerprint,
+                    "makespan": follower.makespan,
+                    "latency": follower.latency, "source": "dedup",
+                })
+                self.counters["completed"] += 1
+                self.latencies.append(follower.latency)
+            self._wake(follower)
+        primary.followers.clear()
+
+    def _wake(self, record: JobRecord) -> None:
+        event = self._events.get(record.job_id)
+        if event is not None:
+            event.set()
+
+    # -- worker pool -------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.config.inline:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.config.workers,
+                    thread_name_prefix="repro-service",
+                )
+            else:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers,
+                    mp_context=get_context("spawn"),
+                )
+        return self._pool
+
+    def _recycle_pool(self, generation: int) -> None:
+        """Replace a broken/hung pool exactly once per generation."""
+        if generation != self._pool_generation:
+            return  # another victim of the same failure already recycled
+        self._pool_generation += 1
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _teardown_pool(self) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- reporting ---------------------------------------------------------
+    def _retry_after(self, depth: int) -> float:
+        """Backpressure hint: projected time to drain the backlog."""
+        return max(
+            0.5, depth * self._service_ewma / max(self.config.workers, 1)
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """Counters, queue/breaker/store state, and latency percentiles."""
+        latencies = sorted(self.latencies)
+
+        def pct(p: float) -> Optional[float]:
+            if not latencies:
+                return None
+            return latencies[min(int(p * len(latencies)), len(latencies) - 1)]
+
+        pending = sum(1 for r in self.records.values() if not r.terminal)
+        return {
+            "counters": dict(self.counters),
+            "pending": pending,
+            "draining": self._draining,
+            "queue": self.queue.stats(),
+            "breaker": self.breaker.stats(),
+            "store": self.store.stats(),
+            "latency_p50": pct(0.50),
+            "latency_p99": pct(0.99),
+            "journal_records": self.journal.appended,
+        }

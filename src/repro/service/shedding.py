@@ -1,0 +1,55 @@
+"""Load shedding: graceful fidelity degradation under queue pressure.
+
+When the dispatch queue backs up, the service trades accuracy for
+throughput instead of latency for nothing: jobs marked ``degradable``
+are downgraded from the ``exact`` tier to ``hybrid`` (queue depth ≥
+``hybrid_at``) or all the way to ``fluid`` (depth ≥ ``fluid_at``) at
+dispatch time. The fluid tiers (PR 6) agree with the exact tier to
+~1e-3 relative makespan while dispatching far fewer kernel events, so a
+shed job returns an answer of slightly lower fidelity rather than
+timing out — and the downgrade is *recorded* in the job record, the
+journal, and the returned result, never silent.
+
+Decisions only ever downgrade (``exact → hybrid → fluid``); a job
+already requesting a cheaper tier than the pressure level asks for is
+left alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.service.jobs import JobSpec
+from repro.sim.fluid import Fidelity
+
+__all__ = ["SheddingPolicy"]
+
+
+class SheddingPolicy:
+    """Queue-depth-threshold fidelity downgrades."""
+
+    def __init__(self, hybrid_at: int = 16, fluid_at: int = 48) -> None:
+        if hybrid_at < 1 or fluid_at < hybrid_at:
+            raise ValueError(
+                f"need 1 <= hybrid_at <= fluid_at, got "
+                f"{hybrid_at}/{fluid_at}"
+            )
+        self.hybrid_at = hybrid_at
+        self.fluid_at = fluid_at
+        self.shed = 0  # jobs downgraded (lifetime)
+
+    def choose(self, depth: int, spec: JobSpec) -> Optional[str]:
+        """Tier to downgrade to, or ``None`` to run as requested."""
+        if not spec.degradable:
+            return None
+        if depth >= self.fluid_at:
+            target = Fidelity.FLUID
+        elif depth >= self.hybrid_at:
+            target = Fidelity.HYBRID
+        else:
+            return None
+        requested = Fidelity.coerce(spec.fidelity)
+        if target.ordinal <= requested.ordinal:
+            return None  # already at (or below) the pressure tier
+        self.shed += 1
+        return target.value

@@ -1,0 +1,81 @@
+"""Shared multi-tenant result store over the content-addressed cache.
+
+The service promotes :class:`~repro.experiments.persist.ResultCache`
+to a shared store: every tenant's results land in one sharded,
+atomically-published, CRC-framed cache (the PR's hardened on-disk
+format), keyed purely by the *content* of the computation — so two
+tenants submitting identical configurations share one computation and
+one entry. This wrapper adds the tenancy-aware accounting the serving
+layer reports: per-tenant hit/miss/store counters and a cross-tenant
+dedup counter (a hit on an entry first published by a *different*
+tenant), plus the first-publisher map that powers it.
+
+Tenant isolation here is accounting, not confidentiality: results are
+pure functions of their inputs, so sharing entries leaks nothing a
+tenant could not compute themselves.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional
+
+from repro.experiments.persist import ResultCache
+from repro.service.jobs import JobSpec
+
+__all__ = ["SharedResultStore"]
+
+
+class SharedResultStore:
+    """Tenancy-aware façade over the content-addressed result cache."""
+
+    def __init__(self, root: Optional[str] = None) -> None:
+        self.cache = ResultCache(root)
+        self.hits: Dict[str, int] = defaultdict(int)
+        self.misses: Dict[str, int] = defaultdict(int)
+        self.stores: Dict[str, int] = defaultdict(int)
+        self.cross_tenant_dedup = 0
+        #: key -> tenant that first published it (this process's view)
+        self._publisher: Dict[str, str] = {}
+
+    @property
+    def root(self) -> str:
+        return self.cache.root
+
+    def key_for(self, spec: JobSpec, fidelity: Optional[str] = None) -> str:
+        """Content address of the job at its effective fidelity tier."""
+        task = spec.run_task(fidelity)
+        return self.cache.key(
+            task.spec, task.seed, task.jitter_cv, task.system_configs,
+            task.fault_plan, task.invariants, task.fidelity,
+        )
+
+    def load(self, key: str, tenant: str):
+        """Cached result or ``None``; counts per-tenant and cross-tenant."""
+        result = self.cache.load(key)
+        if result is None:
+            self.misses[tenant] += 1
+            return None
+        self.hits[tenant] += 1
+        publisher = self._publisher.get(key)
+        if publisher is not None and publisher != tenant:
+            self.cross_tenant_dedup += 1
+        return result
+
+    def store(self, key: str, result, tenant: str) -> str:
+        """Publish a result (atomic, last-writer-wins on equal bytes)."""
+        path = self.cache.store(key, result)
+        self.stores[tenant] += 1
+        self._publisher.setdefault(key, tenant)
+        return path
+
+    def stats(self) -> Dict[str, object]:
+        """Entry count plus per-tenant hit/store/dedup counters."""
+        return {
+            "root": self.root,
+            "entries": len(self.cache),
+            "hits": dict(self.hits),
+            "misses": dict(self.misses),
+            "stores": dict(self.stores),
+            "cross_tenant_dedup": self.cross_tenant_dedup,
+        }

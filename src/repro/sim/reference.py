@@ -63,11 +63,26 @@ class ReferenceSharedBandwidth:
             raise ValueError(f"per_flow_cap must be positive, got {per_flow_cap}")
         self.env = env
         self.bandwidth = float(bandwidth)
-        self.per_flow_cap = per_flow_cap
+        self._per_flow_cap = per_flow_cap
         self._flows: List[_Flow] = []
         self._last_update = env.now
         self._epoch = 0  # invalidates stale completion wake-ups
         self._bytes_moved = 0.0
+
+    @property
+    def per_flow_cap(self) -> Optional[float]:
+        """Per-flow rate ceiling; assignment segments like the production
+        channel's setter — drain the elapsed interval at the old cap, then
+        re-time every live flow under the new one."""
+        return self._per_flow_cap
+
+    @per_flow_cap.setter
+    def per_flow_cap(self, cap: Optional[float]) -> None:
+        if cap is not None and cap <= 0:
+            raise ValueError(f"per_flow_cap must be positive, got {cap}")
+        self._advance()
+        self._per_flow_cap = cap
+        self._reschedule()
 
     @property
     def active_flows(self) -> int:
@@ -84,8 +99,8 @@ class ReferenceSharedBandwidth:
         if not self._flows:
             return float("inf")
         rate = self.bandwidth / len(self._flows)
-        if self.per_flow_cap is not None:
-            rate = min(rate, self.per_flow_cap)
+        if self._per_flow_cap is not None:
+            rate = min(rate, self._per_flow_cap)
         return rate
 
     def set_bandwidth(self, bandwidth: float) -> None:

@@ -279,7 +279,7 @@ class SharedBandwidth:
     ``WorkflowResult.system_stats``.
     """
 
-    __slots__ = ("env", "bandwidth", "per_flow_cap", "_heap", "_seq",
+    __slots__ = ("env", "bandwidth", "_per_flow_cap", "_heap", "_seq",
                  "_virtual", "_last_update", "_wake", "_wake_cb",
                  "_bytes_moved", "stale_wakeups_defused",
                  "peak_concurrent_flows", "reschedules",
@@ -297,7 +297,7 @@ class SharedBandwidth:
             raise ValueError(f"per_flow_cap must be positive, got {per_flow_cap}")
         self.env = env
         self.bandwidth = float(bandwidth)
-        self.per_flow_cap = per_flow_cap
+        self._per_flow_cap = per_flow_cap
         #: active flows as ``(virtual_finish, seq, nbytes, done, started)``
         #: heap entries — plain tuples so heap sifts compare in C, and the
         #: unique ``seq`` (FIFO tie-break) stops comparison ever reaching
@@ -342,12 +342,37 @@ class SharedBandwidth:
             util.set(0.0)
         else:
             rate = self.bandwidth / n
-            cap = self.per_flow_cap
+            cap = self._per_flow_cap
             if cap is not None and cap < rate:
                 rate = cap
             util.set(rate * n / self.bandwidth)
 
     # -- public ------------------------------------------------------------
+    @property
+    def per_flow_cap(self) -> Optional[float]:
+        """Per-flow rate ceiling in bytes/second (``None`` = uncapped).
+
+        Assignment segments the virtual clock exactly like
+        :meth:`set_bandwidth`: the elapsed interval is priced at the *old*
+        cap before the new one takes effect, so a mid-epoch change governs
+        only the future — never retroactively re-prices service already
+        rendered. (Historically this was a plain attribute and mid-epoch
+        assignment rewrote the elapsed epoch; the fluid tier's
+        ``FluidLink.per_flow_cap`` setter had the segmenting behaviour
+        first.)
+        """
+        return self._per_flow_cap
+
+    @per_flow_cap.setter
+    def per_flow_cap(self, cap: Optional[float]) -> None:
+        if cap is not None and cap <= 0:
+            raise ValueError(f"per_flow_cap must be positive, got {cap}")
+        self._advance()
+        self._per_flow_cap = cap
+        self._reschedule()
+        if self._metrics is not None:
+            self._sample_metrics()
+
     @property
     def active_flows(self) -> int:
         """Number of in-flight transfers."""
@@ -363,8 +388,8 @@ class SharedBandwidth:
         if not self._heap:
             return float("inf")
         rate = self.bandwidth / len(self._heap)
-        if self.per_flow_cap is not None:
-            rate = min(rate, self.per_flow_cap)
+        if self._per_flow_cap is not None:
+            rate = min(rate, self._per_flow_cap)
         return rate
 
     def set_bandwidth(self, bandwidth: float) -> None:
@@ -420,7 +445,7 @@ class SharedBandwidth:
             self._last_update = now
             if elapsed > 0.0:
                 rate = self.bandwidth / len(heap)
-                cap = self.per_flow_cap
+                cap = self._per_flow_cap
                 if cap is not None and cap < rate:
                     rate = cap
                 self._virtual += rate * elapsed
@@ -460,7 +485,7 @@ class SharedBandwidth:
             self.stale_wakeups_defused += 1
         self.reschedules += 1
         rate = self.bandwidth / n
-        cap = self.per_flow_cap
+        cap = self._per_flow_cap
         if cap is not None and cap < rate:
             rate = cap
         eta = (heap[0][0] - self._virtual) / rate
@@ -505,7 +530,7 @@ class SharedBandwidth:
         self._last_update = now
         if elapsed > 0.0:
             rate = self.bandwidth / len(heap)
-            cap = self.per_flow_cap
+            cap = self._per_flow_cap
             if cap is not None and cap < rate:
                 rate = cap
             self._virtual += rate * elapsed
@@ -541,7 +566,7 @@ class SharedBandwidth:
             return
         self.reschedules += 1
         rate = self.bandwidth / len(heap)
-        cap = self.per_flow_cap
+        cap = self._per_flow_cap
         if cap is not None and cap < rate:
             rate = cap
         eta = (heap[0][0] - self._virtual) / rate
@@ -578,7 +603,7 @@ class SharedBandwidth:
         self._last_update = now
         if elapsed > 0.0:
             rate = self.bandwidth / len(heap)
-            cap = self.per_flow_cap
+            cap = self._per_flow_cap
             if cap is not None and cap < rate:
                 rate = cap
             self._virtual += rate * elapsed
@@ -605,7 +630,7 @@ class SharedBandwidth:
             return
         self.reschedules += 1
         rate = self.bandwidth / n
-        cap = self.per_flow_cap
+        cap = self._per_flow_cap
         if cap is not None and cap < rate:
             rate = cap
         eta = (heap[0][0] - virtual) / rate

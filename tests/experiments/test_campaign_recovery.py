@@ -69,7 +69,7 @@ def test_worker_crash_past_retry_budget_raises(fault_env, tmp_path):
         run_campaign(TASKS, jobs=2, max_task_retries=0,
                      use_cache=True, cache_dir=str(cache_dir))
     # the completed repetitions survived the failed campaign ...
-    survivors = len(list(cache_dir.glob("*.pkl")))
+    survivors = len(list(cache_dir.rglob("*.pkl")))
     assert survivors >= 1
     # ... and the re-run resumes from them (the crash marker is consumed,
     # so seed 2000 now runs clean) with serially-identical results
@@ -140,7 +140,7 @@ def test_faulty_tasks_cache_and_resume(tmp_path):
     task = RunTask(spec=SPEC, seed=0, jitter_cv=0.05, fault_plan=plan)
     cold = run_campaign([task], jobs=1, use_cache=True,
                         cache_dir=str(tmp_path))
-    assert len(list(tmp_path.glob("*.pkl"))) == 1
+    assert len(list(tmp_path.rglob("*.pkl"))) == 1
     warm = run_campaign([task], jobs=1, use_cache=True,
                         cache_dir=str(tmp_path))
     assert result_fingerprint(warm[0]) == result_fingerprint(cold[0])

@@ -84,7 +84,7 @@ def test_run_campaign_empty():
 def test_cache_hits_equal_cold_runs(tmp_path):
     cold = run_repetitions(FIG5_SPEC, runs=3, jitter_cv=0.05,
                            use_cache=True, cache_dir=str(tmp_path))
-    assert len(list(tmp_path.glob("*.pkl"))) == 3
+    assert len(list(tmp_path.rglob("*.pkl"))) == 3
     warm = run_repetitions(FIG5_SPEC, runs=3, jitter_cv=0.05,
                            use_cache=True, cache_dir=str(tmp_path))
     assert fingerprints(cold) == fingerprints(warm)
@@ -114,12 +114,58 @@ def test_cache_ignores_none_configs(tmp_path):
 def test_cache_corrupt_entry_self_heals(tmp_path):
     cache = ResultCache(str(tmp_path))
     key = cache.key(FIG5_SPEC, 0, 0.05, {})
-    os.makedirs(cache.root, exist_ok=True)
+    os.makedirs(os.path.dirname(cache.path(key)), exist_ok=True)
     with open(cache.path(key), "wb") as fh:
         fh.write(b"not a pickle")
     assert cache.load(key) is None
     assert not os.path.exists(cache.path(key))
     assert cache.misses == 1
+
+
+def test_cache_truncated_entry_self_heals(tmp_path):
+    """A crash mid-write leaves a short entry: the CRC frame catches it."""
+    cache = ResultCache(str(tmp_path))
+    result = run_workflow(FIG5_SPEC, seed=0, jitter_cv=0.05)
+    key = cache.key(FIG5_SPEC, 0, 0.05, {})
+    path = cache.store(key, result)
+    blob = open(path, "rb").read()
+    assert blob[:4] == b"RPRC"
+    with open(path, "wb") as fh:
+        fh.write(blob[: len(blob) // 2])  # torn write
+    assert cache.load(key) is None
+    assert not os.path.exists(path)
+    # the next computation repopulates the entry
+    cache.store(key, result)
+    assert cache.load(key) is not None
+
+
+def test_cache_bitflip_entry_self_heals(tmp_path):
+    """A flipped payload byte fails the CRC even if pickle would load."""
+    cache = ResultCache(str(tmp_path))
+    result = run_workflow(FIG5_SPEC, seed=0, jitter_cv=0.05)
+    key = cache.key(FIG5_SPEC, 0, 0.05, {})
+    path = cache.store(key, result)
+    blob = bytearray(open(path, "rb").read())
+    blob[-1] ^= 0xFF
+    with open(path, "wb") as fh:
+        fh.write(bytes(blob))
+    assert cache.load(key) is None
+    assert cache.misses == 1
+
+
+def test_cache_sharded_layout_and_legacy_entries(tmp_path):
+    """Entries land in root/<key[:2]>/; flat legacy files still counted."""
+    cache = ResultCache(str(tmp_path))
+    result = run_workflow(FIG5_SPEC, seed=0, jitter_cv=0.05)
+    key = cache.key(FIG5_SPEC, 0, 0.05, {})
+    path = cache.store(key, result)
+    assert os.path.dirname(path) == os.path.join(str(tmp_path), key[:2])
+    # a pre-shard flat entry is visible to len() and clear()
+    with open(os.path.join(str(tmp_path), "0" * 64 + ".pkl"), "wb") as fh:
+        fh.write(b"legacy")
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
 
 
 def test_cache_store_load_roundtrip(tmp_path):
@@ -199,14 +245,14 @@ def test_campaign_scope_enables_cache(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_CACHE", raising=False)
     with campaign(cache=True, cache_dir=str(tmp_path)):
         run_repetitions(FIG5_SPEC, runs=2, jitter_cv=0.05)
-    assert len(list(tmp_path.glob("*.pkl"))) == 2
+    assert len(list(tmp_path.rglob("*.pkl"))) == 2
 
 
 def test_cache_env_default_off(tmp_path, monkeypatch):
     monkeypatch.delenv("REPRO_CACHE", raising=False)
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
     run_repetitions(FIG5_SPEC, runs=1, jitter_cv=0.05)
-    assert list(tmp_path.glob("*.pkl")) == []
+    assert list(tmp_path.rglob("*.pkl")) == []
 
 
 def test_default_cache_root_env(monkeypatch, tmp_path):

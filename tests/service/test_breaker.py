@@ -1,0 +1,99 @@
+"""Circuit-breaker state machine (injectable clock, no sleeping)."""
+
+import pytest
+
+from repro.service.breaker import CircuitBreaker
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def clock():
+    return Clock()
+
+
+def test_closed_admits(clock):
+    breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=clock)
+    allowed, retry_after = breaker.check("dyad")
+    assert allowed and retry_after == 0.0
+
+
+def test_opens_after_threshold_consecutive_failures(clock):
+    breaker = CircuitBreaker(threshold=3, cooldown=10.0, clock=clock)
+    for _ in range(2):
+        breaker.record_failure("dyad")
+    assert breaker.state("dyad") == "closed"
+    breaker.record_failure("dyad")
+    assert breaker.state("dyad") == "open"
+    allowed, retry_after = breaker.check("dyad")
+    assert not allowed and retry_after == pytest.approx(10.0)
+
+
+def test_success_resets_consecutive_count(clock):
+    breaker = CircuitBreaker(threshold=2, cooldown=10.0, clock=clock)
+    breaker.record_failure("dyad")
+    breaker.record_success("dyad")
+    breaker.record_failure("dyad")
+    assert breaker.state("dyad") == "closed"
+
+
+def test_half_open_admits_single_probe(clock):
+    breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+    breaker.record_failure("dyad")
+    clock.now = 10.0
+    allowed, _ = breaker.check("dyad")
+    assert allowed and breaker.state("dyad") == "half-open"
+    # the second caller is held back while the probe is out
+    allowed, retry_after = breaker.check("dyad")
+    assert not allowed and retry_after == 10.0
+
+
+def test_probe_success_closes(clock):
+    breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+    breaker.record_failure("dyad")
+    clock.now = 10.0
+    assert breaker.check("dyad")[0]
+    breaker.record_success("dyad")
+    assert breaker.state("dyad") == "closed"
+    assert breaker.check("dyad")[0]
+
+
+def test_probe_failure_reopens_for_full_cooldown(clock):
+    breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+    breaker.record_failure("dyad")
+    clock.now = 10.0
+    assert breaker.check("dyad")[0]
+    breaker.record_failure("dyad")
+    assert breaker.state("dyad") == "open"
+    clock.now = 15.0
+    allowed, retry_after = breaker.check("dyad")
+    assert not allowed and retry_after == pytest.approx(5.0)
+
+
+def test_kinds_are_independent(clock):
+    breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+    breaker.record_failure("lustre")
+    assert breaker.state("lustre") == "open"
+    assert breaker.check("dyad")[0]
+
+
+def test_trip_count_in_stats(clock):
+    breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+    breaker.record_failure("dyad")
+    clock.now = 10.0
+    breaker.check("dyad")
+    breaker.record_failure("dyad")  # probe failed: second trip
+    assert breaker.stats()["dyad"]["trips"] == 2
+
+
+def test_validates_parameters(clock):
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown=0.0)

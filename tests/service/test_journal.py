@@ -1,0 +1,84 @@
+"""Crash-consistency of the append-only job journal."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import JournalError
+from repro.service.journal import Journal, replay_events
+
+
+def _events(n):
+    return [{"ev": "submit", "id": f"job-{i}"} for i in range(n)]
+
+
+def test_missing_file_is_a_fresh_server(tmp_path):
+    assert replay_events(str(tmp_path / "nope.jsonl")) == []
+
+
+def test_append_replay_round_trip(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = Journal(path)
+    for event in _events(3):
+        journal.append(event)
+    journal.close()
+    assert replay_events(path) == _events(3)
+
+
+def test_torn_final_line_is_dropped(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = Journal(path)
+    for event in _events(2):
+        journal.append(event)
+    journal.close()
+    with open(path, "a") as fh:
+        fh.write('{"ev": "done", "id": "jo')  # crash mid-append
+    assert replay_events(path) == _events(2)
+
+
+def test_torn_final_line_with_newline_is_dropped(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = Journal(path)
+    journal.append(_events(1)[0])
+    journal.close()
+    with open(path, "a") as fh:
+        fh.write('{"ev": "done", "id"\n')
+    assert replay_events(path) == _events(1)
+
+
+def test_interior_corruption_raises(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    lines = [json.dumps(e) for e in _events(3)]
+    lines[1] = lines[1][:5]  # torn record *not* at the tail
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    with pytest.raises(JournalError, match="corrupt journal record"):
+        replay_events(path)
+
+
+def test_non_record_line_raises(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with open(path, "w") as fh:
+        fh.write('{"no_ev_field": 1}\n')
+    with pytest.raises(JournalError, match="not a journal record"):
+        replay_events(path)
+
+
+def test_compact_rewrites_atomically_and_keeps_appending(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    journal = Journal(path)
+    for event in _events(5):
+        journal.append(event)
+    journal.compact(_events(2))
+    journal.append({"ev": "done", "id": "job-0"})
+    journal.close()
+    assert replay_events(path) == _events(2) + [{"ev": "done", "id": "job-0"}]
+    assert not [f for f in os.listdir(tmp_path) if f.endswith(".tmp")]
+
+
+def test_append_after_close_raises(tmp_path):
+    journal = Journal(str(tmp_path / "j.jsonl"))
+    journal.close()
+    with pytest.raises(JournalError):
+        journal.append({"ev": "submit"})

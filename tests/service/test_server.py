@@ -1,0 +1,367 @@
+"""In-process integration tests for the experiment server.
+
+Most tests run the server in ``inline`` mode (thread pool): start it on
+a unix socket under ``tmp_path``, speak the real wire protocol through
+:class:`~repro.service.client.ServiceClient`, and shut down cleanly.
+The crash-retry test uses a real ``spawn`` worker pool with the
+injected-fault hook shared with the campaign runner.
+"""
+
+import asyncio
+import json
+import os
+import threading
+
+import pytest
+
+import repro.service.server as server_mod
+from repro.service import (
+    ExperimentServer,
+    Journal,
+    ServerConfig,
+    ServiceClient,
+    SharedResultStore,
+)
+from repro.service.jobs import JobSpec
+
+
+def _config(tmp_path, **overrides):
+    overrides.setdefault("inline", True)
+    overrides.setdefault("workers", 2)
+    return ServerConfig(
+        socket_path=str(tmp_path / "svc.sock"),
+        journal_path=str(tmp_path / "journal.jsonl"),
+        cache_dir=str(tmp_path / "cache"),
+        **overrides,
+    )
+
+
+def _job(tenant="alice", system="dyad", seed=0, **extra):
+    payload = {"tenant": tenant, "system": system, "frames": 2,
+               "seed": seed}
+    payload.update(extra)
+    return payload
+
+
+async def _with_server(config, body):
+    server = ExperimentServer(config)
+    await server.start()
+    client = ServiceClient(config.socket_path)
+    try:
+        return await body(server, client)
+    finally:
+        await client.close()
+        await server.shutdown()
+
+
+def run(config, body):
+    return asyncio.run(_with_server(config, body))
+
+
+# ---------------------------------------------------------------------------
+# basic serving
+# ---------------------------------------------------------------------------
+
+
+def test_submit_wait_returns_computed_result(tmp_path):
+    async def body(server, client):
+        response = await client.submit(_job())
+        assert response["ok"] and response["state"] == "done"
+        assert response["source"] == "computed"
+        assert response["fingerprint"] and response["makespan"] > 0
+        assert server.counters["completed"] == 1
+        return response
+
+    run(_config(tmp_path), body)
+
+
+def test_no_wait_then_status_poll(tmp_path):
+    async def body(server, client):
+        response = await client.submit(_job(), wait=False)
+        assert response["ok"]
+        job_id = response["job_id"]
+        while True:
+            status = await client.status(job_id)
+            if status["state"] in ("done", "failed"):
+                break
+            await asyncio.sleep(0.02)
+        assert status["state"] == "done"
+
+    run(_config(tmp_path), body)
+
+
+def test_identical_resubmission_hits_shared_store(tmp_path):
+    async def body(server, client):
+        first = await client.submit(_job(tenant="alice"))
+        second = await client.submit(_job(tenant="bob"))
+        assert first["source"] == "computed"
+        assert second["source"] == "hit"
+        assert second["fingerprint"] == first["fingerprint"]
+        # bob's hit on alice's entry is cross-tenant dedup
+        assert server.store.cross_tenant_dedup == 1
+
+    run(_config(tmp_path), body)
+
+
+def test_concurrent_duplicates_coalesce_in_flight(tmp_path):
+    async def body(server, client):
+        others = [ServiceClient(server.config.socket_path)
+                  for _ in range(3)]
+        try:
+            responses = await asyncio.gather(
+                client.submit(_job(seed=5)),
+                *(c.submit(_job(seed=5)) for c in others),
+            )
+        finally:
+            for c in others:
+                await c.close()
+        assert all(r["state"] == "done" for r in responses)
+        assert len({r["fingerprint"] for r in responses}) == 1
+        sources = sorted(r["source"] for r in responses)
+        assert sources.count("computed") == 1
+        assert server.counters["dedup_inflight"] >= 1
+
+    run(_config(tmp_path), body)
+
+
+def test_bad_request_does_not_kill_connection(tmp_path):
+    async def body(server, client):
+        bad = await client.request({"op": "submit",
+                                    "job": {"tenant": "x", "system": "zfs"}})
+        assert not bad["ok"] and bad["error"] == "bad_request"
+        assert await client.ping()
+        unknown = await client.request({"op": "frobnicate"})
+        assert unknown["error"] == "unknown_op"
+
+    run(_config(tmp_path), body)
+
+
+def test_unknown_job_status(tmp_path):
+    async def body(server, client):
+        response = await client.status("job-999")
+        assert not response["ok"] and response["error"] == "unknown_job"
+
+    run(_config(tmp_path), body)
+
+
+# ---------------------------------------------------------------------------
+# admission, shedding, breaker
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def gated_execute(monkeypatch):
+    """Hold job execution at a gate so tests control queue buildup.
+
+    Without this, a warm interpreter finishes the 2-frame jobs faster
+    than the next submit arrives and queue depth never builds.
+    """
+    gate = threading.Event()
+    real = server_mod._execute_task
+
+    def slow(task):
+        gate.wait(30)
+        return real(task)
+
+    monkeypatch.setattr(server_mod, "_execute_task", slow)
+    yield gate
+    gate.set()
+
+
+def test_budget_rejection_over_the_wire(tmp_path, gated_execute):
+    async def body(server, client):
+        # distinct seeds so nothing dedups; budget 1 admits exactly one
+        first = await client.submit(_job(seed=100), wait=False)
+        assert first["ok"]
+        second = await client.submit(_job(seed=101), wait=False)
+        assert not second["ok"]
+        assert second["error"] == "budget_exceeded"
+        assert second["retry_after"] > 0
+        gated_execute.set()  # let the first job finish so drain works
+
+    run(_config(tmp_path, tenant_budget=1, workers=1), body)
+
+
+async def _gathered_submits(server, jobs, gate, total):
+    """Submit each job on its own connection (a waiting submit blocks
+    its connection), release the gate once all are admitted, gather."""
+    clients = [ServiceClient(server.config.socket_path) for _ in jobs]
+    try:
+        waits = [asyncio.ensure_future(c.submit(job))
+                 for c, job in zip(clients, jobs)]
+        while server.queue.depth + server._running < total:
+            await asyncio.sleep(0.01)
+        gate.set()
+        return await asyncio.gather(*waits)
+    finally:
+        for c in clients:
+            await c.close()
+
+
+def test_queue_pressure_sheds_to_cheaper_tier(tmp_path, gated_execute):
+    async def body(server, client):
+        responses = await _gathered_submits(
+            server, [_job(seed=200 + i) for i in range(6)],
+            gated_execute, 6,
+        )
+        assert all(r["state"] == "done" for r in responses)
+        shed = [r for r in responses if r["shed_to"]]
+        assert shed, "no job was shed despite hybrid_at=1"
+        assert all(r["fidelity"] in ("hybrid", "fluid") for r in shed)
+        assert server.counters["shed"] == len(shed)
+
+    run(_config(tmp_path, shed_hybrid_depth=1, shed_fluid_depth=4,
+                workers=1), body)
+
+
+def test_non_degradable_jobs_run_exact_under_pressure(tmp_path,
+                                                      gated_execute):
+    async def body(server, client):
+        responses = await _gathered_submits(
+            server,
+            [_job(seed=300 + i, degradable=False) for i in range(4)],
+            gated_execute, 4,
+        )
+        assert all(r["state"] == "done" for r in responses)
+        assert all(r["shed_to"] is None for r in responses)
+        assert all(r["fidelity"] == "exact" for r in responses)
+
+    run(_config(tmp_path, shed_hybrid_depth=1, shed_fluid_depth=2,
+                workers=1), body)
+
+
+def test_deterministic_failure_opens_breaker(tmp_path, monkeypatch):
+    from repro.errors import ReproError
+
+    def boom(task):
+        raise ReproError("injected deterministic failure")
+
+    monkeypatch.setattr(server_mod, "_execute_task", boom)
+
+    async def body(server, client):
+        for i in range(2):
+            response = await client.submit(_job(seed=400 + i))
+            assert response["state"] == "failed"
+            assert "injected" in response["error"]
+        # two consecutive dyad failures tripped the breaker
+        rejected = await client.submit(_job(seed=402))
+        assert not rejected["ok"]
+        assert rejected["error"] == "circuit_open"
+        assert rejected["retry_after"] > 0
+        # other kinds are unaffected (their breaker is independent);
+        # xfs fails too but is admitted
+        other = await client.submit(_job(system="xfs", seed=403))
+        assert other["state"] == "failed"
+        assert server.counters["rejected_circuit"] == 1
+
+    run(_config(tmp_path, breaker_threshold=2, breaker_cooldown=60.0), body)
+
+
+def test_drain_rejects_new_work(tmp_path):
+    async def body(server, client):
+        await client.submit(_job())
+        drained = await client.drain()
+        assert drained["ok"]
+        response = await client.submit(_job(seed=1))
+        assert not response["ok"] and response["error"] == "draining"
+
+    run(_config(tmp_path), body)
+
+
+# ---------------------------------------------------------------------------
+# journal resume (in-process)
+# ---------------------------------------------------------------------------
+
+
+def test_resume_reexecutes_unfinished_journaled_job(tmp_path):
+    config = _config(tmp_path)
+    spec = JobSpec(tenant="alice", frames=2, seed=9)
+    journal = Journal(config.journal_path)
+    journal.append({"ev": "submit", "id": "job-0", "job": spec.to_wire(),
+                    "key": None, "t": 0.0})
+    journal.append({"ev": "start", "id": "job-0", "fidelity": "exact"})
+    journal.close()
+
+    async def body(server, client):
+        assert server.counters["resumed"] == 1
+        await server._idle.wait()
+        record = server.records["job-0"]
+        assert record.state == "done"
+        assert record.source == "computed"
+        # the next id does not collide with the replayed one
+        response = await client.submit(_job(seed=10), wait=False)
+        assert response["job_id"] == "job-1"
+
+    run(config, body)
+
+
+def test_resume_completes_from_store_without_recompute(tmp_path):
+    config = _config(tmp_path)
+    spec = JobSpec(tenant="alice", frames=2, seed=9)
+    # the result landed in the store but the "done" record never made
+    # it to the journal (killed in between): resume must serve the
+    # cached result, not recompute
+    store = SharedResultStore(config.cache_dir)
+    key = store.key_for(spec)
+    from repro.experiments.parallel import _execute_task
+
+    store.store(key, _execute_task(spec.run_task()), "alice")
+    journal = Journal(config.journal_path)
+    journal.append({"ev": "submit", "id": "job-0", "job": spec.to_wire(),
+                    "key": key, "t": 0.0})
+    journal.close()
+
+    async def body(server, client):
+        record = server.records["job-0"]
+        assert record.state == "done"
+        assert record.source == "hit"
+        assert server.counters["resumed"] == 1
+
+    run(config, body)
+
+
+def test_resume_folds_counters_and_compacts(tmp_path):
+    config = _config(tmp_path)
+    spec = JobSpec(tenant="alice", frames=2, seed=9)
+    journal = Journal(config.journal_path)
+    journal.append({"ev": "submit", "id": "job-0", "job": spec.to_wire(),
+                    "key": "k", "t": 0.0})
+    journal.append({"ev": "retry", "id": "job-0", "attempts": 2})
+    journal.append({"ev": "done", "id": "job-0", "key": "k",
+                    "fingerprint": "f", "makespan": 1.0, "latency": 0.5,
+                    "source": "computed"})
+    journal.close()
+
+    async def body(server, client):
+        assert server.counters["completed"] == 1
+        assert server.counters["retries"] == 2
+        stats = await client.stats()
+        assert stats["counters"]["retries"] == 2
+
+    run(config, body)
+    # boot-time compaction folded the journal but kept the attempts
+    events = [json.loads(line)
+              for line in open(config.journal_path) if line.strip()]
+    assert {"ev": "retry", "id": "job-0", "attempts": 2} in events
+
+
+# ---------------------------------------------------------------------------
+# worker-crash retry (real spawn pool)
+# ---------------------------------------------------------------------------
+
+
+def test_worker_crash_is_detected_and_retried(tmp_path, monkeypatch):
+    fault_dir = tmp_path / "faults"
+    fault_dir.mkdir()
+    monkeypatch.setenv("REPRO_WORKER_FAULT_DIR", str(fault_dir))
+    monkeypatch.setenv("REPRO_WORKER_CRASH_SEEDS", "555")
+    monkeypatch.setenv("REPRO_JOBS_OVERSUBSCRIBE", "1")
+
+    async def body(server, client):
+        response = await client.submit(_job(seed=555))
+        assert response["state"] == "done"
+        assert response["attempts"] == 1  # one crash, one successful rerun
+        assert server.counters["retries"] == 1
+        assert os.path.exists(fault_dir / "crash-555")
+
+    run(_config(tmp_path, inline=False, workers=1, max_retries=2), body)

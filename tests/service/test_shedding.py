@@ -1,0 +1,47 @@
+"""Load-shedding policy: depth-thresholded fidelity downgrades."""
+
+import pytest
+
+from repro.service.jobs import JobSpec
+from repro.service.shedding import SheddingPolicy
+
+
+def _spec(fidelity="exact", degradable=True):
+    return JobSpec(tenant="alice", fidelity=fidelity, degradable=degradable)
+
+
+def test_below_threshold_runs_as_requested():
+    policy = SheddingPolicy(hybrid_at=16, fluid_at=48)
+    assert policy.choose(15, _spec()) is None
+    assert policy.shed == 0
+
+
+def test_hybrid_then_fluid_thresholds():
+    policy = SheddingPolicy(hybrid_at=16, fluid_at=48)
+    assert policy.choose(16, _spec()) == "hybrid"
+    assert policy.choose(47, _spec()) == "hybrid"
+    assert policy.choose(48, _spec()) == "fluid"
+    assert policy.shed == 3
+
+
+def test_non_degradable_jobs_are_never_shed():
+    policy = SheddingPolicy(hybrid_at=1, fluid_at=1)
+    assert policy.choose(1000, _spec(degradable=False)) is None
+    assert policy.shed == 0
+
+
+def test_never_upgrades_a_cheaper_request():
+    policy = SheddingPolicy(hybrid_at=16, fluid_at=48)
+    # fluid request under hybrid pressure: hybrid would be an *upgrade*
+    assert policy.choose(20, _spec(fidelity="fluid")) is None
+    # hybrid request under hybrid pressure: already there
+    assert policy.choose(20, _spec(fidelity="hybrid")) is None
+    # hybrid request under fluid pressure: downgrade one tier
+    assert policy.choose(50, _spec(fidelity="hybrid")) == "fluid"
+
+
+def test_validates_thresholds():
+    with pytest.raises(ValueError):
+        SheddingPolicy(hybrid_at=0, fluid_at=5)
+    with pytest.raises(ValueError):
+        SheddingPolicy(hybrid_at=10, fluid_at=5)

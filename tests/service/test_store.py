@@ -1,0 +1,46 @@
+"""Shared multi-tenant result store accounting."""
+
+from repro.service.jobs import JobSpec
+from repro.service.store import SharedResultStore
+
+
+def _spec(**kwargs):
+    kwargs.setdefault("tenant", "alice")
+    kwargs.setdefault("frames", 2)
+    return JobSpec(**kwargs)
+
+
+def test_key_is_content_addressed_not_tenant_addressed(tmp_path):
+    store = SharedResultStore(str(tmp_path))
+    alice = store.key_for(_spec(tenant="alice"))
+    bob = store.key_for(_spec(tenant="bob"))
+    assert alice == bob  # same computation, same address
+
+
+def test_key_depends_on_effective_fidelity(tmp_path):
+    store = SharedResultStore(str(tmp_path))
+    spec = _spec()
+    assert store.key_for(spec) != store.key_for(spec, "fluid")
+    assert store.key_for(spec, "exact") == store.key_for(spec)
+
+
+def test_per_tenant_counters_and_cross_tenant_dedup(tmp_path):
+    store = SharedResultStore(str(tmp_path))
+    key = store.key_for(_spec())
+    assert store.load(key, "alice") is None
+    assert store.misses["alice"] == 1
+
+    store.store(key, {"makespan": 1.0}, "alice")
+    assert store.load(key, "alice") == {"makespan": 1.0}
+    assert store.cross_tenant_dedup == 0
+
+    # bob hitting alice's entry is the cross-tenant dedup the service
+    # advertises
+    assert store.load(key, "bob") == {"makespan": 1.0}
+    assert store.cross_tenant_dedup == 1
+    assert store.hits == {"alice": 1, "bob": 1}
+
+    stats = store.stats()
+    assert stats["entries"] == 1
+    assert stats["stores"] == {"alice": 1}
+    assert stats["cross_tenant_dedup"] == 1

@@ -29,7 +29,8 @@ REL_TOL = 1e-9
 ABS_TOL = 1e-12
 
 
-def _random_case(seed, with_cap, with_bw_changes, n_transfers=60):
+def _random_case(seed, with_cap, with_bw_changes, n_transfers=60,
+                 with_cap_changes=False):
     """One reproducible scenario: arrivals, sizes, bandwidth timeline."""
     rng = random.Random(seed)
     schedule = []
@@ -51,8 +52,15 @@ def _random_case(seed, with_cap, with_bw_changes, n_transfers=60):
         for _ in range(5):
             # degrade/restore swings like the fault layer's, mid-stream
             changes.append((rng.uniform(0.0, horizon),
-                            rng.uniform(2e7, 4e8)))
-        changes.sort()
+                            ("bw", rng.uniform(2e7, 4e8))))
+    if with_cap_changes:
+        horizon = schedule[-1][0] * 1.5
+        for _ in range(5):
+            # mid-stream cap tightenings/loosenings, with the occasional
+            # lift (None) — must segment, never re-price history
+            new_cap = None if rng.random() < 0.2 else rng.uniform(1e7, 3e8)
+            changes.append((rng.uniform(0.0, horizon), ("cap", new_cap)))
+    changes.sort(key=lambda c: c[0])
     return schedule, cap, changes
 
 
@@ -72,10 +80,13 @@ def _run(cls, schedule, cap, changes, bandwidth=1e8):
             )
 
     def controller():
-        for at, bw in changes:
+        for at, (kind, value) in changes:
             if at > env.now:
                 yield env.timeout(at - env.now)
-            chan.set_bandwidth(bw)
+            if kind == "bw":
+                chan.set_bandwidth(value)
+            else:
+                chan.per_flow_cap = value
 
     Process(env, submitter())
     if changes:
@@ -103,6 +114,34 @@ def test_matches_reference_on_random_schedule(seed, with_cap,
     assert [i for i, _ in got] == [i for i, _ in want], (
         "completion order diverged from the reference oracle"
     )
+    for (i, t_new), (_, t_ref) in zip(got, want):
+        assert math.isclose(t_new, t_ref, rel_tol=REL_TOL, abs_tol=ABS_TOL), (
+            f"flow {i}: completion at {t_new!r} vs reference {t_ref!r}"
+        )
+    assert math.isclose(got_bytes, want_bytes, rel_tol=REL_TOL)
+    assert math.isclose(got_end, want_end, rel_tol=REL_TOL, abs_tol=ABS_TOL)
+
+
+@pytest.mark.parametrize("seed", (3, 17, 42, 99, 4321))
+def test_matches_reference_with_mid_stream_cap_changes(seed):
+    """Mid-stream ``per_flow_cap`` assignment must segment identically.
+
+    Random cap tightenings, loosenings, and lifts (``None``) land while
+    bulk flows are in flight on both implementations; the production
+    setter's advance-then-mutate must agree with the oracle's
+    materialized drain to float tolerance. Composes with mid-stream
+    ``set_bandwidth`` swings — the fault layer fires both.
+    """
+    schedule, cap, changes = _random_case(
+        seed, with_cap=True, with_bw_changes=(seed % 2 == 0),
+        with_cap_changes=True,
+    )
+    got, got_bytes, got_end = _run(SharedBandwidth, schedule, cap, changes)
+    want, want_bytes, want_end = _run(
+        ReferenceSharedBandwidth, schedule, cap, changes
+    )
+    assert len(got) == len(want) == len(schedule)
+    assert [i for i, _ in got] == [i for i, _ in want]
     for (i, t_new), (_, t_ref) in zip(got, want):
         assert math.isclose(t_new, t_ref, rel_tol=REL_TOL, abs_tol=ABS_TOL), (
             f"flow {i}: completion at {t_new!r} vs reference {t_ref!r}"

@@ -366,10 +366,9 @@ def test_set_bandwidth_with_zero_flows_active(env):
 def test_per_flow_cap_change_between_epochs(env):
     """Cap changes between service epochs govern subsequent flows.
 
-    ``per_flow_cap`` is a plain attribute: an assignment is picked up at
-    the next re-rate (arrival, departure, or ``set_bandwidth``), so the
-    supported pattern is changing it between epochs — each drained
-    epoch's flows ran under the cap in force when they were rated.
+    ``per_flow_cap`` is a segmenting property: assigning it advances the
+    virtual clock first (like ``set_bandwidth``), so between-epoch changes
+    simply govern the next epoch's flows at the new ceiling.
     """
     chan = SharedBandwidth(env, bandwidth=100.0, per_flow_cap=10.0)
     done = {}
@@ -392,19 +391,17 @@ def test_per_flow_cap_change_between_epochs(env):
     assert done3["z"] - start == pytest.approx(1.0)  # 100 B at 100 B/s
 
 
-def test_per_flow_cap_assignment_mid_epoch_is_retroactive(env):
-    """Why mid-epoch cap assignment is unsupported: it rewrites history.
+def test_per_flow_cap_assignment_mid_epoch_segments(env):
+    """Mid-epoch cap assignment prices the elapsed interval at the OLD cap.
 
-    The channel computes an epoch's service rate lazily, at the *next*
-    rating event, from the then-current settings — so assigning
-    ``per_flow_cap`` mid-epoch retroactively re-prices the whole elapsed
-    interval. Here the flow "moved" 5 s at the *new* 50 B/s cap (250
-    virtual units >= its 100 bytes) and completes instantly at t=5,
-    despite having run under a 10 B/s cap in real time. This pins the
-    footgun that makes between-epoch changes (previous test) the
-    supported pattern; ``set_bandwidth`` advances the clock *before*
-    mutating precisely to avoid this, and the fluid tier's
-    ``FluidLink.per_flow_cap`` setter does the same.
+    The setter advances the virtual clock *before* mutating — the same
+    discipline as ``set_bandwidth`` and the fluid tier's
+    ``FluidLink.per_flow_cap`` — so a cap change never retroactively
+    re-prices service already rendered. Historically this was a plain
+    attribute and the elapsed epoch was re-priced at the *new* cap at the
+    next rating event (the flow below would have "moved" 5 s x 50 B/s =
+    250 virtual units and completed instantly at t=5 despite running
+    under a 10 B/s cap in real time).
     """
     chan = SharedBandwidth(env, bandwidth=100.0, per_flow_cap=10.0)
     done = {}
@@ -412,9 +409,24 @@ def test_per_flow_cap_assignment_mid_epoch_is_retroactive(env):
 
     def controller():
         yield env.timeout(5.0)
-        chan.per_flow_cap = 50.0  # latent until the next rating event...
-        chan.transfer(50)         # ...which re-prices the elapsed epoch
+        chan.per_flow_cap = 50.0  # segments: 0..5 s stays priced at 10 B/s
+        _move(env, chan, 50, log=done, name="y")
 
     env.process(controller())
     env.run()
-    assert done["x"] == pytest.approx(5.0)
+    # x: 50 B at 10 B/s (0..5 s), then 50 B at min(100/2, 50) = 50 B/s
+    # shared with y -> completes at t = 6; y moves its 50 B in the same
+    # shared second.
+    assert done["x"] == pytest.approx(6.0)
+    assert done["y"] == pytest.approx(6.0)
+
+
+def test_per_flow_cap_setter_validates(env):
+    chan = SharedBandwidth(env, bandwidth=100.0, per_flow_cap=10.0)
+    with pytest.raises(ValueError):
+        chan.per_flow_cap = 0.0
+    with pytest.raises(ValueError):
+        chan.per_flow_cap = -1.0
+    assert chan.per_flow_cap == 10.0
+    chan.per_flow_cap = None  # lifting the cap entirely is legal
+    assert chan.per_flow_cap is None
