@@ -71,6 +71,30 @@ def test_counters_reported(smoke_report):
     assert smoke_report["latency_p50"] <= smoke_report["latency_p99"]
 
 
+def test_sustained_phase_exactly_once(smoke_report):
+    """The warm hot-path phase keeps the same serving guarantees."""
+    sustained = smoke_report["sustained"]
+    assert sustained["lost_jobs"] == 0
+    assert sustained["outcomes"]["done"] == sustained["submitted"]
+    assert sustained["throughput"] > 0
+
+
+def test_delivery_phase_serves_every_fetch(smoke_report):
+    """Zero-copy result delivery: every fetched key decodes client-side."""
+    delivery = smoke_report["delivery"]
+    assert delivery["delivered"] == delivery["fetches"] > 0
+    assert delivery["fetches_per_second"] > 0
+
+
+def test_group_commit_amortization_visible_in_artifact(smoke_report):
+    """The artifact itself must prove the journal batched its fsyncs."""
+    journal = smoke_report["server_stats"]["journal"]
+    assert journal["records"] > journal["syncs"] >= 1
+    assert journal["avg_events_per_sync"] > 1.0
+    dispatch = smoke_report["server_stats"]["dispatch"]
+    assert dispatch["jobs"] >= dispatch["batches"] >= 1
+
+
 def test_latency_budget(smoke_report):
     if not STRICT:
         pytest.skip("latency threshold asserted under REPRO_BENCH_STRICT=1")

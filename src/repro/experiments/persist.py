@@ -15,7 +15,13 @@ EXPERIMENTS.md or re-running a campaign skips already-computed cells; see
 
 CLI-free API: :func:`save_figure`, :func:`load_figure`,
 :func:`compare_figures`, :func:`save_campaign`, :func:`load_campaign`,
-:class:`ResultCache`.
+:class:`ResultCache`, :func:`encode_result`, :func:`decode_result`.
+
+The CRC-framed wire format (:func:`encode_result` / :func:`decode_result`)
+is shared with the service layer: the exact bytes the cache publishes are
+what the server streams to clients and what the mmap payload segment
+stores, so a result is encoded once at store time and never re-serialized
+on the read path.
 """
 
 from __future__ import annotations
@@ -42,6 +48,8 @@ __all__ = [
     "load_campaign",
     "ResultCache",
     "default_cache_root",
+    "encode_result",
+    "decode_result",
 ]
 
 _FORMAT_VERSION = 1
@@ -234,6 +242,33 @@ _ENTRY_MAGIC = b"RPRC"
 _ENTRY_HEADER = struct.Struct("<4sQI")  # magic, payload length, crc32
 
 
+def encode_result(result) -> bytes:
+    """Pickle + CRC-frame a result into the cache's on-disk/wire bytes.
+
+    The returned blob is self-validating (magic, length, CRC32) and is
+    the unit of zero-copy delivery: stored verbatim on disk and in the
+    payload segment, streamed verbatim to clients.
+    """
+    payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    header = _ENTRY_HEADER.pack(
+        _ENTRY_MAGIC, len(payload), zlib.crc32(payload)
+    )
+    return header + payload
+
+
+def decode_result(blob: bytes):
+    """Validate framing and unpickle; raises :class:`ReproError` on damage."""
+    header = bytes(blob[: _ENTRY_HEADER.size])
+    if len(header) < _ENTRY_HEADER.size:
+        raise ReproError("cache entry truncated before header")
+    magic, length, crc = _ENTRY_HEADER.unpack(header)
+    payload = bytes(blob[_ENTRY_HEADER.size:])
+    if (magic != _ENTRY_MAGIC or len(payload) != length
+            or zlib.crc32(payload) != crc):
+        raise ReproError("cache entry failed integrity check")
+    return pickle.loads(payload)
+
+
 def default_cache_root() -> str:
     """Cache directory: ``REPRO_CACHE_DIR`` or ``~/.cache/repro/results``."""
     override = os.environ.get("REPRO_CACHE_DIR")
@@ -322,8 +357,15 @@ class ResultCache:
         return os.path.exists(self.path(key))
 
     # -- access ------------------------------------------------------------
-    def load(self, key: str):
-        """Cached result for ``key`` or ``None`` (corrupt entries vanish)."""
+    def load_bytes(self, key: str) -> Optional[bytes]:
+        """Validated framed blob for ``key`` or ``None`` (counts hit/miss).
+
+        The returned bytes are exactly what :func:`decode_result` (and
+        any reader of the on-disk format) accepts — no unpickling
+        happens here, so callers that only forward bytes skip the
+        deserialization cost entirely. Corrupt entries self-heal as in
+        :meth:`load`.
+        """
         path = self.path(key)
         try:
             with open(path, "rb") as fh:
@@ -334,13 +376,12 @@ class ResultCache:
             if (magic != _ENTRY_MAGIC or len(payload) != length
                     or zlib.crc32(payload) != crc):
                 raise ReproError("cache entry failed integrity check")
-            result = pickle.loads(payload)
         except FileNotFoundError:
             self.misses += 1
             return None
         except Exception:
-            # Truncated write, torn page, unpicklable layout drift,
-            # legacy unframed entry, ... — self-heal by recomputing.
+            # Truncated write, torn page, legacy unframed entry, ... —
+            # self-heal by recomputing.
             self.misses += 1
             try:
                 os.unlink(path)
@@ -348,7 +389,24 @@ class ResultCache:
                 pass
             return None
         self.hits += 1
-        return result
+        return blob
+
+    def load(self, key: str):
+        """Cached result for ``key`` or ``None`` (corrupt entries vanish)."""
+        blob = self.load_bytes(key)
+        if blob is None:
+            return None
+        try:
+            return pickle.loads(blob[_ENTRY_HEADER.size:])
+        except Exception:
+            # framing was intact but the pickle layout drifted
+            self.hits -= 1
+            self.misses += 1
+            try:
+                os.unlink(self.path(key))
+            except OSError:
+                pass
+            return None
 
     def store(self, key: str, result) -> str:
         """Persist a result atomically; returns the entry path.
@@ -363,18 +421,18 @@ class ResultCache:
             raise ReproError("refusing to cache a traced run")
         if getattr(result, "metrics", None) is not None:
             raise ReproError("refusing to cache a metered run")
+        self.store_bytes(key, encode_result(result))
+        return self.path(key)
+
+    def store_bytes(self, key: str, blob: bytes) -> str:
+        """Atomically publish an already-framed blob under ``key``."""
         path = self.path(key)
         shard = os.path.dirname(path)
         os.makedirs(shard, exist_ok=True)
-        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        header = _ENTRY_HEADER.pack(
-            _ENTRY_MAGIC, len(payload), zlib.crc32(payload)
-        )
         fd, tmp = tempfile.mkstemp(dir=shard, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                fh.write(header)
-                fh.write(payload)
+                fh.write(blob)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)

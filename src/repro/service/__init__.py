@@ -33,11 +33,25 @@ from repro.service.jobs import (
     JobRecord,
     JobSpec,
 )
-from repro.service.journal import Journal, replay_events
-from repro.service.loadgen import build_job_pool, percentile, run_load
+from repro.service.journal import (
+    GroupCommitter,
+    Journal,
+    iter_events,
+    replay_events,
+)
+from repro.service.loadgen import (
+    build_job_pool,
+    percentile,
+    run_delivery,
+    run_load,
+)
 from repro.service.server import ExperimentServer, ServerConfig
 from repro.service.shedding import SheddingPolicy
-from repro.service.store import SharedResultStore
+from repro.service.store import (
+    PayloadSegment,
+    SharedResultStore,
+    StoredResult,
+)
 
 __all__ = [
     "CircuitBreaker",
@@ -45,9 +59,11 @@ __all__ = [
     "ExperimentServer",
     "FAILED",
     "FairQueue",
+    "GroupCommitter",
     "JobRecord",
     "JobSpec",
     "Journal",
+    "PayloadSegment",
     "QUEUED",
     "RETRYABLE",
     "RUNNING",
@@ -55,9 +71,12 @@ __all__ = [
     "ServiceClient",
     "SharedResultStore",
     "SheddingPolicy",
+    "StoredResult",
     "SyncServiceClient",
     "build_job_pool",
+    "iter_events",
     "percentile",
     "replay_events",
+    "run_delivery",
     "run_load",
 ]

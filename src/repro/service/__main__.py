@@ -1,8 +1,10 @@
 """CLI for the experiment service: ``python -m repro.service <cmd>``.
 
 - ``serve`` — run a server on a unix socket (SIGTERM drains cleanly).
-- ``submit`` / ``status`` / ``stats`` / ``drain`` / ``ping`` — thin
-  clients for one-off operations against a running server.
+- ``submit`` / ``status`` / ``result`` / ``stats`` / ``drain`` /
+  ``ping`` — thin clients for one-off operations against a running
+  server (``result`` fetches stored bytes over the zero-copy path and
+  decodes them client-side).
 - ``bench`` — boot a private server, drive the synthetic-client load
   harness against it, and write ``BENCH_service.json``.
 - ``smoke`` — the CI chaos gate: like ``bench``, but additionally
@@ -26,7 +28,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from repro.service.client import ServiceClient, SyncServiceClient
-from repro.service.loadgen import run_load
+from repro.service.loadgen import run_delivery, run_load
 
 __all__ = ["main", "build_parser"]
 
@@ -53,6 +55,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-retries", type=int, default=None)
     serve.add_argument("--inline", action="store_true",
                        help="run jobs on threads (no crash isolation)")
+    serve.add_argument("--commit-window", type=float, default=0.002,
+                       help="group-commit gather window in seconds "
+                            "(0 syncs every batch immediately)")
+    serve.add_argument("--commit-max-batch", type=int, default=512)
+    serve.add_argument("--compact-min-bytes", type=int, default=1 << 20,
+                       help="boot-time journal compaction threshold")
+    serve.add_argument("--lru-entries", type=int, default=512,
+                       help="result-store LRU index capacity")
+    serve.add_argument("--fuse-small-jobs", type=int, default=4,
+                       help="fuse up to N small degradable jobs per "
+                            "worker round trip (1 disables)")
+    serve.add_argument("--fuse-max-cost", type=int, default=16)
+    serve.add_argument("--backlog", type=int, default=512,
+                       help="unix-socket listen backlog")
+    serve.add_argument("--metrics-path", default=None,
+                       help="write the perf-metrics timeline here at "
+                            "shutdown")
 
     submit = sub.add_parser("submit", help="submit one job and wait")
     submit.add_argument("--socket", required=True)
@@ -71,11 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
     for name, help_text in (
         ("status", "query one job"), ("stats", "server counters"),
         ("drain", "drain and stop the server"), ("ping", "liveness probe"),
+        ("result", "fetch a stored result over the zero-copy path"),
     ):
         cmd = sub.add_parser(name, help=help_text)
         cmd.add_argument("--socket", required=True)
         if name == "status":
             cmd.add_argument("--job-id", required=True)
+        elif name == "result":
+            cmd.add_argument("--job-id", help="fetch by job id")
+            cmd.add_argument("--key", help="fetch by store key")
 
     for name, help_text in (
         ("bench", "boot a server, drive load, write BENCH_service.json"),
@@ -92,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--kill-after", type=float, default=10.0,
                          help="max seconds to wait for in-flight activity "
                               "before SIGKILLing the server (smoke only)")
+        cmd.add_argument("--commit-window", type=float, default=0.002)
+        cmd.add_argument("--fuse-small-jobs", type=int, default=4)
+        cmd.add_argument("--sustained-jobs-per-client", type=int, default=25,
+                         help="jobs per client in the warm sustained-"
+                              "throughput phase (0 skips the phase)")
+        cmd.add_argument("--delivery-fetches", type=int, default=50,
+                         help="result fetches per client in the zero-copy "
+                              "delivery phase (0 skips the phase)")
         cmd.add_argument("--output", default="BENCH_service.json")
     return parser
 
@@ -109,6 +140,14 @@ def _serve(args: argparse.Namespace) -> int:
         breaker_cooldown=args.breaker_cooldown,
         task_timeout=args.task_timeout, max_retries=args.max_retries,
         inline=args.inline,
+        commit_window=args.commit_window,
+        commit_max_batch=args.commit_max_batch,
+        compact_min_bytes=args.compact_min_bytes,
+        lru_entries=args.lru_entries,
+        fuse_small_jobs=args.fuse_small_jobs,
+        fuse_max_cost=args.fuse_max_cost,
+        backlog=args.backlog,
+        metrics_path=args.metrics_path,
     )
 
     async def _run() -> None:
@@ -132,6 +171,14 @@ def _client_command(args: argparse.Namespace) -> int:
         }, wait=not args.no_wait)
     elif args.command == "status":
         response = client.status(args.job_id)
+    elif args.command == "result":
+        if not (args.key or args.job_id):
+            print("one of --key / --job-id is required", file=sys.stderr)
+            return 2
+        header, result = client.fetch_result(key=args.key, job_id=args.job_id)
+        response = dict(header)
+        if result is not None:
+            response["makespan"] = getattr(result, "makespan", None)
     elif args.command == "stats":
         response = client.stats()
     elif args.command == "drain":
@@ -143,7 +190,9 @@ def _client_command(args: argparse.Namespace) -> int:
 
 
 def server_command(socket_path: str, journal_path: str, cache_dir: str,
-                   workers: int = 2, shed_hybrid_depth: int = 8) -> List[str]:
+                   workers: int = 2, shed_hybrid_depth: int = 8,
+                   commit_window: float = 0.002,
+                   fuse_small_jobs: int = 4) -> List[str]:
     """The ``serve`` argv the orchestrated scenarios launch."""
     return [
         sys.executable, "-m", "repro.service", "serve",
@@ -153,6 +202,8 @@ def server_command(socket_path: str, journal_path: str, cache_dir: str,
         # keep the policy invariant hybrid_at <= fluid_at intact when a
         # caller pushes the hybrid threshold sky-high to disable shedding
         "--shed-fluid-depth", str(max(48, shed_hybrid_depth)),
+        "--commit-window", str(commit_window),
+        "--fuse-small-jobs", str(fuse_small_jobs),
     ]
 
 
@@ -189,7 +240,9 @@ async def _orchestrate(args: argparse.Namespace, chaos: bool) -> Dict[str, Any]:
 
     cmd = server_command(socket_path, journal_path, cache_dir,
                          workers=args.workers,
-                         shed_hybrid_depth=args.shed_hybrid_depth)
+                         shed_hybrid_depth=args.shed_hybrid_depth,
+                         commit_window=args.commit_window,
+                         fuse_small_jobs=args.fuse_small_jobs)
     server = _spawn_server(cmd, env)
     kills = 0
     try:
@@ -208,13 +261,34 @@ async def _orchestrate(args: argparse.Namespace, chaos: bool) -> Dict[str, Any]:
             while not load.done() and time.monotonic() < deadline:
                 if _journal_has_retry(journal_path):
                     break
-                await asyncio.sleep(0.05)
+                await asyncio.sleep(0.02)
             if not load.done():
                 server.kill()  # SIGKILL: no drain, no journal flush
                 server.wait()
                 kills = 1
                 server = _spawn_server(cmd, env)
         report = await load
+        # warm sustained phase: the pool is now fully cached, so this
+        # measures the pure serving hot path (admission + group commit +
+        # LRU store hits) without job execution in the way
+        sustained = None
+        if args.sustained_jobs_per_client > 0:
+            sustained = await run_load(
+                socket_path, clients=args.clients,
+                jobs_per_client=args.sustained_jobs_per_client,
+                distinct_jobs=args.distinct_jobs, frames=args.frames,
+                seed=args.seed,
+            )
+            sustained.pop("fingerprints", None)  # phase 1's is canonical
+        # zero-copy delivery phase: stream stored results straight from
+        # the server's mmap segment
+        delivery = None
+        if args.delivery_fetches > 0:
+            keys = sorted(report.get("fingerprints", {}))
+            delivery = await run_delivery(
+                socket_path, keys, clients=min(args.clients, 8),
+                fetches_per_client=args.delivery_fetches,
+            )
         stats_client = ServiceClient(socket_path, connect_timeout=30.0)
         try:
             stats = await stats_client.stats()
@@ -228,8 +302,11 @@ async def _orchestrate(args: argparse.Namespace, chaos: bool) -> Dict[str, Any]:
             server.kill()
             server.wait()
     report["server_kills"] = kills
+    report["sustained"] = sustained
+    report["delivery"] = delivery
     report["server_stats"] = {
         k: stats.get(k) for k in ("counters", "queue", "breaker", "store",
+                                  "dispatch", "admission_batches", "journal",
                                   "latency_p50", "latency_p99", "pending")
     }
     return report
@@ -251,6 +328,24 @@ def _check(report: Dict[str, Any], chaos: bool) -> List[str]:
         failures.append(
             f"fingerprint divergence: {report['divergent_fingerprints']}"
         )
+    sustained = report.get("sustained")
+    if sustained is not None:
+        if sustained["lost_jobs"] != 0:
+            failures.append(
+                f"sustained phase lost jobs: {sustained['lost_jobs']}"
+            )
+        if sustained["outcomes"]["done"] != sustained["submitted"]:
+            failures.append(
+                f"sustained phase exactly-once violated: "
+                f"{sustained['outcomes']['done']} done of "
+                f"{sustained['submitted']} submitted"
+            )
+    delivery = report.get("delivery")
+    if delivery is not None and delivery["delivered"] != delivery["fetches"]:
+        failures.append(
+            f"delivery phase dropped fetches: {delivery['delivered']} "
+            f"of {delivery['fetches']}"
+        )
     if chaos:
         counters = report["server_stats"]["counters"]
         if counters.get("retries", 0) < 1:
@@ -267,7 +362,7 @@ def _bench(args: argparse.Namespace, chaos: bool) -> int:
     report = asyncio.run(_orchestrate(args, chaos=chaos))
     failures = _check(report, chaos=chaos)
     payload = {
-        "schema": 1,
+        "schema": 2,
         "mode": "smoke" if chaos else "bench",
         "cpu_count": os.cpu_count(),
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -278,16 +373,23 @@ def _bench(args: argparse.Namespace, chaos: bool) -> int:
         json.dump(payload, fh, indent=1, sort_keys=True)
         fh.write("\n")
     print(f"wrote {args.output}")
+    sustained = report.get("sustained") or {}
+    delivery = report.get("delivery") or {}
     print(json.dumps({
         "submitted": report["submitted"],
         "done": report["outcomes"]["done"],
         "lost": report["lost_jobs"],
+        "throughput": report.get("throughput"),
         "latency_p50": report["latency_p50"],
         "latency_p99": report["latency_p99"],
+        "sustained_throughput": sustained.get("throughput"),
+        "delivery_fetches_per_second": delivery.get("fetches_per_second"),
         "shed": report["server_stats"]["counters"].get("shed"),
         "dedup_inflight":
             report["server_stats"]["counters"].get("dedup_inflight"),
         "retries": report["server_stats"]["counters"].get("retries"),
+        "journal_syncs":
+            report["server_stats"].get("journal", {}).get("syncs"),
         "server_kills": report["server_kills"],
     }, indent=1))
     for failure in failures:
@@ -299,7 +401,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
         return _serve(args)
-    if args.command in ("submit", "status", "stats", "drain", "ping"):
+    if args.command in ("submit", "status", "result", "stats", "drain",
+                        "ping"):
         return _client_command(args)
     if args.command == "bench":
         return _bench(args, chaos=False)

@@ -8,6 +8,12 @@ through rejections and connection loss until the job reaches a terminal
 state — safe because submissions are idempotent on the server (dedup by
 content address) and the journal makes accepted jobs durable.
 
+Backoff follows the same schedule as :class:`~repro.dyad.config.
+DyadConfig` retries — capped exponential with deterministic,
+seed-derived jitter — so a herd of clients reconnecting to a restarted
+server de-synchronizes instead of stampeding, and a fixed seed still
+reproduces the exact same retry timeline run over run.
+
 :class:`SyncServiceClient` wraps it for synchronous callers (the CLI
 subcommands) with one short-lived event loop per call.
 """
@@ -16,10 +22,12 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ServiceError
+from repro.experiments.persist import decode_result
 
 __all__ = ["ServiceClient", "SyncServiceClient"]
 
@@ -31,17 +39,33 @@ class ServiceClient:
     """One connection to the server (open lazily, reconnect on demand)."""
 
     def __init__(self, socket_path: str, connect_timeout: float = 30.0,
-                 connect_backoff: float = 0.05) -> None:
+                 connect_backoff: float = 0.02,
+                 backoff_cap: float = 0.1, backoff_jitter: float = 0.25,
+                 seed: int = 0) -> None:
         self.socket_path = socket_path
         self.connect_timeout = connect_timeout
         self.connect_backoff = connect_backoff
+        self.backoff_cap = backoff_cap
+        self.backoff_jitter = backoff_jitter
+        # deterministic jitter: a fixed seed reproduces the exact retry
+        # timeline, but distinct seeds (one per client) spread the herd
+        self._rng = random.Random(seed)
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self.reconnects = 0
 
+    def _backoff_delay(self, attempt: int) -> float:
+        """DyadConfig-style retry schedule: ``min(base * 2^attempt, cap)``
+        stretched by up to ``backoff_jitter`` from the seeded stream."""
+        delay = min(self.connect_backoff * (2.0 ** attempt),
+                    self.backoff_cap)
+        if self.backoff_jitter > 0:
+            delay *= 1.0 + self.backoff_jitter * self._rng.random()
+        return delay
+
     async def _connect(self) -> None:
         deadline = time.monotonic() + self.connect_timeout
-        backoff = self.connect_backoff
+        attempt = 0
         while True:
             try:
                 self._reader, self._writer = await asyncio.open_unix_connection(
@@ -54,8 +78,8 @@ class ServiceClient:
                         f"server at {self.socket_path} unreachable for "
                         f"{self.connect_timeout:.0f}s"
                     )
-                await asyncio.sleep(backoff)
-                backoff = min(backoff * 2, 1.0)
+                await asyncio.sleep(self._backoff_delay(attempt))
+                attempt += 1
 
     async def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """One request/response round trip (connecting if needed)."""
@@ -91,16 +115,22 @@ class ServiceClient:
         """
         end = time.monotonic() + deadline
         resubmits = 0
+        drops = 0
         while True:
             try:
                 response = await self.submit(job, wait=True)
             except (ConnectionError, ServiceError, asyncio.IncompleteReadError):
                 self._drop()
                 resubmits += 1
+                drops += 1
                 if time.monotonic() >= end:
                     raise ServiceError("submission deadline exhausted "
                                        "(server unreachable)")
-                await asyncio.sleep(self.connect_backoff)
+                if drops > 1:
+                    # first drop reconnects immediately (a restarting
+                    # server is the common case; _connect has its own
+                    # backoff while the socket is gone)
+                    await asyncio.sleep(self._backoff_delay(drops - 2))
                 self.reconnects += 1
                 continue
             if response.get("ok"):
@@ -113,16 +143,47 @@ class ServiceClient:
                         f"submission deadline exhausted (last rejection: "
                         f"{response.get('error')})"
                     )
-                await asyncio.sleep(
-                    min(float(response.get("retry_after", 0.5)),
-                        max(end - time.monotonic(), 0.01), 2.0)
-                )
+                pause = min(float(response.get("retry_after", 0.5)),
+                            max(end - time.monotonic(), 0.01), 2.0)
+                if self.backoff_jitter > 0:
+                    # stagger retries of equally-hinted clients
+                    pause *= 1.0 + self.backoff_jitter * self._rng.random()
+                await asyncio.sleep(pause)
                 continue
             return response  # terminal failure (bad request, job failed)
 
     async def status(self, job_id: str) -> Dict[str, Any]:
         """Current record of ``job_id`` (state, fidelity, result fields)."""
         return await self.request({"op": "status", "job_id": job_id})
+
+    async def fetch_result(
+        self, key: Optional[str] = None, job_id: Optional[str] = None,
+    ) -> Tuple[Dict[str, Any], Optional[Any]]:
+        """Fetch a stored result over the zero-copy delivery path.
+
+        The server answers with a JSON header line followed by the raw
+        CRC-framed result bytes streamed straight from its payload
+        segment; this decodes them client-side. Returns ``(header,
+        result)`` — ``result`` is ``None`` when the header is an error.
+        """
+        if self._writer is None or self._writer.is_closing():
+            await self._connect()
+        assert self._reader is not None and self._writer is not None
+        request: Dict[str, Any] = {"op": "result"}
+        if key is not None:
+            request["key"] = key
+        if job_id is not None:
+            request["job_id"] = job_id
+        self._writer.write(json.dumps(request).encode() + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed the connection")
+        header = json.loads(line)
+        if not header.get("ok"):
+            return header, None
+        blob = await self._reader.readexactly(int(header["length"]))
+        return header, decode_result(blob)
 
     async def stats(self) -> Dict[str, Any]:
         """Server counters, queue/breaker/store state, and latency tails."""
@@ -176,6 +237,11 @@ class SyncServiceClient:
     def status(self, job_id: str) -> Dict[str, Any]:
         """Blocking :meth:`ServiceClient.status`."""
         return self._call(lambda c: c.status(job_id))
+
+    def fetch_result(self, key: Optional[str] = None,
+                     job_id: Optional[str] = None):
+        """Blocking :meth:`ServiceClient.fetch_result`."""
+        return self._call(lambda c: c.fetch_result(key=key, job_id=job_id))
 
     def stats(self) -> Dict[str, Any]:
         """Blocking :meth:`ServiceClient.stats`."""

@@ -25,7 +25,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.service.client import ServiceClient
 
-__all__ = ["build_job_pool", "run_load", "percentile"]
+__all__ = ["build_job_pool", "run_load", "run_delivery", "percentile"]
 
 
 def percentile(values: List[float], p: float) -> Optional[float]:
@@ -113,9 +113,11 @@ async def run_load(
     reconnects = 0
     lock = asyncio.Lock()
 
-    async def one_client(jobs: List[Dict[str, Any]]) -> None:
+    async def one_client(index: int, jobs: List[Dict[str, Any]]) -> None:
         nonlocal shed_seen, resubmits, reconnects
-        client = ServiceClient(socket_path)
+        # per-client seeds keep the jittered backoff schedule both
+        # deterministic (same run, same timeline) and de-synchronized
+        client = ServiceClient(socket_path, seed=seed + index)
         try:
             for job in jobs:
                 started = time.monotonic()
@@ -152,7 +154,9 @@ async def run_load(
             await client.close()
 
     started = time.monotonic()
-    await asyncio.gather(*(one_client(seq) for seq in sequences))
+    await asyncio.gather(
+        *(one_client(i, seq) for i, seq in enumerate(sequences))
+    )
     wall = time.monotonic() - started
 
     submitted = clients * jobs_per_client
@@ -168,6 +172,7 @@ async def run_load(
         "distinct_jobs": len(pool),
         "tenants": tenants,
         "wall_seconds": round(wall, 3),
+        "throughput": round(submitted / wall, 1) if wall > 0 else None,
         "outcomes": outcomes,
         "sources": sources,
         "shed_observed": shed_seen,
@@ -181,4 +186,50 @@ async def run_load(
         # key -> fingerprint(s): the map a kill-resume run is compared
         # against its uninterrupted twin on
         "fingerprints": {k: sorted(v) for k, v in sorted(fingerprints.items())},
+    }
+
+
+async def run_delivery(
+    socket_path: str,
+    keys: List[str],
+    clients: int = 8,
+    fetches_per_client: int = 50,
+) -> Dict[str, Any]:
+    """Hammer the zero-copy ``result`` op; returns delivered fetches/s.
+
+    Every fetch resolves a key through the server's LRU index and
+    streams the framed bytes straight from the mmap segment — this
+    phase measures the delivery path alone, with no job execution or
+    admission in the way.
+    """
+    if not keys:
+        return {"clients": clients, "fetches": 0, "delivered": 0,
+                "wall_seconds": 0.0, "fetches_per_second": None}
+
+    async def one_client(index: int) -> int:
+        client = ServiceClient(socket_path, seed=index)
+        delivered = 0
+        try:
+            for i in range(fetches_per_client):
+                key = keys[(index + i) % len(keys)]
+                header, result = await client.fetch_result(key=key)
+                if header.get("ok") and result is not None:
+                    delivered += 1
+        finally:
+            await client.close()
+        return delivered
+
+    started = time.monotonic()
+    counts = await asyncio.gather(
+        *(one_client(i) for i in range(clients))
+    )
+    wall = time.monotonic() - started
+    delivered = sum(counts)
+    return {
+        "clients": clients,
+        "fetches": clients * fetches_per_client,
+        "delivered": delivered,
+        "wall_seconds": round(wall, 3),
+        "fetches_per_second": (round(delivered / wall, 1)
+                               if wall > 0 else None),
     }

@@ -39,6 +39,31 @@ def _write_fluid(tmp_path, speedup, flows_per_sec,
     return bench, baseline
 
 
+def _write_service(tmp_path, records=10000, syncs=40, lru_hits=5000,
+                   lru_misses=400, sustained=5200.0, p99=2.0,
+                   amortization_floor=20.0, lru_floor=0.5,
+                   recorded_sustained=5000.0, recorded_p99=1.95):
+    bench = tmp_path / "BENCH_service.json"
+    baseline = tmp_path / "baseline_service.json"
+    bench.write_text(json.dumps({
+        "latency_p99": p99,
+        "sustained": {"throughput": sustained},
+        "server_stats": {
+            "journal": {"records": records, "syncs": syncs},
+            "store": {"lru_hits": lru_hits, "lru_misses": lru_misses},
+        },
+    }))
+    baseline.write_text(json.dumps({
+        "pr7_reference": {"smoke_p99_seconds": 3.955,
+                          "sustained_jobs_per_sec": 955.0},
+        "sustained_jobs_per_sec": recorded_sustained,
+        "smoke_p99_seconds": recorded_p99,
+        "journal_amortization_floor": amortization_floor,
+        "lru_hit_ratio_floor": lru_floor,
+    }))
+    return bench, baseline
+
+
 def test_within_noise_band_passes(tmp_path, capsys):
     bench, baseline = _write(tmp_path, measured=810.0, recorded=1000.0)
     assert perf_guard.check_kernel(bench, baseline) == 0
@@ -115,6 +140,56 @@ def test_fluid_gate_fails_below_throughput_floor(tmp_path, capsys):
                                    flows_per_sec=90000.0)
     assert perf_guard.check_fluid(bench, baseline) == 1
     assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_service_gate_passes_within_floors(tmp_path, capsys):
+    bench, baseline = _write_service(tmp_path)
+    assert perf_guard.check_service(bench, baseline) == 0
+    assert capsys.readouterr().out.count("OK") == 4
+
+
+def test_service_gate_fails_on_per_event_fsync(tmp_path, capsys):
+    """syncs == records means group commit collapsed — no tolerance."""
+    bench, baseline = _write_service(tmp_path, records=10000, syncs=10000)
+    assert perf_guard.check_service(bench, baseline) == 1
+    assert "group-commit window collapsed" in capsys.readouterr().out
+
+
+def test_service_gate_fails_below_lru_floor(tmp_path, capsys):
+    bench, baseline = _write_service(tmp_path, lru_hits=100,
+                                     lru_misses=900)
+    assert perf_guard.check_service(bench, baseline) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_service_gate_fails_below_sustained_floor(tmp_path):
+    # 50% tolerance: 2000 < 0.5 * 5000
+    bench, baseline = _write_service(tmp_path, sustained=2000.0)
+    assert perf_guard.check_service(bench, baseline) == 1
+
+
+def test_service_gate_fails_above_p99_ceiling(tmp_path):
+    # 75% tolerance: 4.0 > 1.75 * 1.95
+    bench, baseline = _write_service(tmp_path, p99=4.0)
+    assert perf_guard.check_service(bench, baseline) == 1
+
+
+def test_service_only_mode_and_missing_bench(tmp_path, capsys):
+    bench, baseline = _write_service(tmp_path)
+    assert perf_guard.main(["--service", str(bench), str(baseline)]) == 0
+    capsys.readouterr()
+    missing = tmp_path / "nope.json"
+    assert perf_guard.main(["--service", str(missing), str(baseline)]) == 2
+    assert "not found" in capsys.readouterr().out
+
+
+def test_service_schema_drift_names_the_key(tmp_path, capsys):
+    bench = tmp_path / "BENCH_service.json"
+    bench.write_text(json.dumps({"latency_p99": 2.0}))
+    baseline = tmp_path / "baseline_service.json"
+    baseline.write_text(json.dumps({"journal_amortization_floor": 20.0}))
+    assert perf_guard.main(["--service", str(bench), str(baseline)]) == 2
+    assert "server_stats.journal.records" in capsys.readouterr().out
 
 
 def test_repo_bench_passes_repo_baseline():

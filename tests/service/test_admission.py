@@ -113,3 +113,99 @@ def test_stats_shape():
     stats = queue.stats()
     assert stats["depth"] == 1
     assert stats["tenants"]["alice"]["admitted"] == 1
+
+# -- batched admission (one tick's submissions in one queue op) -----------
+
+def test_batch_admission_matches_sequential_semantics():
+    # the same submissions, batched vs sequential, must admit/reject
+    # identically and dispatch in the same fair order
+    def build():
+        return FairQueue(default_budget=3, max_depth=100)
+
+    records = ([_record("alice", f"a-{i}") for i in range(5)]
+               + [_record("bob", f"b-{i}") for i in range(2)])
+    batched = build()
+    outcomes = batched.submit_batch([_record(r.spec.tenant, r.job_id)
+                                     for r in records])
+    sequential = build()
+    expected = []
+    for r in records:
+        try:
+            sequential.submit(_record(r.spec.tenant, r.job_id))
+            expected.append(None)
+        except AdmissionError as exc:
+            expected.append(exc.reason)
+    assert [o.reason if o else None for o in outcomes] == expected
+    batched_order = [r.job_id for r in batched.next_batch(100)]
+    sequential_order = [r.job_id for r in sequential.next_batch(100)]
+    assert batched_order == sequential_order
+
+
+def test_batch_admission_preserves_weighted_fair_share():
+    # tenant weights must bias dispatch exactly as under per-job
+    # submission, even when the whole burst lands as one batch op
+    queue = FairQueue(default_budget=100,
+                      weights={"heavy": 2.0, "light": 1.0})
+    batch = []
+    for i in range(8):
+        batch.append(_record("heavy", f"h-{i}"))
+        batch.append(_record("light", f"l-{i}"))
+    assert all(o is None for o in queue.submit_batch(batch))
+    first_six = [queue.next_job().job_id for _ in range(6)]
+    heavy_share = sum(1 for j in first_six if j.startswith("h-"))
+    assert heavy_share == 4  # 2:1 split of the first 6 slots
+
+
+def test_batch_budget_exhaustion_mid_batch_is_positional():
+    # a tenant running out of budget mid-batch keeps its earlier
+    # admissions; only the overflow is rejected, and other tenants in
+    # the same batch are untouched
+    queue = FairQueue(default_budget=2, max_depth=100)
+    outcomes = queue.submit_batch([
+        _record("alice", "a-0"),
+        _record("alice", "a-1"),
+        _record("alice", "a-2"),   # alice's budget is now spent
+        _record("bob", "b-0"),
+        _record("alice", "a-3"),
+    ])
+    reasons = [o.reason if o else None for o in outcomes]
+    assert reasons == [None, None, "budget_exceeded", None,
+                       "budget_exceeded"]
+    assert queue.rejected["budget_exceeded"] == 2
+    assert queue.admitted("alice") == 2
+    assert queue.admitted("bob") == 1
+
+
+def test_batch_depth_limit_counts_in_batch_admissions():
+    # the depth check must see earlier in-batch admissions, not the
+    # stale pre-batch heap size
+    queue = FairQueue(default_budget=100, max_depth=3)
+    outcomes = queue.submit_batch(
+        [_record("alice", f"a-{i}") for i in range(5)]
+    )
+    reasons = [o.reason if o else None for o in outcomes]
+    assert reasons == [None, None, None, "queue_full", "queue_full"]
+    assert queue.depth == 3
+
+
+def test_batch_retry_hints_are_monotone_per_reason():
+    # clients that submitted in order must re-arrive in order: a later
+    # rejection never advertises a shorter wait than an earlier one,
+    # even when the raw estimator is noisy or non-monotone
+    hints = iter([5.0, 1.0, 3.0])
+    queue = FairQueue(default_budget=0, max_depth=100,
+                      retry_after=lambda depth: next(hints))
+    outcomes = queue.submit_batch(
+        [_record("alice", f"a-{i}") for i in range(3)]
+    )
+    waits = [o.retry_after for o in outcomes]
+    assert waits == [5.0, 5.0, 5.0]
+    assert all(o.reason == "budget_exceeded" for o in outcomes)
+
+
+def test_batch_peek_matches_next_job():
+    queue = FairQueue(default_budget=100)
+    queue.submit_batch([_record("alice", "a-0"), _record("bob", "b-0")])
+    head = queue.peek()
+    assert queue.next_job() is head
+    assert queue.peek().job_id != head.job_id

@@ -1,0 +1,77 @@
+"""Client-side backoff: the DyadConfig retry schedule, seed-jittered.
+
+The service client reuses the transfer-layer's retry discipline
+(capped exponential backoff scaled by a jitter factor drawn uniformly
+from ``[1, 1 + jitter]``) with a *seeded* RNG: a fixed seed reproduces
+the exact reconnect timeline run over run, while per-client seeds
+de-synchronize a reconnecting herd.
+"""
+
+import random
+
+from repro.service.client import ServiceClient
+
+
+def _client(**kwargs):
+    kwargs.setdefault("seed", 0)
+    return ServiceClient("/tmp/unused.sock", **kwargs)
+
+
+def test_backoff_is_capped_exponential_without_jitter():
+    client = _client(connect_backoff=0.02, backoff_cap=0.1,
+                     backoff_jitter=0.0)
+    delays = [client._backoff_delay(a) for a in range(6)]
+    # min(0.02 * 2^a, 0.1): doubles until the cap, then flat
+    assert delays == [0.02, 0.04, 0.08, 0.1, 0.1, 0.1]
+
+
+def test_backoff_jitter_is_deterministic_per_seed():
+    a = [_client(seed=7)._backoff_delay(n) for n in range(5)]
+    b = [_client(seed=7)._backoff_delay(n) for n in range(5)]
+    assert a == b  # same seed, same timeline
+    c = [_client(seed=8)._backoff_delay(n) for n in range(5)]
+    assert a != c  # distinct seeds spread the herd
+
+
+def test_backoff_jitter_stays_within_the_advertised_band():
+    client = _client(connect_backoff=0.02, backoff_cap=0.1,
+                     backoff_jitter=0.25, seed=3)
+    for attempt in range(20):
+        base = min(0.02 * 2 ** attempt, 0.1)
+        delay = client._backoff_delay(attempt)
+        assert base <= delay <= base * 1.25
+
+
+def test_backoff_mirrors_dyad_config_schedule():
+    # same discipline as DyadConfig's transfer retries: delay(a) =
+    # min(base * 2^a, cap) * u, u ~ U[1, 1 + jitter] from a seeded
+    # stream — byte-for-byte reproducible given the seed
+    base, cap, jitter, seed = 0.0005, 0.05, 0.25, 42
+    client = _client(connect_backoff=base, backoff_cap=cap,
+                     backoff_jitter=jitter, seed=seed)
+    rng = random.Random(seed)
+    expected = [min(base * 2 ** a, cap) * (1 + jitter * rng.random())
+                for a in range(8)]
+    assert [client._backoff_delay(a) for a in range(8)] == expected
+
+
+# ---------------------------------------------------------------- result CLI
+
+
+def test_result_cli_requires_a_selector(capsys):
+    """``result`` without --key/--job-id exits 2 before ever connecting."""
+    from repro.service.__main__ import main
+
+    assert main(["result", "--socket", "/tmp/does-not-exist.sock"]) == 2
+    assert "one of --key / --job-id" in capsys.readouterr().err
+
+
+def test_result_cli_parses_key_and_job_selectors():
+    from repro.service.__main__ import build_parser
+
+    args = build_parser().parse_args(
+        ["result", "--socket", "/tmp/s.sock", "--job-id", "job-3"])
+    assert (args.command, args.job_id, args.key) == ("result", "job-3", None)
+    args = build_parser().parse_args(
+        ["result", "--socket", "/tmp/s.sock", "--key", "abc"])
+    assert (args.job_id, args.key) == (None, "abc")

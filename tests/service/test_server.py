@@ -365,3 +365,138 @@ def test_worker_crash_is_detected_and_retried(tmp_path, monkeypatch):
         assert os.path.exists(fault_dir / "crash-555")
 
     run(_config(tmp_path, inline=False, workers=1, max_retries=2), body)
+
+
+# ---------------------------------------------------------------------------
+# hot-path overhaul: zero-copy delivery, fusion, batched admission
+# ---------------------------------------------------------------------------
+
+
+def test_result_op_streams_stored_bytes(tmp_path):
+    async def body(server, client):
+        submit = await client.submit(_job(seed=11))
+        assert submit["state"] == "done"
+        header, result = await client.fetch_result(key=submit["key"])
+        assert header["ok"] and header["key"] == submit["key"]
+        assert header["length"] > 0
+        # the streamed frame decodes to the same result the store holds
+        from repro.experiments.parallel import result_fingerprint
+        assert result_fingerprint(result) == submit["fingerprint"]
+        # by job_id too
+        header2, result2 = await client.fetch_result(
+            job_id=submit["job_id"]
+        )
+        assert header2["key"] == submit["key"]
+        # the connection survives the mixed JSON+binary framing
+        assert await client.ping()
+
+    run(_config(tmp_path), body)
+
+
+def test_result_op_unknown_key_and_job(tmp_path):
+    async def body(server, client):
+        header, result = await client.fetch_result(key="0" * 64)
+        assert header == {"ok": False, "error": "unknown_result"}
+        assert result is None
+        header, _ = await client.fetch_result(job_id="nope")
+        assert header["error"] == "unknown_job"
+        assert await client.ping()
+
+    run(_config(tmp_path), body)
+
+
+def test_status_carries_result_handle_when_done(tmp_path):
+    async def body(server, client):
+        submit = await client.submit(_job(seed=12))
+        status = await client.status(submit["job_id"])
+        handle = status["result_handle"]
+        assert handle["length"] > 0 and handle["offset"] >= 0
+        # the handle addresses exactly the bytes the result op streams
+        header, _ = await client.fetch_result(key=submit["key"])
+        assert header["length"] == handle["length"]
+
+    run(_config(tmp_path), body)
+
+
+def test_small_jobs_fuse_into_multi_job_dispatches(tmp_path):
+    # stall the runners until every submission is queued, then release:
+    # the claim loop must fuse the backlog into multi-job worker tasks
+    async def body(server, client):
+        gate = asyncio.Event()
+        original = server_mod.ExperimentServer._claim_batch
+
+        def gated(self):
+            if not gate.is_set():
+                return []  # runners find nothing until the backlog built
+            return original(self)
+
+        server_mod.ExperimentServer._claim_batch = gated
+        try:
+            clients = [ServiceClient(server.config.socket_path)
+                       for _ in range(6)]
+            try:
+                submits = [
+                    asyncio.ensure_future(
+                        c.submit(_job(seed=20 + i, tenant=f"t{i}"))
+                    )
+                    for i, c in enumerate(clients)
+                ]
+                await asyncio.sleep(0.2)
+                gate.set()
+                server._work.set()  # wake the parked runners
+                responses = await asyncio.gather(*submits)
+            finally:
+                for c in clients:
+                    await c.close()
+        finally:
+            server_mod.ExperimentServer._claim_batch = original
+        assert all(r["state"] == "done" for r in responses)
+        assert server.dispatch["fused_batches"] >= 1
+        assert server.dispatch["max_batch"] > 1
+        # fusion respects the configured ceiling
+        assert server.dispatch["max_batch"] <= server.config.fuse_small_jobs
+
+    run(_config(tmp_path, fuse_small_jobs=4), body)
+
+
+def test_batched_admission_coalesces_same_tick_duplicates(tmp_path):
+    # identical submissions staged in one event-loop tick must collapse
+    # onto one primary before touching the fair queue
+    async def body(server, client):
+        clients = [ServiceClient(server.config.socket_path)
+                   for _ in range(5)]
+        try:
+            responses = await asyncio.gather(
+                *(c.submit(_job(seed=30)) for c in clients)
+            )
+        finally:
+            for c in clients:
+                await c.close()
+        assert all(r["state"] == "done" for r in responses)
+        assert len({r["fingerprint"] for r in responses}) == 1
+        computed = sum(1 for r in responses if r["source"] == "computed")
+        assert computed == 1
+        assert server.admission["batches"] >= 1
+        assert server.admission["jobs"] >= 1
+
+    run(_config(tmp_path), body)
+
+
+def test_group_commit_amortizes_journal_syncs_over_the_wire(tmp_path):
+    async def body(server, client):
+        clients = [ServiceClient(server.config.socket_path)
+                   for _ in range(8)]
+        try:
+            await asyncio.gather(
+                *(c.submit(_job(seed=40 + i)) for i, c in enumerate(clients))
+            )
+        finally:
+            for c in clients:
+                await c.close()
+        stats = await client.stats()
+        journal = stats["journal"]
+        assert journal["records"] > journal["syncs"]
+        assert journal["avg_events_per_sync"] > 1.0
+        return journal
+
+    run(_config(tmp_path, commit_window=0.005), body)

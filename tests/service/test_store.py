@@ -1,5 +1,7 @@
 """Shared multi-tenant result store accounting."""
 
+from types import SimpleNamespace
+
 from repro.service.jobs import JobSpec
 from repro.service.store import SharedResultStore
 
@@ -44,3 +46,90 @@ def test_per_tenant_counters_and_cross_tenant_dedup(tmp_path):
     assert stats["entries"] == 1
     assert stats["stores"] == {"alice": 1}
     assert stats["cross_tenant_dedup"] == 1
+
+
+# -- zero-copy delivery structures ----------------------------------------
+
+def test_fetch_resolves_metadata_and_zero_copy_payload(tmp_path):
+    from repro.experiments.persist import decode_result
+
+    store = SharedResultStore(str(tmp_path))
+    key = store.key_for(_spec())
+    store.store(key, SimpleNamespace(makespan=2.5), "alice", fingerprint="fp-1")
+    stored = store.fetch(key, "bob")
+    assert stored.key == key
+    assert stored.fingerprint == "fp-1"
+    assert stored.makespan == 2.5
+    view = stored.payload()
+    assert isinstance(view, memoryview)
+    # the framed bytes stream verbatim: decoding them client-side gives
+    # back the published result
+    assert decode_result(view) == SimpleNamespace(makespan=2.5)
+    assert stored.result() == SimpleNamespace(makespan=2.5)
+
+
+def test_handle_is_an_index_only_lookup(tmp_path):
+    store = SharedResultStore(str(tmp_path))
+    key = store.key_for(_spec())
+    assert store.handle(key) is None
+    store.store(key, SimpleNamespace(makespan=1.0), "alice")
+    handle = store.handle(key)
+    assert handle["segment"] == store.segment.path
+    view = store.segment.view(handle["offset"], handle["length"])
+    assert len(view) == handle["length"]
+
+
+def test_lru_eviction_falls_back_to_cache_directory(tmp_path):
+    store = SharedResultStore(str(tmp_path), lru_entries=2)
+    keys = []
+    for seed in range(3):
+        key = store.key_for(_spec(seed=seed))
+        store.store(key, SimpleNamespace(makespan=float(seed)), "alice")
+        keys.append(key)
+    # capacity 2: the first key was evicted from the in-memory index
+    assert store.handle(keys[0]) is None
+    assert store.handle(keys[2]) is not None
+    before = store.lru_misses
+    # ...but the cache directory still serves it (and re-warms the LRU)
+    assert store.fetch(keys[0], "alice").makespan == 0.0
+    assert store.lru_misses == before + 1
+    assert store.handle(keys[0]) is not None
+
+
+def test_lru_hit_counters_feed_the_perf_gate(tmp_path):
+    store = SharedResultStore(str(tmp_path))
+    key = store.key_for(_spec())
+    store.store(key, SimpleNamespace(makespan=1.0), "alice")
+    for _ in range(5):
+        assert store.fetch(key, "alice") is not None
+    stats = store.stats()
+    assert stats["lru_hits"] >= 5
+    assert stats["lru_misses"] == 0
+    assert stats["segment"]["records"] == 1
+
+
+def test_segment_rebuilds_index_across_restart(tmp_path):
+    store = SharedResultStore(str(tmp_path))
+    key = store.key_for(_spec())
+    store.store(key, SimpleNamespace(makespan=3.0), "alice")
+    store.close()
+    # a fresh store over the same root re-scans the segment: the handle
+    # is servable again without touching the cache directory
+    reopened = SharedResultStore(str(tmp_path))
+    assert reopened.handle(key) is not None
+    assert reopened.fetch(key, "bob").makespan == 3.0
+    reopened.close()
+
+
+def test_torn_segment_tail_is_truncated_not_fatal(tmp_path):
+    store = SharedResultStore(str(tmp_path))
+    key = store.key_for(_spec())
+    store.store(key, SimpleNamespace(makespan=1.0), "alice")
+    store.close()
+    seg_path = store.segment.path
+    with open(seg_path, "ab") as fh:
+        fh.write(b"RPSG" + b"\x00" * 10)  # crash mid-append
+    reopened = SharedResultStore(str(tmp_path))
+    assert reopened.fetch(key, "alice").makespan == 1.0
+    assert reopened.segment.stats()["records"] == 0  # nothing re-appended
+    reopened.close()
