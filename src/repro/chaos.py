@@ -48,7 +48,7 @@ from repro.errors import (
 )
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.invariants import InvariantConfig
-from repro.workflow.spec import Placement, System, WorkflowSpec
+from repro.workflow.spec import Placement, SyncMode, System, WorkflowSpec
 
 __all__ = [
     "ChaosOutcome",
@@ -74,8 +74,37 @@ KINDS_BY_SYSTEM: Dict[System, Tuple[str, ...]] = {
 }
 
 
-def chaos_workloads(frames: int = 8) -> List[WorkflowSpec]:
-    """The small workload grid a soak cycles through."""
+def chaos_workloads(frames: int = 8,
+                    streaming: bool = False) -> List[WorkflowSpec]:
+    """The small workload grid a soak cycles through.
+
+    ``streaming=True`` swaps in the streaming grid: every streaming sync
+    mode (windowed / pubsub / nbuffer) across all three systems, with
+    mixed window sizes — the surface where credits can leak, windows can
+    deadlock, and watch wake-ups can be lost. The default grid is
+    unchanged so existing soak seeds replay identically.
+    """
+    if streaming:
+        return [
+            WorkflowSpec(system=System.DYAD, frames=frames, pairs=1,
+                         placement=Placement.SPLIT,
+                         sync_mode=SyncMode.WINDOWED),
+            WorkflowSpec(system=System.DYAD, frames=frames, pairs=2,
+                         placement=Placement.SPLIT,
+                         sync_mode=SyncMode.PUBSUB),
+            WorkflowSpec(system=System.XFS, frames=frames, pairs=1,
+                         placement=Placement.SINGLE_NODE,
+                         sync_mode=SyncMode.WINDOWED, window=4),
+            WorkflowSpec(system=System.XFS, frames=frames, pairs=1,
+                         placement=Placement.SINGLE_NODE,
+                         sync_mode=SyncMode.NBUFFER),
+            WorkflowSpec(system=System.LUSTRE, frames=frames, pairs=1,
+                         placement=Placement.SPLIT,
+                         sync_mode=SyncMode.PUBSUB),
+            WorkflowSpec(system=System.LUSTRE, frames=frames, pairs=2,
+                         placement=Placement.SPLIT,
+                         sync_mode=SyncMode.WINDOWED, window=1),
+        ]
     return [
         WorkflowSpec(system=System.DYAD, frames=frames, pairs=1,
                      placement=Placement.SPLIT),
@@ -414,6 +443,7 @@ def soak(
     frames: int = 8,
     max_events: int = 4,
     artifact_dir: Optional[str] = None,
+    streaming: bool = False,
 ) -> ChaosReport:
     """Run ``plans`` seeded random fault plans across the workload grid.
 
@@ -422,9 +452,11 @@ def soak(
     same spec/seed and — when ``artifact_dir`` is given — serialized
     there as ``chaos-shrunk-plan.json`` for replay. The soak continues
     through the remaining plans either way so the report shows the full
-    blast radius.
+    blast radius. ``streaming=True`` soaks the streaming workload grid
+    instead (flow-control faults: leaked credits, lost wake-ups,
+    backpressure deadlocks).
     """
-    workloads = chaos_workloads(frames)
+    workloads = chaos_workloads(frames, streaming=streaming)
     report = ChaosReport(base_seed=base_seed)
     for i in range(plans):
         seed = base_seed + i

@@ -171,10 +171,25 @@ class DyadConsumerClient:
             delay *= 1.0 + cfg.retry_jitter * float(draw)
         return delay
 
-    def _fetch(self, path: str, regions: _Regions) -> Generator:
-        """dyad_fetch: ownership lookup with multi-protocol fallback."""
+    def _fetch(self, path: str, regions: _Regions,
+               subscribe: bool = False) -> Generator:
+        """dyad_fetch: ownership lookup with multi-protocol fallback.
+
+        With ``subscribe=True`` (the ``pubsub`` streaming mode) the
+        adaptive lookup-first protocol is bypassed: the consumer arms the
+        KVS watch for *every* frame, paying the registration RPC and
+        pushed notification each time — per-frame pub/sub rather than
+        first-touch-then-fast-path.
+        """
         mdm = self.runtime.mdm
         regions.begin("dyad_fetch")
+        if subscribe:
+            self.kvs_waits += 1
+            regions.begin("dyad_wait_data", Category.IDLE)
+            record = yield from mdm.wait(self.node_id, path)
+            regions.end("dyad_wait_data")
+            regions.end("dyad_fetch")
+            return record
         try:
             record = yield from mdm.fetch(self.node_id, path)
             self.fast_hits += 1
@@ -313,11 +328,14 @@ class DyadConsumerClient:
         self,
         path: str,
         annotator: Optional[Annotator] = None,
+        subscribe: bool = False,
     ) -> Generator:
         """Generator: obtain a managed frame; returns ``(record, payload)``.
 
         Blocks (idle) until the frame is produced when necessary. The
         payload is ``None`` unless the runtime stores real data.
+        ``subscribe=True`` arms a per-frame KVS watch instead of the
+        adaptive lookup-first protocol (the ``pubsub`` streaming mode).
         """
         cfg = self.runtime.config
         path = normalize(path)
@@ -329,7 +347,7 @@ class DyadConsumerClient:
         self.last_consume_corrupt = False
         regions.begin("dyad_consume", Category.MOVEMENT)
         yield self.env.timeout(cfg.client_overhead)
-        record = yield from self._fetch(path, regions)
+        record = yield from self._fetch(path, regions, subscribe=subscribe)
         remote = record.owner != self.node_id
         pulled = None
         if remote and cfg.cache_on_consume:

@@ -41,6 +41,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "flow-level fluid fabric), or fluid (hybrid "
                              "plus latency folding and chunk collapse); "
                              "default: REPRO_FIDELITY or exact")
+    parser.add_argument("--streaming", action="store_true",
+                        help="with the 'chaos' experiment: soak/replay the "
+                             "streaming workload grid (windowed/pubsub/"
+                             "nbuffer pipelines) instead of the default "
+                             "barrier/polling grid")
     parser.add_argument("--fault-plan", default=None, metavar="FILE",
                         help="JSON fault plan (e.g. a shrunk chaos repro) "
                              "injected into every repetition; with the "
@@ -100,6 +105,9 @@ def _dispatch(args) -> int:
         module = get_experiment(args.experiment)
         if args.experiment == "tables":
             result = module.run()
+        elif args.experiment == "chaos":
+            result = module.run(runs=args.runs, frames=args.frames,
+                                quick=args.quick, streaming=args.streaming)
         else:
             result = module.run(runs=args.runs, frames=args.frames,
                                 quick=args.quick)

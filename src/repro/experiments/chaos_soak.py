@@ -31,7 +31,7 @@ DEFAULT_PLANS = 60
 QUICK_PLANS = 20
 
 
-def replay(plan, frames: int = 8) -> ChaosReport:
+def replay(plan, frames: int = 8, streaming: bool = False) -> ChaosReport:
     """Replay one plan (e.g. a shrunk repro) across the workload grid.
 
     Each workload runs the plan checked-and-fatal under its grid seed;
@@ -40,18 +40,23 @@ def replay(plan, frames: int = 8) -> ChaosReport:
     seed=<printed>)``) — the grid sweep here is the smoke version.
     """
     report = ChaosReport(base_seed=0)
-    for i, spec in enumerate(chaos_workloads(frames)):
+    for i, spec in enumerate(chaos_workloads(frames, streaming=streaming)):
         report.outcomes.append(execute_plan(spec, plan, seed=i))
     return report
 
 
 def run(runs: Optional[int] = None, frames: Optional[int] = None,
-        quick: bool = False) -> ChaosReport:
+        quick: bool = False, streaming: bool = False) -> ChaosReport:
     """Run the soak; ``runs`` overrides the plan count.
 
     A campaign-scoped fault plan (the CLI's ``--fault-plan FILE``)
     switches to :func:`replay` mode — the deserialized plan runs across
     the workload grid instead of a random soak.
+
+    ``streaming=True`` (the CLI's ``--streaming``) soaks/replays the
+    streaming workload grid — windowed/pubsub/nbuffer pipelines whose
+    failure modes are flow-control: leaked credits, lost watch wake-ups,
+    backpressure deadlocks (see ``docs/streaming.md``).
 
     ``REPRO_CHAOS_ARTIFACTS`` names the directory the shrunk repro (if
     any) is serialized into (CI points it at the upload path).
@@ -61,18 +66,18 @@ def run(runs: Optional[int] = None, frames: Optional[int] = None,
     frames = frames if frames is not None else 8
     scoped = default_fault_plan()
     if scoped is not None:
-        return replay(scoped, frames=frames)
+        return replay(scoped, frames=frames, streaming=streaming)
     plans = runs if runs is not None else (
         QUICK_PLANS if quick else DEFAULT_PLANS
     )
     artifact_dir = os.environ.get("REPRO_CHAOS_ARTIFACTS") or None
     return soak(plans=plans, base_seed=0, frames=frames,
-                artifact_dir=artifact_dir)
+                artifact_dir=artifact_dir, streaming=streaming)
 
 
-def main(quick: bool = False) -> ChaosReport:
+def main(quick: bool = False, streaming: bool = False) -> ChaosReport:
     """Run, print, and *gate* the soak (raises on violations/crashes)."""
-    report = run(quick=quick)
+    report = run(quick=quick, streaming=streaming)
     print(report.render())
     if report.failures:
         raise CampaignError(

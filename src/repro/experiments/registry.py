@@ -10,6 +10,7 @@ from repro.experiments import (
     chaos_soak,
     extension_fanout,
     resilience,
+    streaming,
     validate,
     fig5_single_node,
     fig6_two_node,
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, object] = {
     "ablations": ablations,
     "fanout": extension_fanout,
     "resilience": resilience,
+    "streaming": streaming,
     "chaos": chaos_soak,
     "validate": validate,
 }

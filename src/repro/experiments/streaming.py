@@ -1,0 +1,249 @@
+"""Streaming — the paper grids re-run under the streaming transports.
+
+Not a paper figure: an extension sweep. The paper's sync modes move
+whole timestep batches (barrier) or poll for them (polling); this
+experiment re-runs the fig5/fig7/fig8 and stride grids under the three
+per-frame streaming modes of :mod:`repro.workflow.streaming`:
+
+- **windowed** — ADIOS2-SST-style bounded in-flight window with
+  credit-based backpressure (W = 4 here, so the producer pipelines),
+- **pubsub** — per-frame publish/subscribe over the KVS watch
+  machinery (consumers park on watches instead of polling),
+- **nbuffer** — classic double buffering, the W = 2 windowed special
+  case.
+
+Every cell runs with the invariant checker armed and **fatal** (the
+default), so the flow-control family — credit conservation, bounded
+window, backpressure liveness — gates each grid: a leaked credit or a
+window overrun raises instead of producing a number. Each grid is swept
+under both the ``exact`` and ``hybrid`` fidelity tiers, extending the
+paper's idle-time decomposition to DYAD-vs-streaming at both tiers.
+
+The run *gates*: any recorded invariant violation or a credit-ledger
+imbalance lands in ``StreamingReport.failures`` and fails the CLI
+invocation, mirroring the chaos soak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.experiments.common import (
+    FigureResult,
+    default_frames,
+    default_runs,
+    measure,
+)
+from repro.md.models import JAC, MODELS
+from repro.workflow.spec import Placement, SyncMode, System, WorkflowSpec
+
+__all__ = ["MODES", "FIDELITIES", "StreamingReport", "run", "main"]
+
+#: The three streaming transports, swept for every grid cell.
+MODES: Tuple[SyncMode, ...] = (
+    SyncMode.WINDOWED, SyncMode.PUBSUB, SyncMode.NBUFFER,
+)
+
+#: Simulation tiers each grid runs under.
+FIDELITIES: Tuple[str, ...] = ("exact", "hybrid")
+
+#: In-flight window for WINDOWED cells (> 2 so it is distinguishable
+#: from NBUFFER); PUBSUB/NBUFFER use the spec default (W = 2).
+WINDOW = 4
+
+
+def _label(system: System, mode: SyncMode) -> str:
+    """Column label: system and transport, e.g. ``dyad/windowed``."""
+    return f"{system.value}/{mode.value}"
+
+
+def _window(mode: SyncMode) -> int:
+    return WINDOW if mode is SyncMode.WINDOWED else 2
+
+
+def _grids(quick: bool):
+    """The grid definitions: (figure_id, title, x_name, cell list).
+
+    Each cell is ``(x, system, spec_kwargs)``; the sweep crosses every
+    cell with every streaming mode. Sizes are scaled down from the
+    paper figures — three modes x two fidelity tiers multiply every
+    cell six-fold, and the point is the transport comparison, not the
+    paper's full scaling curve (fig5/fig7/fig8 cover that).
+    """
+    fig5_pairs = (1, 2) if quick else (1, 2, 4)
+    # one split grid subsumes fig6's small two-node ensembles and
+    # fig7's multi-node scaling foot
+    fig7_pairs = (2, 8) if quick else (2, 8, 32)
+    fig8_models = (MODELS[0], MODELS[-1]) if quick else MODELS
+    fig8_pairs = 4 if quick else 16
+    strides = (1, 10) if quick else (1, 5, 10, 50)
+    stride_pairs = 4 if quick else 16
+
+    def cells(xs, systems, kwargs_of):
+        return [(x, system, kwargs_of(x)) for x in xs for system in systems]
+
+    return [
+        ("Streaming-5", "single node, JAC (XFS vs DYAD)", "pairs",
+         cells(fig5_pairs, (System.XFS, System.DYAD),
+               lambda pairs: dict(model=JAC, pairs=pairs,
+                                  placement=Placement.SINGLE_NODE))),
+        ("Streaming-6/7", "two nodes split, JAC (Lustre vs DYAD)", "pairs",
+         cells(fig7_pairs, (System.DYAD, System.LUSTRE),
+               lambda pairs: dict(model=JAC, pairs=pairs,
+                                  placement=Placement.SPLIT))),
+        ("Streaming-8", f"model scaling, {fig8_pairs} pairs "
+         "(Lustre vs DYAD)", "model",
+         cells([m.name for m in fig8_models], (System.DYAD, System.LUSTRE),
+               lambda name: dict(model=next(m for m in fig8_models
+                                            if m.name == name),
+                                 pairs=fig8_pairs,
+                                 placement=Placement.SPLIT))),
+        ("Streaming-11", f"JAC stride sweep, {stride_pairs} pairs "
+         "(Lustre vs DYAD)", "stride",
+         cells(strides, (System.DYAD, System.LUSTRE),
+               lambda stride: dict(model=JAC, stride=stride,
+                                   pairs=stride_pairs,
+                                   placement=Placement.SPLIT))),
+    ]
+
+
+@dataclass
+class StreamingReport:
+    """The full sweep: one :class:`FigureResult` per grid and tier."""
+
+    figures: List[FigureResult] = field(default_factory=list)
+    #: per-mode flow-control totals across every cell (credits, blocks,
+    #: wake-ups), keyed by mode value
+    flow_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: gate trips: invariant violations or credit-ledger imbalances
+    failures: List[str] = field(default_factory=list)
+    runs: int = 0
+    frames: int = 0
+
+    def render(self) -> str:
+        """Every figure's report, flow-control totals, and the gate line."""
+        parts = [fig.render() for fig in self.figures]
+        lines = ["=== streaming flow-control totals (all grids) ==="]
+        for mode, stats in self.flow_stats.items():
+            lines.append(
+                f"{mode:8s} credits {stats['credits_issued']:.0f} issued / "
+                f"{stats['credits_returned']:.0f} returned, "
+                f"peak in-flight {stats['peak_in_flight']:.0f}, "
+                f"{stats['producer_blocks']:.0f} producer block(s) "
+                f"({stats['blocked_time']:.4f}s), "
+                f"{stats['lost_wakeups']:.0f} lost / "
+                f"{stats['spurious_wakeups']:.0f} spurious wake-up(s)"
+            )
+        parts.append("\n".join(lines))
+        if self.failures:
+            parts.append("FAILURES:\n" + "\n".join(self.failures))
+        else:
+            parts.append("gate: zero invariant violations, credit ledgers "
+                         "balanced across every cell")
+        return "\n\n".join(parts)
+
+
+_FLOW_KEYS = ("credits_issued", "credits_returned", "peak_in_flight",
+              "producer_blocks", "blocked_time", "lost_wakeups",
+              "spurious_wakeups")
+
+
+def run(runs: Optional[int] = None, frames: Optional[int] = None,
+        quick: bool = False) -> StreamingReport:
+    """Sweep every grid x mode x fidelity cell; gate on flow invariants."""
+    runs = default_runs(1 if quick else runs)
+    frames = default_frames(8 if quick else frames)
+    report = StreamingReport(runs=runs, frames=frames)
+    report.flow_stats = {
+        mode.value: {k: 0.0 for k in _FLOW_KEYS} for mode in MODES
+    }
+    for figure_id, title, x_name, grid_cells in _grids(quick):
+        systems = []
+        for fidelity in FIDELITIES:
+            cells = {}
+            xs: List[object] = []
+            for x, system, kwargs in grid_cells:
+                if x not in xs:
+                    xs.append(x)
+                for mode in MODES:
+                    spec = WorkflowSpec(system=system, frames=frames,
+                                        sync_mode=mode,
+                                        window=_window(mode), **kwargs)
+                    cell, results = measure(spec, runs=runs,
+                                            fidelity=fidelity)
+                    label = _label(system, mode)
+                    if label not in systems:
+                        systems.append(label)
+                    cells[(x, label)] = cell
+                    _account(report, mode, figure_id, fidelity, x, label,
+                             results)
+            fig = FigureResult(
+                figure_id=f"{figure_id} [{fidelity}]",
+                title=f"{title} — streaming transports, {fidelity} tier",
+                x_name=x_name,
+                xs=xs,
+                systems=list(systems),
+                cells=cells,
+                runs=runs,
+                frames=frames,
+            )
+            fig.notes = [
+                f"window: W={WINDOW} (windowed), W=2 (nbuffer), "
+                f"per-frame watch events (pubsub); checker fatal",
+            ]
+            report.figures.append(fig)
+    return report
+
+
+def _account(report: StreamingReport, mode: SyncMode, figure_id: str,
+             fidelity: str, x, label: str, results) -> None:
+    """Fold one cell's runs into the flow totals; record gate trips."""
+    totals = report.flow_stats[mode.value]
+    where = f"{figure_id}/{fidelity} {label} @ {x}"
+    for r in results:
+        stats = r.system_stats
+        for key in _FLOW_KEYS:
+            value = stats.get(f"stream_{key}", 0.0)
+            if key == "peak_in_flight":
+                totals[key] = max(totals[key], value)
+            else:
+                totals[key] += value
+        if r.invariant_violations:
+            report.failures.append(
+                f"{where}: {len(r.invariant_violations)} invariant "
+                f"violation(s): {r.invariant_violations[0]}"
+            )
+        issued = stats.get("stream_credits_issued", 0.0)
+        returned = stats.get("stream_credits_returned", 0.0)
+        if issued != returned:
+            report.failures.append(
+                f"{where}: credit ledger imbalanced "
+                f"({issued:.0f} issued != {returned:.0f} returned)"
+            )
+        expected = float(r.spec.pairs * r.spec.frames)
+        if issued != expected:
+            report.failures.append(
+                f"{where}: {issued:.0f} credits issued for "
+                f"{expected:.0f} frames"
+            )
+
+
+def main(quick: bool = False) -> StreamingReport:
+    """Run, print, and gate the sweep (raises on violations)."""
+    from repro.errors import CampaignError
+
+    report = run(quick=quick)
+    print(report.render())
+    if report.failures:
+        raise CampaignError(
+            f"streaming sweep failed: {len(report.failures)} cell(s) "
+            "tripped the flow-control gate"
+        )
+    return report
+
+
+if __name__ == "__main__":
+    main()

@@ -44,6 +44,16 @@ Fault semantics per kind:
   are staged (consumers can win the race and must retry); Lustre's MDS
   answers ``stat`` with attributes up to ``severity`` seconds old. XFS
   has no metadata server to lag, so targeting it is a plan error.
+
+Streaming runs (see :mod:`repro.workflow.streaming`) compose further:
+a held link also partitions the per-pair stream channel's control plane
+(producer-side notification wake-ups are queued as *lost* until restore;
+consumer-side credit returns defer, leaking the credit for the window's
+duration), and a crashed service or node hosting a KVS broker drops the
+broker's armed watch table — parked watchers receive a loss sentinel and
+recover by re-arming (see ``KVS.drop_watches``). Both surfaces are
+refcounted with the underlying link/service holds, so overlapping
+windows compose exactly like every other fault.
 """
 
 from __future__ import annotations
@@ -68,6 +78,8 @@ class FaultInjector:
         lustre: Optional[object] = None,
         fs: Optional[object] = None,
         metrics: Optional[object] = None,
+        streams: Optional[List[object]] = None,
+        brokers: Optional[List[object]] = None,
     ) -> None:
         plan.validate()
         self.plan = plan
@@ -76,6 +88,15 @@ class FaultInjector:
         self.lustre = lustre
         self.fs = fs
         self.env = cluster.env
+        #: per-pair stream channels whose control plane faults compose with
+        #: link holds (streaming runs only; empty otherwise)
+        self.streams: List[object] = list(streams) if streams else []
+        #: KVS brokers whose watch tables die with their host node/service
+        self.brokers: List[object] = list(brokers) if brokers else []
+        if self.streams and dyad is not None and dyad.kvs not in self.brokers:
+            # The DYAD metadata KVS is a broker too: streaming consumers
+            # parked in per-frame watches must survive its host crashing.
+            self.brokers.append(dyad.kvs)
         #: fault windows applied so far (strike side)
         self.applied = 0
         #: fault windows reverted so far (restore side)
@@ -161,10 +182,28 @@ class FaultInjector:
         return float(self._corrupt_gen.random())
 
     # -- composed-state transitions ------------------------------------------
+    def _drop_broker_watches(self, node_id: str) -> None:
+        """A crash on ``node_id`` loses every armed watch of brokers it
+        hosts; parked watchers get the loss sentinel and re-arm."""
+        for broker in self.brokers:
+            if broker.server_node == node_id:
+                broker.drop_watches()
+
     def _hold_link(self, node_id: str) -> None:
         refs = self._link_refs.get(node_id, 0)
         if refs == 0:
             self.cluster.fabric.fail_link(node_id)
+            # A cross-node stream channel's control plane rides this link:
+            # producer-side wake-ups are lost (queued for redelivery),
+            # consumer-side credit returns defer (the credit leaks until
+            # the link is back and the producer may block meanwhile).
+            for channel in self.streams:
+                if channel.producer_node == channel.consumer_node:
+                    continue
+                if channel.producer_node == node_id:
+                    channel.hold_notifications()
+                if channel.consumer_node == node_id:
+                    channel.hold_returns()
         self._link_refs[node_id] = refs + 1
 
     def _release_link(self, node_id: str) -> None:
@@ -172,11 +211,19 @@ class FaultInjector:
         self._link_refs[node_id] = refs
         if refs == 0:
             self.cluster.fabric.restore_link(node_id)
+            for channel in self.streams:
+                if channel.producer_node == channel.consumer_node:
+                    continue
+                if channel.producer_node == node_id:
+                    channel.release_notifications()
+                if channel.consumer_node == node_id:
+                    channel.release_returns()
 
     def _hold_service(self, service) -> None:
         refs = self._service_refs.get(service.node.node_id, 0)
         if refs == 0:
             service.crash()
+            self._drop_broker_watches(service.node.node_id)
         self._service_refs[service.node.node_id] = refs + 1
 
     def _release_service(self, service) -> None:
@@ -265,6 +312,10 @@ class FaultInjector:
                 self._hold_link(node.node_id)
                 if service is not None:
                     self._hold_service(service)
+                else:
+                    # No DYAD service (POSIX pub/sub): the crash still
+                    # loses any broker watch table the node hosts.
+                    self._drop_broker_watches(node.node_id)
 
             def revert() -> None:
                 if service is not None:

@@ -24,6 +24,21 @@ The invariant catalogue:
 - **monotonic-time** — per-process simulation time never runs backwards
   (a kernel self-check; every report observes the clock).
 
+Streaming runs (see :mod:`repro.workflow.streaming`) add the
+*flow-control* family:
+
+- **credit-conservation** — window credits issued minus credits returned
+  always equals the credits currently held (a leaked or double-returned
+  credit violates this);
+- **bounded-window** — the number of in-flight frames never exceeds the
+  declared window W;
+- **backpressure-liveness** — a producer blocked on backpressure must be
+  unblocked within the declared horizon (a producer that *never*
+  unblocks is caught at drain by the runner's cycle-naming
+  :class:`~repro.errors.StallError` instead);
+- **stream-drain** — at completion every credit is returned, no watch is
+  still armed, and no published frame is still undelivered.
+
 Violations are collected as human-readable strings and, when the
 checker is fatal (the default), raised immediately as
 :class:`~repro.errors.InvariantViolation` so a chaos repro fails loudly
@@ -57,10 +72,17 @@ class InvariantConfig:
         :class:`~repro.errors.InvariantViolation`; when False violations
         are recorded and the run continues — the chaos harness uses this
         to collect *all* lies a fault plan induces.
+    liveness_horizon:
+        Backpressure-liveness bound in simulated seconds: a streaming
+        producer blocked on a window credit for longer than this (and
+        later unblocked) violates *backpressure-liveness*. ``None``
+        (default) lets the workflow runner derive a generous horizon
+        from the spec; non-streaming runs ignore it.
     """
 
     enabled: bool = True
     fatal: bool = True
+    liveness_horizon: Optional[float] = None
 
 
 class InvariantChecker:
@@ -179,6 +201,97 @@ class InvariantChecker:
                 f"integrity: {role} consumed a corrupted payload for frame "
                 f"{frame} of pair {pair}"
             )
+
+    # -- flow-control observations (streaming sync modes) ----------------------
+    def credit_issued(self, role: str, pair: int, frame: int,
+                      in_flight: int, window: int) -> None:
+        """``role`` took a window credit for ``frame`` of ``pair``.
+
+        ``in_flight`` is the holder's view of credits currently out
+        (issued − returned); the bounded-window invariant requires it to
+        never exceed the declared window ``W``.
+        """
+        if not self.config.enabled:
+            return
+        self._observe_clock(role)
+        self.checks += 1
+        if in_flight > window:
+            self._report(
+                f"bounded-window: {role} holds {in_flight} in-flight "
+                f"frame(s) of pair {pair} at frame {frame}, exceeding "
+                f"window W={window}"
+            )
+
+    def credit_returned(self, role: str, pair: int, frame: int,
+                        issued: int, returned: int, held: int) -> None:
+        """``role`` returned the window credit of ``frame`` of ``pair``.
+
+        Credit conservation: lifetime ``issued - returned`` must equal
+        the ``held`` count the channel still tracks — anything else is a
+        leaked or double-returned credit.
+        """
+        if not self.config.enabled:
+            return
+        self._observe_clock(role)
+        self.checks += 1
+        if issued - returned != held:
+            self._report(
+                f"credit-conservation: pair {pair} issued {issued} and "
+                f"returned {returned} credit(s) but {held} are held "
+                f"(frame {frame}, reported by {role})"
+            )
+
+    def producer_unblocked(self, role: str, pair: int, waited: float,
+                           horizon: Optional[float]) -> None:
+        """``role`` came off a backpressure block that lasted ``waited`` s.
+
+        ``horizon`` is the declared backpressure-liveness bound (``None``
+        disables the bound but still counts the check). Producers that
+        never unblock are caught at drain by the runner's cycle-naming
+        :class:`~repro.errors.StallError`.
+        """
+        if not self.config.enabled:
+            return
+        self._observe_clock(role)
+        self.checks += 1
+        if horizon is not None and waited > horizon:
+            self._report(
+                f"backpressure-liveness: {role} of pair {pair} was "
+                f"blocked {waited:.6g}s awaiting a window credit, past "
+                f"the declared horizon of {horizon:.6g}s"
+            )
+
+    def check_stream_drain(self, channels: Iterable = ()) -> None:
+        """Streaming end-of-run: credits home, no armed watches, all
+        published frames delivered, no credit returns still deferred."""
+        if not self.config.enabled:
+            return
+        for channel in channels:
+            pair = channel.pair
+            self.checks += 1
+            if channel.credits_issued != channel.credits_returned:
+                leaked = channel.credits_issued - channel.credits_returned
+                self._report(
+                    f"credit-conservation: pair {pair} leaked {leaked} "
+                    f"credit(s) at drain ({channel.credits_issued} issued, "
+                    f"{channel.credits_returned} returned)"
+                )
+            self.checks += 1
+            armed = channel.armed_watches()
+            if armed:
+                shown = ", ".join(str(f) for f in armed[:5])
+                self._report(
+                    f"stream-drain: pair {pair} still has watch(es) armed "
+                    f"on frame(s) {shown} at drain"
+                )
+            self.checks += 1
+            if channel.undelivered_frames() or channel.deferred_returns():
+                self._report(
+                    f"stream-drain: pair {pair} ended with "
+                    f"{len(channel.undelivered_frames())} undelivered "
+                    f"frame(s) and {len(channel.deferred_returns())} "
+                    "deferred credit return(s)"
+                )
 
     # -- end-of-run checks -----------------------------------------------------
     def check_drain(self, lock_tables: Iterable = (),

@@ -23,6 +23,11 @@ from repro.units import usec
 
 __all__ = ["KVSConfig", "KVS"]
 
+#: Sentinel a dropped watch delivers instead of a real value: the broker
+#: lost its watch table (crash/restart) and the wake-up the watcher was
+#: promised will never arrive. ``wait_for`` recovers by re-arming.
+_LOST = object()
+
 
 @dataclass(frozen=True)
 class KVSConfig:
@@ -33,6 +38,7 @@ class KVSConfig:
     watch_service: float = usec(20.0)    # registering a watch
     server_capacity: int = 1             # service threads (FIFO queue)
     value_size: int = 256                # bytes per request/response message
+    watch_rearm_delay: float = usec(500.0)  # backoff before re-arming a dropped watch
 
     def validate(self) -> None:
         """Raise :class:`ConfigError` on invalid values."""
@@ -42,6 +48,8 @@ class KVSConfig:
             raise ConfigError("server_capacity must be >= 1")
         if self.value_size < 0:
             raise ConfigError("value_size must be non-negative")
+        if self.watch_rearm_delay < 0:
+            raise ConfigError("watch_rearm_delay must be non-negative")
 
 
 @dataclass
@@ -52,6 +60,8 @@ class KVSStats:
     lookups: int = 0
     watches: int = 0
     total_queue_wait: float = 0.0
+    dropped_watches: int = 0   # armed watches lost to a broker crash/restart
+    lost_wakeups: int = 0      # watcher-side recoveries from a dropped watch
 
     @property
     def mean_queue_wait(self) -> float:
@@ -159,12 +169,40 @@ class KVS:
             raise KeyNotFound(key)
         return self._data[key]
 
+    def drop_watches(self) -> int:
+        """The broker lost its watch table (crash/restart fault surface).
+
+        Every armed, un-latched watch is woken with the ``_LOST`` sentinel
+        instead of a value; those watchers recover inside :meth:`wait_for`
+        by backing off ``watch_rearm_delay`` and re-registering. Returns
+        how many watches were dropped.
+        """
+        dropped = 0
+        for sig in self._signals.values():
+            if not sig.latched:
+                dropped += sig.fire(_LOST)
+        self.stats.dropped_watches += dropped
+        return dropped
+
     def wait_for(self, client: str, key: str) -> Generator:
         """Generator: block until ``key`` is committed; returns its value.
 
         Models a KVS watch: one registration RPC, then a pushed
         notification (one message latency) when the commit happens. If the
         key already exists, only the registration RPC is paid.
+
+        Exactly-once delivery holds even at timestep boundaries: a commit
+        landing while the registration RPC is in flight is caught by the
+        post-registration data check (no notification ever fires for it,
+        because the commit latches the key's signal with no waiter parked
+        yet — and a latched signal is never re-fired by later commits), and
+        a watcher parked in the same timestep as the commit is woken by
+        exactly one ``fire_once``. When the broker drops its watch table
+        (:meth:`drop_watches`, armed by ``dyad_crash``/``node_crash``
+        faults) the parked watcher receives a loss sentinel and recovers:
+        back off ``watch_rearm_delay``, pay a fresh registration RPC,
+        re-check the data, and re-park — so a commit that raced the outage
+        is found by the re-check rather than waited on forever.
         """
         yield from self._rpc(client, self.config.watch_service)
         self.stats.watches += 1
@@ -173,7 +211,22 @@ class KVS:
         if key in self._data:
             return self._data[key]
         sig = self._signal(key)
-        value = yield sig.wait()
+        while True:
+            value = yield sig.wait()
+            if value is not _LOST:
+                break
+            # Lost wake-up: our watch died with the broker's table.
+            self.stats.lost_wakeups += 1
+            yield self.env.timeout(self.config.watch_rearm_delay)
+            yield from self._rpc(client, self.config.watch_service)
+            self.stats.watches += 1
+            if self._m_watches is not None:
+                self._m_watches.inc()
+            if key in self._data:
+                # The commit raced the outage; the re-registration's data
+                # check finds it (no second notification will ever fire).
+                return self._data[key]
+            sig = self._signal(key)
         # Notification push from server to watcher.
         yield from self.fabric.message(self.server_node, client, self.config.value_size)
         return value

@@ -544,7 +544,8 @@ class Environment:
         return None
 
     def run_guarded(self, max_events: Optional[int] = None,
-                    max_time: Optional[float] = None) -> None:
+                    max_time: Optional[float] = None,
+                    detail: Optional[Callable[[], str]] = None) -> None:
         """Run until no events remain, under a stall watchdog.
 
         Faulty runs (see :mod:`repro.faults`) can deadlock or spin when a
@@ -556,9 +557,20 @@ class Environment:
         been dispatched or the clock passes ``max_time``, instead of
         spinning forever or silently returning incomplete results.
 
+        ``detail``, when given, is called only at StallError time and its
+        string is appended to the watchdog message — callers use it to
+        name domain-level occupancy (which process holds which credit,
+        which watch is armed) without the kernel knowing about any of it.
+
         The guarded loop lives off the hot path on purpose: fault-free
         campaigns keep the tuned :meth:`run` dispatch loop.
         """
+        def _suffix() -> str:
+            if detail is None:
+                return ""
+            text = detail()
+            return f" — {text}" if text else ""
+
         heap = self._heap
         events = 0
         while heap:
@@ -567,14 +579,14 @@ class Environment:
                     f"stall watchdog: next event at t={heap[0][0]:.6g}s is "
                     f"past the horizon of {max_time:.6g}s after {events} "
                     f"events ({len(heap)} still scheduled) — recovery is "
-                    "not converging"
+                    f"not converging{_suffix()}"
                 )
             if max_events is not None and events >= max_events:
                 raise StallError(
                     f"stall watchdog: event budget of {max_events} "
                     f"exhausted at t={self._now:.6g}s "
                     f"({len(heap)} still scheduled) — the run is spinning "
-                    "without completing"
+                    f"without completing{_suffix()}"
                 )
             events += 1
             when, _prio, _seq, event = _heappop(heap)

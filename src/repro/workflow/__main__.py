@@ -43,7 +43,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="default: single-node for xfs, split otherwise")
     parser.add_argument("--sync", default="coarse",
                         choices=[m.value for m in SyncMode],
-                        help="manual sync for xfs/lustre (ignored by dyad)")
+                        help="sync mode: coarse/polling are manual sync "
+                             "for xfs/lustre (ignored by dyad); the "
+                             "streaming modes windowed/pubsub/nbuffer "
+                             "apply to every system")
+    parser.add_argument("--window", type=int, default=2,
+                        help="in-flight frame window W for --sync "
+                             "windowed (nbuffer is fixed at W=2)")
     parser.add_argument("--runs", type=int, default=1)
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes for the repetitions "
@@ -74,8 +80,14 @@ def build_spec(args) -> WorkflowSpec:
         placement = (Placement.SINGLE_NODE if system is System.XFS
                      else Placement.SPLIT)
     extras = {}
-    if system is not System.DYAD:
-        extras["sync_mode"] = SyncMode(args.sync)
+    sync = SyncMode(args.sync)
+    # The streaming transports apply to every system; the manual
+    # coarse/polling modes model XFS/Lustre-only sync scripts and stay
+    # silently ignored for DYAD (its KVS provides the signalling).
+    if system is not System.DYAD or sync.is_streaming:
+        extras["sync_mode"] = sync
+    if sync.is_streaming:
+        extras["window"] = args.window if sync is SyncMode.WINDOWED else 2
     return WorkflowSpec(
         system=system,
         model=model,

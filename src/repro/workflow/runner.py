@@ -35,7 +35,7 @@ from repro.sim.fluid import Fidelity
 from repro.sim.resources import Signal, channel_health
 from repro.storage.lustre import LustreConfig, LustreFileSystem, LustreServers
 from repro.storage.xfs import XFSConfig, XFSFileSystem
-from repro.workflow import emulator
+from repro.workflow import emulator, streaming
 from repro.workflow.spec import Placement, SyncMode, System, WorkflowSpec
 
 __all__ = ["WorkflowResult", "run_workflow", "run_repetitions"]
@@ -198,6 +198,7 @@ def run_workflow(
     runtime = None
     servers = None
     fs = None
+    streams = None  # StreamingSetup for the windowed/pubsub/nbuffer modes
     consumers: List = []
     processes: List = []  # (role, Process) for stall diagnostics
     if spec.system is System.DYAD:
@@ -211,37 +212,66 @@ def run_workflow(
                 fault_rate=fault_plan.transfer_fault_rate,
             )
         runtime = DyadRuntime(cluster, config=config)
-        for pair, (pn, cn) in enumerate(placements):
-            producer = runtime.producer(cluster.node(pn).node_id, f"prod{pair}")
-            consumer = runtime.consumer(cluster.node(cn).node_id, f"cons{pair}")
-            consumers.append(consumer)
-            processes.append((f"producer{pair}", env.process(
-                emulator.dyad_producer(
-                    env, spec, producer, producer_anns[pair], pair, compute,
-                    checker=checker,
+        if spec.is_streaming:
+            streams = streaming.spawn_streaming(
+                env, spec, cluster, placements, producer_anns, consumer_anns,
+                compute, checker=checker, runtime=runtime,
+                liveness_horizon=checker.config.liveness_horizon,
+            )
+            processes = streams.processes
+            consumers = streams.consumers
+        else:
+            for pair, (pn, cn) in enumerate(placements):
+                producer = runtime.producer(
+                    cluster.node(pn).node_id, f"prod{pair}"
                 )
-            )))
-            processes.append((f"consumer{pair}", env.process(
-                emulator.dyad_consumer(
-                    env, spec, consumer, consumer_anns[pair], pair, compute,
-                    checker=checker,
+                consumer = runtime.consumer(
+                    cluster.node(cn).node_id, f"cons{pair}"
                 )
-            )))
+                consumers.append(consumer)
+                processes.append((f"producer{pair}", env.process(
+                    emulator.dyad_producer(
+                        env, spec, producer, producer_anns[pair], pair,
+                        compute, checker=checker,
+                    )
+                )))
+                processes.append((f"consumer{pair}", env.process(
+                    emulator.dyad_consumer(
+                        env, spec, consumer, consumer_anns[pair], pair,
+                        compute, checker=checker,
+                    )
+                )))
     elif spec.system is System.XFS:
         fs = XFSFileSystem(cluster.node(0), config=xfs_config)
         fs.makedirs("/data")
-        processes = _spawn_posix(
-            env, spec, fs, cluster, placements, producer_anns, consumer_anns,
-            compute, checker,
-        )
+        if spec.is_streaming:
+            streams = streaming.spawn_streaming(
+                env, spec, cluster, placements, producer_anns, consumer_anns,
+                compute, checker=checker, fs=fs,
+                liveness_horizon=checker.config.liveness_horizon,
+            )
+            processes = streams.processes
+        else:
+            processes = _spawn_posix(
+                env, spec, fs, cluster, placements, producer_anns,
+                consumer_anns, compute, checker,
+            )
     elif spec.system is System.LUSTRE:
         servers = LustreServers(env, cluster.fabric, lustre_config, cluster.rng)
         fs = LustreFileSystem(servers)
         fs.makedirs("/data")
-        processes = _spawn_posix(
-            env, spec, fs, cluster, placements, producer_anns, consumer_anns,
-            compute, checker,
-        )
+        if spec.is_streaming:
+            streams = streaming.spawn_streaming(
+                env, spec, cluster, placements, producer_anns, consumer_anns,
+                compute, checker=checker, fs=fs,
+                liveness_horizon=checker.config.liveness_horizon,
+            )
+            processes = streams.processes
+        else:
+            processes = _spawn_posix(
+                env, spec, fs, cluster, placements, producer_anns,
+                consumer_anns, compute, checker,
+            )
     else:  # pragma: no cover - enum is exhaustive
         raise WorkflowError(f"unknown system {spec.system!r}")
 
@@ -279,18 +309,38 @@ def run_workflow(
     injector = None
     if fault_plan is None:
         env.run()
+        if streams is not None:
+            # Streaming can deadlock without any fault (a mis-tuned window
+            # against a consumer that never returns a credit), and run()
+            # silently drains the heap in that case. Name the flow-control
+            # cycle — who holds which credit, which watch is armed —
+            # instead of returning a short makespan.
+            streaming.raise_if_stalled(
+                env, processes, streams.channels,
+                "fault-free run drained the heap",
+            )
     else:
         from repro.faults.inject import FaultInjector
 
         injector = FaultInjector(
             fault_plan, cluster, dyad=runtime, lustre=servers, fs=fs,
             metrics=timeline,
+            streams=streams.channels if streams is not None else None,
+            brokers=[streams.broker]
+            if streams is not None and streams.broker is not None else None,
         )
         injector.start()
+        guard_detail = None
+        if streams is not None:
+            guard_detail = lambda: (  # noqa: E731 - one-shot diagnosis hook
+                "window state: "
+                + streaming.flow_occupancy(streams.channels)
+            )
         try:
             env.run_guarded(
                 max_events=fault_plan.max_events or _default_event_budget(spec),
                 max_time=fault_plan.max_time,
+                detail=guard_detail,
             )
         except StallError as err:
             # Budget/horizon exhausted: name what each stuck process was
@@ -307,11 +357,15 @@ def run_workflow(
         # run() would silently accept and report as a short makespan.
         stuck = _stuck_detail()
         if stuck:
+            flow = ""
+            if streams is not None:
+                flow = (" — window state: "
+                        + streaming.flow_occupancy(streams.channels))
             raise StallError(
                 f"workflow ended at t={env.now:.6g}s with "
                 f"{len(stuck)} process(es) still waiting: "
                 f"{'; '.join(stuck)} — the fault plan's recovery never "
-                "completed"
+                f"completed{flow}"
             )
         # Recovery correctness: every frame must have arrived despite the
         # injected faults (the retry loop re-requests lost frames).
@@ -371,11 +425,58 @@ def run_workflow(
             s.staging.locks for s in runtime.services.values()
         )
     checker.check_drain(lock_tables, channels)
+    if streams is not None:
+        # Flow-control drain: credits home, no armed watches, nothing
+        # published-but-undelivered, no deferred credit returns.
+        checker.check_stream_drain(streams.channels)
     checker.check_complete(
         {f"consumer{p}": p for p in range(spec.pairs)}, spec.frames
     )
     system_stats["invariant_checks"] = float(checker.checks)
     system_stats["invariant_violations"] = float(checker.violation_count)
+    if streams is not None:
+        chans = streams.channels
+        system_stats.update({
+            "stream_window": float(spec.effective_window),
+            "stream_credits_issued": float(
+                sum(c.credits_issued for c in chans)
+            ),
+            "stream_credits_returned": float(
+                sum(c.credits_returned for c in chans)
+            ),
+            "stream_peak_in_flight": float(
+                max((c.peak_in_flight for c in chans), default=0)
+            ),
+            "stream_producer_blocks": float(
+                sum(c.producer_blocks for c in chans)
+            ),
+            "stream_blocked_time": float(
+                sum(c.blocked_time for c in chans)
+            ),
+            "stream_spurious_wakeups": float(
+                sum(c.spurious_wakeups for c in chans)
+            ),
+            "stream_lost_wakeups": float(
+                sum(c.lost_wakeups for c in chans)
+            ),
+            "stream_redeliveries": float(
+                sum(c.redeliveries for c in chans)
+            ),
+            "stream_deferred_returns": float(
+                sum(c.deferred_return_count for c in chans)
+            ),
+        })
+        if streams.broker is not None:
+            system_stats.update({
+                "stream_broker_commits": float(streams.broker.stats.commits),
+                "stream_broker_watches": float(streams.broker.stats.watches),
+                "stream_broker_dropped_watches": float(
+                    streams.broker.stats.dropped_watches
+                ),
+                "stream_broker_lost_wakeups": float(
+                    streams.broker.stats.lost_wakeups
+                ),
+            })
     if runtime is not None:
         system_stats.update({
             "dyad_kvs_waits": float(sum(c.kvs_waits for c in consumers)),
@@ -391,6 +492,8 @@ def run_workflow(
             "dyad_refused_gets": float(
                 sum(s.refused_gets for s in runtime.services.values())
             ),
+            "dyad_dropped_watches": float(runtime.kvs.stats.dropped_watches),
+            "dyad_lost_wakeups": float(runtime.kvs.stats.lost_wakeups),
         })
     if injector is not None:
         system_stats["faults_applied"] = float(injector.applied)

@@ -43,16 +43,28 @@ class Placement(enum.Enum):
 
 
 class SyncMode(enum.Enum):
-    """Manual synchronization pattern for the traditional (POSIX) systems.
+    """Synchronization pattern linking each producer/consumer pair.
 
     The paper (Section III) lists the manual mechanisms workflows use when
     the storage system provides none: MPI primitives / coarse barriers,
     and file-system polling in workflow managers like Pegasus. DYAD's
-    automatic synchronization ignores this field.
+    automatic synchronization ignores those two. The three *streaming*
+    modes extend the comparison beyond the paper (see
+    ``docs/streaming.md``): per-frame pipelines with a bounded in-flight
+    window and credit-based backpressure, applicable to every system
+    including DYAD.
     """
 
     COARSE = "coarse"      # consumer phase starts after the producer phase
     POLLING = "polling"    # consumer polls stat() per frame (Pegasus-style)
+    WINDOWED = "windowed"  # ADIOS2-SST-style bounded window, credit backpressure
+    PUBSUB = "pubsub"      # per-frame pub/sub over the KVS watch machinery
+    NBUFFER = "nbuffer"    # double buffering: the W=2 windowed special case
+
+    @property
+    def is_streaming(self) -> bool:
+        """True for the per-frame pipelined (windowed family) modes."""
+        return self in (SyncMode.WINDOWED, SyncMode.PUBSUB, SyncMode.NBUFFER)
 
 
 @dataclass(frozen=True)
@@ -67,6 +79,24 @@ class WorkflowSpec:
     placement: Placement = Placement.SINGLE_NODE
     sync_mode: SyncMode = SyncMode.COARSE
     poll_interval: float = 0.25   # seconds between stat() polls (POLLING)
+    window: int = 2               # in-flight frames W (streaming modes only)
+
+    def __repr__(self) -> str:
+        # Hand-rolled to stay byte-identical to the pre-streaming
+        # dataclass repr for pre-streaming specs: the repr feeds result
+        # fingerprints and cache keys, so fields added after
+        # ``poll_interval`` appear only when they differ from their
+        # defaults.
+        base = (
+            f"{self.__class__.__qualname__}(system={self.system!r}, "
+            f"model={self.model!r}, stride={self.stride!r}, "
+            f"frames={self.frames!r}, pairs={self.pairs!r}, "
+            f"placement={self.placement!r}, sync_mode={self.sync_mode!r}, "
+            f"poll_interval={self.poll_interval!r}"
+        )
+        if self.window != 2:
+            base += f", window={self.window!r}"
+        return base + ")"
 
     def __post_init__(self) -> None:
         if self.stride < 1:
@@ -98,6 +128,13 @@ class WorkflowSpec:
                 "DYAD synchronizes automatically; sync_mode applies only to "
                 "XFS/Lustre workflows"
             )
+        if self.window < 1:
+            raise WorkflowError(f"window must be >= 1, got {self.window}")
+        if self.sync_mode is SyncMode.NBUFFER and self.window != 2:
+            raise WorkflowError(
+                "N-buffer double buffering is the W=2 special case; "
+                f"got window={self.window} (use WINDOWED for other sizes)"
+            )
 
     # -- derived workload quantities ------------------------------------------------
     @property
@@ -114,6 +151,16 @@ class WorkflowSpec:
     def frame_bytes(self) -> int:
         """Bytes per frame."""
         return self.model.frame_bytes
+
+    @property
+    def is_streaming(self) -> bool:
+        """True when the sync mode is one of the per-frame pipelines."""
+        return self.sync_mode.is_streaming
+
+    @property
+    def effective_window(self) -> int:
+        """The bounded in-flight window W the streaming transport enforces."""
+        return 2 if self.sync_mode is SyncMode.NBUFFER else self.window
 
     @property
     def total_steps(self) -> int:

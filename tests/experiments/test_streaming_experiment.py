@@ -1,0 +1,53 @@
+"""The `streaming` experiment: grids gate on flow-control invariants."""
+
+import pytest
+
+from repro.errors import CampaignError, ReproError
+from repro.experiments import streaming as streaming_exp
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.workflow.spec import SyncMode, System
+
+
+def test_registered():
+    assert EXPERIMENTS["streaming"] is streaming_exp
+    assert get_experiment("streaming") is streaming_exp
+
+
+def test_grids_cover_paper_figures_and_modes():
+    grids = streaming_exp._grids(quick=True)
+    assert [g[0] for g in grids] == [
+        "Streaming-5", "Streaming-6/7", "Streaming-8", "Streaming-11"]
+    systems = {system for _, _, _, cells in grids
+               for _, system, _ in cells}
+    assert systems == {System.DYAD, System.XFS, System.LUSTRE}
+    assert streaming_exp.MODES == (
+        SyncMode.WINDOWED, SyncMode.PUBSUB, SyncMode.NBUFFER)
+    assert streaming_exp.FIDELITIES == ("exact", "hybrid")
+
+
+def test_quick_sweep_gates_clean():
+    report = streaming_exp.run(runs=1, frames=4, quick=True)
+    # one FigureResult per grid per fidelity tier
+    assert len(report.figures) == 4 * len(streaming_exp.FIDELITIES)
+    assert report.failures == []
+    for mode in streaming_exp.MODES:
+        totals = report.flow_stats[mode.value]
+        assert totals["credits_issued"] == totals["credits_returned"] > 0
+        assert totals["lost_wakeups"] == 0
+    # windowed cells actually run the wider window
+    windowed = report.flow_stats[SyncMode.WINDOWED.value]
+    assert windowed["peak_in_flight"] <= streaming_exp.WINDOW
+    text = report.render()
+    assert "streaming flow-control totals" in text
+    assert "gate: zero invariant violations" in text
+
+
+def test_main_raises_on_failures(monkeypatch):
+    def failing_run(quick=False):
+        report = streaming_exp.StreamingReport()
+        report.failures.append("Streaming-5/exact xfs/windowed @ 1: leak")
+        return report
+
+    monkeypatch.setattr(streaming_exp, "run", failing_run)
+    with pytest.raises(CampaignError, match="flow-control gate"):
+        streaming_exp.main(quick=True)

@@ -224,3 +224,62 @@ def test_faulty_reduced_fidelity_run_is_reproducible(tier):
     assert result_fingerprint(a) == result_fingerprint(b)
     # DYAD's plan stalls remote gets (crash + flap): retries happened
     assert a.system_stats["dyad_transfer_retries"] > 0
+
+
+# ---------------------------------------------------------------------------
+# end to end: streaming transports under faults at reduced fidelity
+# ---------------------------------------------------------------------------
+
+
+def _streaming_spec(system):
+    from repro.md.models import JAC
+    from repro.workflow.spec import Placement, SyncMode, WorkflowSpec
+
+    placement = (Placement.SINGLE_NODE if system is System.XFS
+                 else Placement.SPLIT)
+    return WorkflowSpec(system=system, model=JAC, stride=880, frames=FRAMES,
+                        pairs=2, placement=placement,
+                        sync_mode=SyncMode.WINDOWED, window=2)
+
+
+def _streaming_plan(system):
+    from repro.faults.plan import FaultEvent, FaultPlan
+
+    if system is System.XFS:
+        return FaultPlan(events=(
+            FaultEvent("ssd_degrade", at=0.5, target="0", duration=1.5,
+                       severity=6.0),
+        ))
+    return FaultPlan(events=(
+        FaultEvent("link_flap", at=0.5, target="1", duration=1.0),
+    ))
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("system", [System.XFS, System.LUSTRE])
+def test_windowed_streaming_completes_under_reduced_tier_faults(system, tier):
+    spec = _streaming_spec(system)
+    result = run_workflow(spec, seed=SEED, jitter_cv=0.0, fidelity=tier,
+                          fault_plan=_streaming_plan(system))
+    # fatal checker: completing at all means zero flow-control violations
+    assert result.invariant_violations == []
+    assert result.fidelity == tier
+    applied = result.system_stats["faults_applied"]
+    assert applied >= 1.0
+    assert result.system_stats["faults_reverted"] == applied
+    # the credit ledger balanced across the fault window
+    issued = result.system_stats["stream_credits_issued"]
+    assert issued == result.system_stats["stream_credits_returned"]
+    assert issued == float(FRAMES * spec.pairs)
+
+
+@pytest.mark.parametrize("tier", TIERS)
+@pytest.mark.parametrize("system", [System.XFS, System.LUSTRE])
+def test_faulty_streaming_reduced_tier_run_is_reproducible(system, tier):
+    spec = _streaming_spec(system)
+    plan = _streaming_plan(system)
+    a = run_workflow(spec, seed=SEED, jitter_cv=0.0, fidelity=tier,
+                     fault_plan=plan)
+    b = run_workflow(spec, seed=SEED, jitter_cv=0.0, fidelity=tier,
+                     fault_plan=plan)
+    assert result_fingerprint(a) == result_fingerprint(b)
