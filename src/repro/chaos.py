@@ -48,7 +48,9 @@ from repro.errors import (
 )
 from repro.faults.plan import FaultEvent, FaultPlan
 from repro.invariants import InvariantConfig
-from repro.workflow.spec import Placement, SyncMode, System, WorkflowSpec
+from repro.workflow.spec import (
+    Placement, SyncMode, System, Topology, WorkflowSpec,
+)
 
 __all__ = [
     "ChaosOutcome",
@@ -74,16 +76,45 @@ KINDS_BY_SYSTEM: Dict[System, Tuple[str, ...]] = {
 }
 
 
-def chaos_workloads(frames: int = 8,
-                    streaming: bool = False) -> List[WorkflowSpec]:
+def chaos_workloads(frames: int = 8, streaming: bool = False,
+                    topology: bool = False) -> List[WorkflowSpec]:
     """The small workload grid a soak cycles through.
 
     ``streaming=True`` swaps in the streaming grid: every streaming sync
     mode (windowed / pubsub / nbuffer) across all three systems, with
     mixed window sizes — the surface where credits can leak, windows can
-    deadlock, and watch wake-ups can be lost. The default grid is
-    unchanged so existing soak seeds replay identically.
+    deadlock, and watch wake-ups can be lost. ``topology=True`` swaps in
+    the non-pairwise grid instead: fan-out, fan-in, and work-stealing
+    shapes across all three systems, mixing manual and streaming sync —
+    the surface where the shared-read single-flight tier, per-edge credit
+    ledgers, and the aggregation/pool drain invariants meet injected
+    faults. The default grid is unchanged so existing soak seeds replay
+    identically.
     """
+    if topology:
+        return [
+            WorkflowSpec(system=System.DYAD, frames=frames, pairs=1,
+                         placement=Placement.SPLIT,
+                         topology=Topology.FANOUT, consumers=4),
+            WorkflowSpec(system=System.DYAD, frames=frames, pairs=1,
+                         placement=Placement.SPLIT,
+                         topology=Topology.FANIN, producers=3,
+                         sync_mode=SyncMode.WINDOWED),
+            WorkflowSpec(system=System.DYAD, frames=frames, pairs=1,
+                         placement=Placement.SPLIT,
+                         topology=Topology.POOL, producers=2, consumers=3),
+            WorkflowSpec(system=System.XFS, frames=frames, pairs=1,
+                         placement=Placement.SINGLE_NODE,
+                         topology=Topology.POOL, producers=2, consumers=3,
+                         sync_mode=SyncMode.POLLING),
+            WorkflowSpec(system=System.LUSTRE, frames=frames, pairs=1,
+                         placement=Placement.SPLIT,
+                         topology=Topology.FANOUT, consumers=2,
+                         sync_mode=SyncMode.WINDOWED),
+            WorkflowSpec(system=System.LUSTRE, frames=frames, pairs=1,
+                         placement=Placement.SPLIT,
+                         topology=Topology.FANIN, producers=4),
+        ]
     if streaming:
         return [
             WorkflowSpec(system=System.DYAD, frames=frames, pairs=1,
@@ -444,6 +475,7 @@ def soak(
     max_events: int = 4,
     artifact_dir: Optional[str] = None,
     streaming: bool = False,
+    topology: bool = False,
 ) -> ChaosReport:
     """Run ``plans`` seeded random fault plans across the workload grid.
 
@@ -454,9 +486,11 @@ def soak(
     through the remaining plans either way so the report shows the full
     blast radius. ``streaming=True`` soaks the streaming workload grid
     instead (flow-control faults: leaked credits, lost wake-ups,
-    backpressure deadlocks).
+    backpressure deadlocks); ``topology=True`` soaks the non-pairwise
+    grid (fan-out/fan-in/pool drain invariants under faults).
     """
-    workloads = chaos_workloads(frames, streaming=streaming)
+    workloads = chaos_workloads(frames, streaming=streaming,
+                                topology=topology)
     report = ChaosReport(base_seed=base_seed)
     for i in range(plans):
         seed = base_seed + i

@@ -34,6 +34,7 @@ from repro.dyad.mdm import OwnerRecord
 from repro.dyad.service import DyadRuntime
 from repro.errors import DyadError, IntegrityError, KeyNotFound, TransferError
 from repro.perf.caliper import Annotator, Category
+from repro.sim.resources import Signal
 from repro.storage.locks import LockMode
 from repro.storage.posixfs import normalize
 
@@ -148,6 +149,9 @@ class DyadConsumerClient:
         self.transfer_retries = 0
         #: remote consumptions served from this node's staging cache
         self.cache_hits = 0
+        #: consumptions that parked behind another consumer's in-flight
+        #: pull of the same frame (the shared-read single-flight tier)
+        self.shared_read_waits = 0
         #: bytes actually obtained by the last :meth:`consume` (may be
         #: short of the committed size in unchecked mode under torn_write)
         self.last_consume_bytes: Optional[int] = None
@@ -355,14 +359,46 @@ class DyadConsumerClient:
             # cache: another consumer on this node may have pulled the
             # frame already (fan-out workloads). One stat verifies it.
             staging = self.service.staging
-            if staging.exists(record.path):
-                st = yield from staging.stat(record.path, client=self.node_id)
-                if st.size == record.size:
-                    remote = False
-                    self.cache_hits += 1
+            while True:
+                if staging.exists(record.path):
+                    st = yield from staging.stat(record.path,
+                                                 client=self.node_id)
+                    if st.size == record.size:
+                        remote = False
+                        self.cache_hits += 1
+                    break
+                pending = (self.service.inflight_pulls.get(record.path)
+                           if cfg.shared_read_cache else None)
+                if pending is None:
+                    break
+                # Shared-read tier: another consumer on this node is
+                # already pulling this frame. Park on its completion
+                # instead of issuing a duplicate RDMA pull, then re-check
+                # the staging cache (the pull may have failed, in which
+                # case this consumer takes over as the puller).
+                self.shared_read_waits += 1
+                regions.begin("dyad_shared_wait", Category.IDLE)
+                yield pending.wait()
+                regions.end("dyad_shared_wait")
         if remote:
-            pulled_count, pulled = yield from self._get_remote(record, regions)
-            self.last_consume_bytes = pulled_count
+            guard = None
+            if cfg.cache_on_consume and cfg.shared_read_cache:
+                guard = Signal(self.env)
+                self.service.inflight_pulls[record.path] = guard
+            try:
+                pulled_count, pulled = yield from self._get_remote(
+                    record, regions
+                )
+                self.last_consume_bytes = pulled_count
+            finally:
+                # Fire even on a failed pull so parked consumers re-check
+                # (and re-pull themselves) instead of deadlocking. With no
+                # waiters the fire is pure bookkeeping — no event is
+                # scheduled — so uncontended (pairwise) timelines are
+                # untouched.
+                if guard is not None:
+                    self.service.inflight_pulls.pop(record.path, None)
+                    guard.fire_once(self.env.now)
         regions.end("dyad_consume")
 
         if remote and not cfg.cache_on_consume:

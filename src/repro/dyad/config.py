@@ -58,6 +58,18 @@ class DyadConfig:
         3.5 TB SSD holds ~125k STMV frames; ensembles of thousands of
         long trajectories need cleanup). Off by default because it
         defeats the staging cache for fan-out workloads.
+    shared_read_cache:
+        Single-flight coalescing for the consumer-side staging cache:
+        when a remote pull of a frame is already in flight on this node,
+        further consumers of the same frame park on its completion and
+        then read the staged copy, instead of each issuing a duplicate
+        RDMA pull. This is what bounds a fan-out workload to one
+        transfer per frame per node even when the consumers arrive
+        simultaneously (the KVS commit wakes them all at the same
+        instant, so without coalescing they would all miss the cache).
+        Requires ``cache_on_consume``; ignored without it. Clean
+        pairwise runs never contend (each frame has one consumer), so
+        the switch cannot perturb them.
     fault_rate:
         Probability that one remote get attempt fails with a transfer
         error (fault injection for resilience testing). The client
@@ -101,6 +113,7 @@ class DyadConfig:
     eager_pipeline: int = 4
     cache_on_consume: bool = True
     unlink_after_consume: bool = False
+    shared_read_cache: bool = True
     fault_rate: float = 0.0
     max_transfer_retries: int = 3
     retry_backoff: float = usec(500.0)

@@ -21,7 +21,7 @@ from repro.dyad.mdm import MetadataManager, OwnerRecord
 from repro.dyad.rdma import make_transport
 from repro.errors import DyadError, FileNotFound, TransferError
 from repro.kvs.store import KVS
-from repro.sim.resources import Resource
+from repro.sim.resources import Resource, Signal
 from repro.storage.locks import LockMode
 from repro.storage.xfs import XFSFileSystem
 
@@ -41,6 +41,11 @@ class DyadService:
         self.crashed = False
         self.crashes = 0
         self.refused_gets = 0
+        #: shared-read staging tier: path -> Signal fired when the
+        #: in-flight remote pull of that frame lands (or fails) on this
+        #: node; consumers of the same frame park here instead of
+        #: issuing duplicate RDMA pulls (see ``DyadConfig.shared_read_cache``)
+        self.inflight_pulls: Dict[str, "Signal"] = {}
         #: integrity faults: short/missing frames refused (checked mode)
         self.integrity_refusals = 0
         #: ``stale_metadata`` window: producers on this node publish the

@@ -46,6 +46,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "streaming workload grid (windowed/pubsub/"
                              "nbuffer pipelines) instead of the default "
                              "barrier/polling grid")
+    parser.add_argument("--topology", action="store_true",
+                        help="with the 'chaos' experiment: soak/replay the "
+                             "non-pairwise workload grid (fan-out/fan-in/"
+                             "work-stealing shapes) instead of the default "
+                             "pairwise grid")
     parser.add_argument("--fault-plan", default=None, metavar="FILE",
                         help="JSON fault plan (e.g. a shrunk chaos repro) "
                              "injected into every repetition; with the "
@@ -107,7 +112,8 @@ def _dispatch(args) -> int:
             result = module.run()
         elif args.experiment == "chaos":
             result = module.run(runs=args.runs, frames=args.frames,
-                                quick=args.quick, streaming=args.streaming)
+                                quick=args.quick, streaming=args.streaming,
+                                topology=args.topology)
         else:
             result = module.run(runs=args.runs, frames=args.frames,
                                 quick=args.quick)

@@ -31,7 +31,8 @@ DEFAULT_PLANS = 60
 QUICK_PLANS = 20
 
 
-def replay(plan, frames: int = 8, streaming: bool = False) -> ChaosReport:
+def replay(plan, frames: int = 8, streaming: bool = False,
+           topology: bool = False) -> ChaosReport:
     """Replay one plan (e.g. a shrunk repro) across the workload grid.
 
     Each workload runs the plan checked-and-fatal under its grid seed;
@@ -40,13 +41,15 @@ def replay(plan, frames: int = 8, streaming: bool = False) -> ChaosReport:
     seed=<printed>)``) — the grid sweep here is the smoke version.
     """
     report = ChaosReport(base_seed=0)
-    for i, spec in enumerate(chaos_workloads(frames, streaming=streaming)):
+    for i, spec in enumerate(chaos_workloads(frames, streaming=streaming,
+                                             topology=topology)):
         report.outcomes.append(execute_plan(spec, plan, seed=i))
     return report
 
 
 def run(runs: Optional[int] = None, frames: Optional[int] = None,
-        quick: bool = False, streaming: bool = False) -> ChaosReport:
+        quick: bool = False, streaming: bool = False,
+        topology: bool = False) -> ChaosReport:
     """Run the soak; ``runs`` overrides the plan count.
 
     A campaign-scoped fault plan (the CLI's ``--fault-plan FILE``)
@@ -58,6 +61,12 @@ def run(runs: Optional[int] = None, frames: Optional[int] = None,
     failure modes are flow-control: leaked credits, lost watch wake-ups,
     backpressure deadlocks (see ``docs/streaming.md``).
 
+    ``topology=True`` (the CLI's ``--topology``) soaks/replays the
+    non-pairwise workload grid — fan-out/fan-in/pool shapes whose
+    failure modes live in the shared-read single-flight tier, the
+    per-edge credit ledgers, and the aggregation/pool drain invariants
+    (see ``docs/topologies.md``).
+
     ``REPRO_CHAOS_ARTIFACTS`` names the directory the shrunk repro (if
     any) is serialized into (CI points it at the upload path).
     """
@@ -66,18 +75,21 @@ def run(runs: Optional[int] = None, frames: Optional[int] = None,
     frames = frames if frames is not None else 8
     scoped = default_fault_plan()
     if scoped is not None:
-        return replay(scoped, frames=frames, streaming=streaming)
+        return replay(scoped, frames=frames, streaming=streaming,
+                      topology=topology)
     plans = runs if runs is not None else (
         QUICK_PLANS if quick else DEFAULT_PLANS
     )
     artifact_dir = os.environ.get("REPRO_CHAOS_ARTIFACTS") or None
     return soak(plans=plans, base_seed=0, frames=frames,
-                artifact_dir=artifact_dir, streaming=streaming)
+                artifact_dir=artifact_dir, streaming=streaming,
+                topology=topology)
 
 
-def main(quick: bool = False, streaming: bool = False) -> ChaosReport:
+def main(quick: bool = False, streaming: bool = False,
+         topology: bool = False) -> ChaosReport:
     """Run, print, and *gate* the soak (raises on violations/crashes)."""
-    report = run(quick=quick, streaming=streaming)
+    report = run(quick=quick, streaming=streaming, topology=topology)
     print(report.render())
     if report.failures:
         raise CampaignError(

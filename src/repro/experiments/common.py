@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -28,6 +28,7 @@ __all__ = [
     "default_runs",
     "default_frames",
     "measure",
+    "median_run",
     "JITTER_CV",
 ]
 
@@ -48,6 +49,22 @@ def default_frames(override: Optional[int] = None) -> int:
     if override is not None:
         return max(1, int(override))
     return max(1, int(os.environ.get("REPRO_FRAMES", "128")))
+
+
+def median_run(runs: Sequence, key: Callable[[object], float]):
+    """The run whose ``key`` is the (lower) median of the set.
+
+    Aggregating a grid cell by *selecting one representative run* keeps
+    its headline metric and its event counters mutually consistent: the
+    reported transfer/cache counts are the ones that actually occurred in
+    the run whose movement is reported. Mixing the median of one metric
+    with the counters of run 0 fabricates a cell no run produced, and
+    silently ties the counter columns to one arbitrary seed.
+    """
+    if not runs:
+        raise ValueError("median_run needs at least one run")
+    ordered = sorted(runs, key=key)
+    return ordered[(len(ordered) - 1) // 2]
 
 
 @dataclass(frozen=True)
@@ -173,7 +190,12 @@ class FigureResult:
         rows = []
         for x in self.xs:
             for system in self.systems:
-                cell = self.cell(x, system)
+                # Ragged grids (a system capped below the top x, e.g.
+                # single-node fan-out under the procs/node budget) simply
+                # omit the absent combinations.
+                cell = self.cells.get((x, system))
+                if cell is None:
+                    continue
                 move = getattr(cell, f"{which}_movement")
                 idle = getattr(cell, f"{which}_idle")
                 rows.append([

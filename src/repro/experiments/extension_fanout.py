@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.cluster.corona import corona
 from repro.dyad.service import DyadRuntime
-from repro.experiments.common import default_frames, default_runs
+from repro.experiments.common import default_frames, default_runs, median_run
 from repro.md.models import JAC, MolecularModel
 from repro.perf.caliper import Caliper, Category
 from repro.perf.report import table
@@ -63,16 +63,33 @@ class FanoutResult:
     notes: List[str] = field(default_factory=list)
 
     def render(self) -> str:
-        """Fixed-width table of the fan-out grid plus notes."""
+        """Fixed-width table of the fan-out grid plus notes.
+
+        Renders whatever the grid actually holds: a system or fan-out
+        missing from the grid shows as ``n/a`` rather than raising, and
+        the ratio column is guarded against a zero DYAD movement (a
+        quick all-cache-hit run can legitimately report ~0).
+        """
         rows = []
-        for fanout in sorted(next(iter(self.grid.values()))):
+        fanouts = sorted({f for per in self.grid.values() for f in per})
+        for fanout in fanouts:
             row = [str(fanout)]
             for system in ("dyad", "lustre"):
-                m = self.grid[system][fanout]
-                row.append(f"{to_msec(m.consumption_movement):.3f}")
-                row.append(str(m.transfers))
-            dyad, lustre = self.grid["dyad"][fanout], self.grid["lustre"][fanout]
-            row.append(f"{lustre.consumption_movement / dyad.consumption_movement:.2f}x")
+                m = self.grid.get(system, {}).get(fanout)
+                if m is None:
+                    row.extend(["n/a", "n/a"])
+                else:
+                    row.append(f"{to_msec(m.consumption_movement):.3f}")
+                    row.append(str(m.transfers))
+            dyad = self.grid.get("dyad", {}).get(fanout)
+            lustre = self.grid.get("lustre", {}).get(fanout)
+            if (dyad is not None and lustre is not None
+                    and dyad.consumption_movement > 0):
+                row.append(
+                    f"{lustre.consumption_movement / dyad.consumption_movement:.2f}x"
+                )
+            else:
+                row.append("n/a")
             rows.append(row)
         body = table(
             ["consumers", "dyad move (ms)", "dyad transfers",
@@ -191,13 +208,15 @@ def run(runs: Optional[int] = None, frames: Optional[int] = None,
                      for r in range(runs)]
         lustre_runs = [_run_lustre(model, fanout, frames, seed=1000 * r)
                        for r in range(runs)]
-        grid["dyad"][fanout] = FanoutMeasurement(
-            consumption_movement=float(np.median(
-                [m.consumption_movement for m in dyad_runs])),
-            transfers=dyad_runs[0].transfers,
-            cache_hits=dyad_runs[0].cache_hits,
+        # Aggregate both systems identically: pick the median-movement
+        # run, whose transfer/cache counters are the ones that actually
+        # produced the reported movement (per-run-consistent cells).
+        grid["dyad"][fanout] = median_run(
+            dyad_runs, key=lambda m: m.consumption_movement
         )
-        grid["lustre"][fanout] = lustre_runs[0]
+        grid["lustre"][fanout] = median_run(
+            lustre_runs, key=lambda m: m.consumption_movement
+        )
 
     result = FanoutResult(grid=grid, runs=runs, frames=frames,
                           model=model.name)

@@ -230,7 +230,10 @@ def load_campaign(directory) -> Dict[str, FigureResult]:
 #:    the fidelity field; keys gained the fidelity tier.
 #: 6: entries gained the CRC-framed on-disk format and the sharded
 #:    ``root/<key[:2]>/`` layout (multi-tenant store prerequisites).
-_CACHE_SCHEMA = 6
+#: 7: specs gained topology/producers/consumers; DyadConfig gained
+#:    shared_read_cache (config reprs key the cache); system_stats gained
+#:    dyad_shared_read_waits and the pool_* counters.
+_CACHE_SCHEMA = 7
 
 #: On-disk entry framing: magic + payload length + CRC32 ahead of the
 #: pickle. A crashed writer (power loss between write and rename on a

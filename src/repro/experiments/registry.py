@@ -11,6 +11,7 @@ from repro.experiments import (
     extension_fanout,
     resilience,
     streaming,
+    topology,
     validate,
     fig5_single_node,
     fig6_two_node,
@@ -38,6 +39,7 @@ EXPERIMENTS: Dict[str, object] = {
     "fig12": fig12_stmv_stride,
     "ablations": ablations,
     "fanout": extension_fanout,
+    "topology": topology,
     "resilience": resilience,
     "streaming": streaming,
     "chaos": chaos_soak,

@@ -323,18 +323,90 @@ class InvariantChecker:
         ``consumers`` maps consumer role name → the pair index it reads.
         Duplicates were caught at consume time; this closes the gap side.
         """
+        self.check_complete_edges(sorted(consumers.items()), frames)
+
+    def check_complete_edges(self, edges: Iterable[Tuple[str, int]],
+                             frames: int) -> None:
+        """Per-edge completeness: each ``(role, stream)`` edge drained.
+
+        The per-edge generalization of :meth:`check_complete`: an edge is
+        one consumer reading one frame stream, and every frame of that
+        stream must have been consumed by that role exactly once
+        (duplicates were caught at consume time). Pairwise workflows have
+        one edge per pair; a fan-out has one edge per consumer (all on
+        stream 0); a fan-in has one edge per input stream (all consumed
+        by the single reducer).
+        """
         if not self.config.enabled:
             return
-        for role, pair in sorted(consumers.items()):
+        for role, stream in edges:
             self.checks += 1
             missing = [f for f in range(frames)
-                       if (role, pair, f) not in self._consumed]
+                       if (role, stream, f) not in self._consumed]
             if missing:
                 shown = ", ".join(str(f) for f in missing[:5])
                 more = "" if len(missing) <= 5 else f" (+{len(missing) - 5})"
                 self._report(
                     f"exactly-once: {role} never consumed frame(s) "
-                    f"{shown}{more} of pair {pair}"
+                    f"{shown}{more} of pair {stream}"
+                )
+
+    def check_aggregation(self, role: str, streams: int, frames: int) -> None:
+        """Fan-in aggregation-completeness for the reduce consumer.
+
+        ``role`` must have folded frame *k* of every one of ``streams``
+        input streams before the workflow drained — a reduce that quietly
+        skipped one producer's contribution is exactly the lie a fan-in
+        can tell that per-pair bookkeeping would miss.
+        """
+        if not self.config.enabled:
+            return
+        self.check_complete_edges(
+            [(role, s) for s in range(streams)], frames
+        )
+        self.checks += 1
+        total = sum(1 for (r, _s, _f) in self._consumed if r == role)
+        if total != streams * frames:
+            self._report(
+                f"aggregation-completeness: {role} folded {total} "
+                f"contribution(s), expected {streams} stream(s) x "
+                f"{frames} frame(s) = {streams * frames}"
+            )
+
+    def check_pool(self, roles: Iterable[str], streams: int,
+                   frames: int) -> None:
+        """Work-stealing pool: every task consumed exactly once pool-wide.
+
+        Per-role keying cannot catch two *different* workers claiming the
+        same ``(stream, frame)`` task — each sees its own first
+        consumption. This drain check closes that hole: across the whole
+        pool each task must appear exactly once, with no gaps.
+        """
+        if not self.config.enabled:
+            return
+        roleset = set(roles)
+        owners: Dict[Tuple[int, int], List[str]] = {}
+        for (r, s, f) in self._consumed:
+            if r in roleset:
+                owners.setdefault((s, f), []).append(r)
+        for s in range(streams):
+            self.checks += 1
+            missing = [f for f in range(frames) if (s, f) not in owners]
+            if missing:
+                shown = ", ".join(str(f) for f in missing[:5])
+                more = "" if len(missing) <= 5 else f" (+{len(missing) - 5})"
+                self._report(
+                    f"exactly-once: no pool worker consumed frame(s) "
+                    f"{shown}{more} of stream {s}"
+                )
+            self.checks += 1
+            dup = [(f, owners[(s, f)]) for f in range(frames)
+                   if len(owners.get((s, f), ())) > 1]
+            if dup:
+                f, who = dup[0]
+                self._report(
+                    f"exactly-once: frame {f} of stream {s} was consumed "
+                    f"by {len(who)} pool workers ({', '.join(sorted(who))})"
                 )
 
     # -- reporting --------------------------------------------------------------

@@ -6,6 +6,9 @@ Examples::
     python -m repro.workflow --system lustre --model stmv --stride 10 \\
         --frames 64 --sync polling --runs 3
     python -m repro.workflow --system dyad --trace /tmp/run.trace.json
+    python -m repro.workflow --system dyad --topology fanout --consumers 8
+    python -m repro.workflow --system lustre --topology pool \\
+        --producers 2 --consumers 3 --sync windowed
 """
 
 from __future__ import annotations
@@ -19,7 +22,9 @@ from repro.md.models import model_by_name
 from repro.perf.report import table
 from repro.units import to_msec, to_usec
 from repro.workflow.runner import run_repetitions, run_workflow
-from repro.workflow.spec import Placement, SyncMode, System, WorkflowSpec
+from repro.workflow.spec import (
+    Placement, SyncMode, System, Topology, WorkflowSpec,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,7 +42,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="MD steps per frame (default: the model's "
                              "Table II stride)")
     parser.add_argument("--frames", type=int, default=64)
-    parser.add_argument("--pairs", type=int, default=4)
+    parser.add_argument("--pairs", type=int, default=None,
+                        help="producer/consumer pairs for the pairwise "
+                             "topology (default 4; fixed at 1 otherwise)")
+    parser.add_argument("--topology", default="pairwise",
+                        choices=[t.value for t in Topology],
+                        help="workflow graph shape: pairwise 1:1 links, "
+                             "fanout 1->M, fanin N->1 reduce, or a "
+                             "work-stealing consumer pool")
+    parser.add_argument("--producers", type=int, default=0,
+                        help="producer count for fanin/pool (fanout "
+                             "fixes it at 1)")
+    parser.add_argument("--consumers", type=int, default=0,
+                        help="consumer count for fanout/pool (fanin "
+                             "fixes it at 1)")
     parser.add_argument("--placement", default=None,
                         choices=[p.value for p in Placement],
                         help="default: single-node for xfs, split otherwise")
@@ -82,18 +100,31 @@ def build_spec(args) -> WorkflowSpec:
     extras = {}
     sync = SyncMode(args.sync)
     # The streaming transports apply to every system; the manual
-    # coarse/polling modes model XFS/Lustre-only sync scripts and stay
-    # silently ignored for DYAD (its KVS provides the signalling).
-    if system is not System.DYAD or sync.is_streaming:
-        extras["sync_mode"] = sync
+    # coarse/polling modes model XFS/Lustre-only sync scripts, and the
+    # spec normalizes them to COARSE for DYAD (its KVS provides the
+    # signalling, so the manual spellings alias the automatic mode).
+    extras["sync_mode"] = sync
     if sync.is_streaming:
         extras["window"] = args.window if sync is SyncMode.WINDOWED else 2
+    topology = Topology(args.topology)
+    if topology is not Topology.PAIRWISE:
+        extras["topology"] = topology
+        extras["producers"] = args.producers
+        extras["consumers"] = args.consumers
+        pairs = 1 if args.pairs is None else args.pairs
+    else:
+        # Pass stray sizes through so the spec rejects them loudly
+        # (pairwise sizes via --pairs) instead of ignoring the flags.
+        if args.producers or args.consumers:
+            extras["producers"] = args.producers
+            extras["consumers"] = args.consumers
+        pairs = 4 if args.pairs is None else args.pairs
     return WorkflowSpec(
         system=system,
         model=model,
         stride=args.stride if args.stride is not None else model.paper_stride,
         frames=args.frames,
-        pairs=args.pairs,
+        pairs=pairs,
         placement=placement,
         **extras,
     )

@@ -35,8 +35,10 @@ from repro.sim.fluid import Fidelity
 from repro.sim.resources import Signal, channel_health
 from repro.storage.lustre import LustreConfig, LustreFileSystem, LustreServers
 from repro.storage.xfs import XFSConfig, XFSFileSystem
-from repro.workflow import emulator, streaming
-from repro.workflow.spec import Placement, SyncMode, System, WorkflowSpec
+from repro.workflow import emulator, streaming, topology
+from repro.workflow.spec import (
+    Placement, SyncMode, System, Topology, WorkflowSpec,
+)
 
 __all__ = ["WorkflowResult", "run_workflow", "run_repetitions"]
 
@@ -125,9 +127,11 @@ def _default_event_budget(spec: WorkflowSpec) -> int:
     A healthy run dispatches a few hundred events per frame per pair;
     20k leaves two orders of magnitude of headroom for retry storms and
     degraded windows while still tripping long before a spin becomes a
-    multi-minute hang.
+    multi-minute hang. For non-pairwise topologies the wider side of the
+    graph (``max(producers, consumers)``) plays the role of ``pairs``.
     """
-    return 1_000_000 + 20_000 * spec.frames * spec.pairs
+    span = max(spec.pairs, spec.n_producers, spec.n_consumers)
+    return 1_000_000 + 20_000 * spec.frames * span
 
 
 def run_workflow(
@@ -185,19 +189,29 @@ def run_workflow(
     timeline = MetricsTimeline(clock=lambda: env.now) if metrics else None
     caliper = Caliper(clock=lambda: env.now)
     annotate = tracer.annotator if tracer else caliper.annotator
-    placements = spec.placements()
+    topology_run = spec.topology is not Topology.PAIRWISE
+    placements = None if topology_run else spec.placements()
 
-    producer_anns = [annotate(f"producer{p:04d}") for p in range(spec.pairs)]
-    consumer_anns = [annotate(f"consumer{p:04d}") for p in range(spec.pairs)]
+    producer_anns = [
+        annotate(f"producer{p:04d}") for p in range(spec.n_producers)
+    ]
+    consumer_anns = [
+        annotate(f"consumer{p:04d}") for p in range(spec.n_consumers)
+    ]
 
     # claim one GPU per process, as the paper's placement does
-    for (pn, cn) in placements:
-        cluster.node(pn).claim_gpu()
-        cluster.node(cn).claim_gpu()
+    if topology_run:
+        for n in spec.producer_nodes() + spec.consumer_nodes():
+            cluster.node(n).claim_gpu()
+    else:
+        for (pn, cn) in placements:
+            cluster.node(pn).claim_gpu()
+            cluster.node(cn).claim_gpu()
 
     runtime = None
     servers = None
     fs = None
+    topo = None  # TopologySetup for the non-pairwise graph shapes
     streams = None  # StreamingSetup for the windowed/pubsub/nbuffer modes
     consumers: List = []
     processes: List = []  # (role, Process) for stall diagnostics
@@ -212,7 +226,13 @@ def run_workflow(
                 fault_rate=fault_plan.transfer_fault_rate,
             )
         runtime = DyadRuntime(cluster, config=config)
-        if spec.is_streaming:
+        if topology_run:
+            topo = topology.spawn_topology(
+                env, spec, cluster, producer_anns, consumer_anns, compute,
+                checker=checker, runtime=runtime,
+                liveness_horizon=checker.config.liveness_horizon,
+            )
+        elif spec.is_streaming:
             streams = streaming.spawn_streaming(
                 env, spec, cluster, placements, producer_anns, consumer_anns,
                 compute, checker=checker, runtime=runtime,
@@ -244,7 +264,13 @@ def run_workflow(
     elif spec.system is System.XFS:
         fs = XFSFileSystem(cluster.node(0), config=xfs_config)
         fs.makedirs("/data")
-        if spec.is_streaming:
+        if topology_run:
+            topo = topology.spawn_topology(
+                env, spec, cluster, producer_anns, consumer_anns, compute,
+                checker=checker, fs=fs,
+                liveness_horizon=checker.config.liveness_horizon,
+            )
+        elif spec.is_streaming:
             streams = streaming.spawn_streaming(
                 env, spec, cluster, placements, producer_anns, consumer_anns,
                 compute, checker=checker, fs=fs,
@@ -260,7 +286,13 @@ def run_workflow(
         servers = LustreServers(env, cluster.fabric, lustre_config, cluster.rng)
         fs = LustreFileSystem(servers)
         fs.makedirs("/data")
-        if spec.is_streaming:
+        if topology_run:
+            topo = topology.spawn_topology(
+                env, spec, cluster, producer_anns, consumer_anns, compute,
+                checker=checker, fs=fs,
+                liveness_horizon=checker.config.liveness_horizon,
+            )
+        elif spec.is_streaming:
             streams = streaming.spawn_streaming(
                 env, spec, cluster, placements, producer_anns, consumer_anns,
                 compute, checker=checker, fs=fs,
@@ -275,6 +307,14 @@ def run_workflow(
     else:  # pragma: no cover - enum is exhaustive
         raise WorkflowError(f"unknown system {spec.system!r}")
 
+    if topo is not None:
+        processes = topo.processes
+        consumers = topo.consumers
+        if spec.is_streaming:
+            # TopologySetup duck-types StreamingSetup where the rest of
+            # the run reads it (.channels / .broker / .processes).
+            streams = topo
+
     if timeline is not None:
         # Attach probes after every substrate exists but before the first
         # event runs; attachment only registers gauges, it never schedules.
@@ -287,9 +327,10 @@ def run_workflow(
             servers.attach_metrics(timeline)
 
     ann_by_role: Dict[str, object] = {}
-    for p in range(spec.pairs):
-        ann_by_role[f"producer{p}"] = producer_anns[p]
-        ann_by_role[f"consumer{p}"] = consumer_anns[p]
+    for p, ann in enumerate(producer_anns):
+        ann_by_role[f"producer{p}"] = ann
+    for p, ann in enumerate(consumer_anns):
+        ann_by_role[f"consumer{p}"] = ann
 
     def _stuck_detail() -> List[str]:
         """Describe each stuck process by the last event it completed."""
@@ -369,14 +410,22 @@ def run_workflow(
             )
         # Recovery correctness: every frame must have arrived despite the
         # injected faults (the retry loop re-requests lost frames).
-        for pair, consumer in enumerate(consumers):
-            got = consumer.fast_hits + consumer.kvs_waits
-            if got != spec.frames:
+        if topo is not None:
+            errors = topo.recovery_errors()
+            if errors:
                 raise WorkflowError(
-                    f"consumer{pair} completed {got} of {spec.frames} "
-                    "frames despite finishing — recovery accounting is "
-                    "inconsistent"
+                    "; ".join(errors)
+                    + " — recovery accounting is inconsistent"
                 )
+        else:
+            for pair, consumer in enumerate(consumers):
+                got = consumer.fast_hits + consumer.kvs_waits
+                if got != spec.frames:
+                    raise WorkflowError(
+                        f"consumer{pair} completed {got} of {spec.frames} "
+                        "frames despite finishing — recovery accounting is "
+                        "inconsistent"
+                    )
     fabric = cluster.fabric
     system_stats = {
         "fabric_transfers": float(fabric.stats.transfers),
@@ -429,9 +478,12 @@ def run_workflow(
         # Flow-control drain: credits home, no armed watches, nothing
         # published-but-undelivered, no deferred credit returns.
         checker.check_stream_drain(streams.channels)
-    checker.check_complete(
-        {f"consumer{p}": p for p in range(spec.pairs)}, spec.frames
-    )
+    if topo is not None:
+        topo.check_complete(checker)
+    else:
+        checker.check_complete(
+            {f"consumer{p}": p for p in range(spec.pairs)}, spec.frames
+        )
     system_stats["invariant_checks"] = float(checker.checks)
     system_stats["invariant_violations"] = float(checker.violation_count)
     if streams is not None:
@@ -482,6 +534,9 @@ def run_workflow(
             "dyad_kvs_waits": float(sum(c.kvs_waits for c in consumers)),
             "dyad_fast_hits": float(sum(c.fast_hits for c in consumers)),
             "dyad_cache_hits": float(sum(c.cache_hits for c in consumers)),
+            "dyad_shared_read_waits": float(
+                sum(c.shared_read_waits for c in consumers)
+            ),
             "dyad_transfer_retries": float(
                 sum(c.transfer_retries for c in consumers)
             ),
@@ -494,6 +549,16 @@ def run_workflow(
             ),
             "dyad_dropped_watches": float(runtime.kvs.stats.dropped_watches),
             "dyad_lost_wakeups": float(runtime.kvs.stats.lost_wakeups),
+        })
+    if topo is not None and topo.queue is not None:
+        claimed = topo.queue.per_worker()
+        loads = [claimed.get(f"consumer{j}", 0)
+                 for j in range(spec.consumers)]
+        system_stats.update({
+            "pool_tasks_total": float(topo.queue.total),
+            "pool_workers": float(spec.consumers),
+            "pool_max_claimed": float(max(loads)),
+            "pool_min_claimed": float(min(loads)),
         })
     if injector is not None:
         system_stats["faults_applied"] = float(injector.applied)

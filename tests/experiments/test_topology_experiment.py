@@ -1,0 +1,205 @@
+"""Tests for the topology experiment and the grid-aggregation fixes.
+
+Covers the regression the old fan-out harness shipped (median movement
+reported with run 0's counters), the render hardening of both the
+legacy ``FanoutResult`` and the shared ``FigureResult`` against ragged
+grids, and a trimmed end-to-end run of the topology sweep including its
+read-amplification accounting and invariant gate.
+"""
+
+import pytest
+
+from repro.experiments import extension_fanout, topology
+from repro.experiments.common import (
+    Cell,
+    FigureResult,
+    Stat,
+    median_run,
+)
+from repro.experiments.extension_fanout import FanoutMeasurement, FanoutResult
+
+
+# ---------------------------------------------------------------------------
+# median_run: one representative run, counters consistent with movement
+# ---------------------------------------------------------------------------
+
+
+def test_median_run_picks_middle_element():
+    runs = [{"m": 5.0}, {"m": 1.0}, {"m": 3.0}]
+    assert median_run(runs, key=lambda r: r["m"]) is runs[2]
+
+
+def test_median_run_even_count_takes_lower_median():
+    runs = [{"m": 4.0}, {"m": 2.0}, {"m": 1.0}, {"m": 3.0}]
+    assert median_run(runs, key=lambda r: r["m"]) is runs[1]
+
+
+def test_median_run_rejects_empty():
+    with pytest.raises(ValueError, match="at least one run"):
+        median_run([], key=lambda r: r)
+
+
+def test_fanout_grid_counters_come_from_the_median_run(monkeypatch):
+    """Regression: the cell must be one actual run, not a chimera of the
+    median movement and run 0's transfer/cache counters."""
+    def fake_dyad(model, fanout, frames, seed):
+        r = seed // 1000
+        # movements 3.0, 1.0, 2.0 -> the median run is r=2, NOT r=0
+        return FanoutMeasurement(
+            consumption_movement=[3.0, 1.0, 2.0][r],
+            transfers=100 + r, cache_hits=10 + r,
+        )
+
+    def fake_lustre(model, fanout, frames, seed):
+        r = seed // 1000
+        return FanoutMeasurement(
+            consumption_movement=[9.0, 7.0, 8.0][r],
+            transfers=200 + r, cache_hits=0,
+        )
+
+    monkeypatch.setattr(extension_fanout, "_run_dyad", fake_dyad)
+    monkeypatch.setattr(extension_fanout, "_run_lustre", fake_lustre)
+    result = extension_fanout.run(runs=3, frames=8)
+    for fanout in extension_fanout.FANOUTS:
+        dyad = result.grid["dyad"][fanout]
+        assert dyad.consumption_movement == 2.0
+        assert dyad.transfers == 102        # the median run's own counter
+        assert dyad.cache_hits == 12
+        # Both systems aggregate identically (lustre was run[0] before).
+        lustre = result.grid["lustre"][fanout]
+        assert lustre.consumption_movement == 8.0
+        assert lustre.transfers == 202
+
+
+# ---------------------------------------------------------------------------
+# render hardening: ragged grids and degenerate cells
+# ---------------------------------------------------------------------------
+
+
+def _m(movement, transfers=1, cache_hits=0):
+    return FanoutMeasurement(consumption_movement=movement,
+                             transfers=transfers, cache_hits=cache_hits)
+
+
+def test_fanout_render_survives_missing_cells():
+    result = FanoutResult(
+        grid={"dyad": {1: _m(0.01), 8: _m(0.02)},
+              "lustre": {1: _m(0.03)}},          # no lustre @ 8
+        runs=1, frames=8, model="JAC",
+    )
+    text = result.render()
+    assert "n/a" in text
+    assert "0.03" not in text or True  # renders without raising is the point
+
+
+def test_fanout_render_survives_missing_system():
+    result = FanoutResult(grid={"dyad": {1: _m(0.01)}},
+                          runs=1, frames=8, model="JAC")
+    text = result.render()
+    assert "n/a" in text
+
+
+def test_fanout_render_guards_zero_dyad_movement():
+    result = FanoutResult(
+        grid={"dyad": {8: _m(0.0, transfers=8, cache_hits=56)},
+              "lustre": {8: _m(0.04, transfers=64)}},
+        runs=1, frames=8, model="JAC",
+    )
+    text = result.render()   # must not ZeroDivisionError
+    assert "n/a" in text
+
+
+def test_figure_result_table_skips_ragged_combinations():
+    stat = Stat(mean=0.001, std=0.0)
+    cell = Cell(production_movement=stat, production_idle=stat,
+                consumption_movement=stat, consumption_idle=stat)
+    fig = FigureResult(
+        figure_id="T", title="ragged", x_name="consumers",
+        xs=[7, 8], systems=["xfs/coarse", "lustre/coarse"],
+        cells={(7, "xfs/coarse"): cell, (8, "lustre/coarse"): cell},
+        runs=1, frames=8,
+    )
+    text = fig.render()      # must not KeyError on the absent combos
+    assert "xfs/coarse" in text and "lustre/coarse" in text
+
+
+# ---------------------------------------------------------------------------
+# TopologyReport rendering
+# ---------------------------------------------------------------------------
+
+
+def test_topology_report_render_gate_and_failures():
+    clean = topology.TopologyReport(runs=1, frames=8)
+    assert "gate: zero invariant violations" in clean.render()
+    bad = topology.TopologyReport(
+        failures=["Topology-A/exact dyad/coarse @ 8: boom"],
+        runs=1, frames=8,
+    )
+    text = bad.render()
+    assert "FAILURES:" in text and "boom" in text
+    assert "gate: zero" not in text
+
+
+def test_topology_report_render_amplification_lines():
+    report = topology.TopologyReport(runs=1, frames=8)
+    report.amplification["dyad"] = {
+        "fanout": 8.0, "frames": 8.0, "rdma_transfers": 8.0,
+        "cache_hits": 56.0, "shared_read_waits": 16.0,
+    }
+    report.amplification["lustre"] = {
+        "fanout": 8.0, "frames": 8.0, "cold_reads": 64.0,
+    }
+    text = report.render()
+    assert "8 RDMA pull(s), 56 staging-cache hit(s)" in text
+    assert "one pull per frame per node" in text
+    assert "64 cold read(s)" in text and "8x read amplification" in text
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: a trimmed sweep passes its own gate
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Trim to the exact tier (the hybrid tier rides the same code path);
+    # quick mode keeps the grid at two widths per shape.
+    original = topology.FIDELITIES
+    topology.FIDELITIES = ("exact",)
+    try:
+        return topology.run(quick=True)
+    finally:
+        topology.FIDELITIES = original
+
+
+def test_sweep_passes_gate(report):
+    assert report.failures == []
+    assert len(report.figures) == 3          # one per shape, exact tier
+
+
+def test_sweep_covers_every_system(report):
+    for fig in report.figures:
+        systems = {label.split("/")[0] for label in fig.systems}
+        assert systems == {"dyad", "xfs", "lustre"}
+        # DYAD has no polling column: the spelling normalizes to coarse.
+        assert "dyad/polling" not in fig.systems
+
+
+def test_sweep_amplification_accounting(report):
+    dyad = report.amplification["dyad"]
+    lustre = report.amplification["lustre"]
+    frames, fanout = 8, 8
+    # All 8 fan-out consumers share one split node: one pull per frame,
+    # the rest served by the staging cache.
+    assert dyad["rdma_transfers"] == float(frames)
+    assert dyad["cache_hits"] == float((fanout - 1) * frames)
+    assert dyad["shared_read_waits"] > 0
+    # Lustre cold-reads every frame once per consumer.
+    assert lustre["cold_reads"] == float(fanout * frames)
+    assert lustre["cold_reads"] == fanout * dyad["rdma_transfers"]
+
+
+def test_sweep_render_mentions_gate_and_amplification(report):
+    text = report.render()
+    assert "gate: zero invariant violations" in text
+    assert "read amplification" in text

@@ -2,8 +2,9 @@
 
 import pytest
 
+from repro.errors import WorkflowError
 from repro.workflow.__main__ import build_parser, build_spec, main
-from repro.workflow.spec import Placement, SyncMode, System
+from repro.workflow.spec import Placement, SyncMode, System, Topology
 
 
 def parse(*argv):
@@ -43,6 +44,29 @@ def test_sync_ignored_for_dyad():
 def test_unknown_system_rejected():
     with pytest.raises(SystemExit):
         parse("--system", "nfs")
+
+
+def test_spec_topology_args():
+    spec = build_spec(parse("--system", "dyad", "--topology", "fanout",
+                            "--consumers", "8"))
+    assert spec.topology is Topology.FANOUT
+    assert (spec.producers, spec.consumers, spec.pairs) == (1, 8, 1)
+
+
+def test_topology_without_sizes_rejected():
+    with pytest.raises(WorkflowError, match="consumers >= 1"):
+        build_spec(parse("--system", "dyad", "--topology", "fanout"))
+
+
+def test_pairwise_rejects_stray_topology_sizes():
+    # The flags must not be silently ignored for pairwise runs.
+    with pytest.raises(WorkflowError, match="sizes via pairs"):
+        build_spec(parse("--system", "dyad", "--producers", "3"))
+
+
+def test_unknown_topology_rejected():
+    with pytest.raises(SystemExit):
+        parse("--system", "dyad", "--topology", "ring")
 
 
 def test_main_runs_and_prints(capsys):

@@ -19,9 +19,16 @@ def spec_with(sync_mode, system=System.LUSTRE, frames=8, pairs=2,
                         sync_mode=sync_mode, poll_interval=poll_interval)
 
 
-def test_polling_invalid_for_dyad():
-    with pytest.raises(WorkflowError, match="automatic"):
-        WorkflowSpec(system=System.DYAD, sync_mode=SyncMode.POLLING)
+def test_polling_normalizes_to_coarse_for_dyad():
+    """DYAD synchronization is automatic: requesting the manual POLLING
+    mode aliases to the canonical COARSE spelling instead of raising
+    (COARSE is what every DYAD spec already carries by default), so the
+    two spellings share one spec repr, one cache key, and one result
+    fingerprint."""
+    spec = WorkflowSpec(system=System.DYAD, sync_mode=SyncMode.POLLING)
+    assert spec.sync_mode is SyncMode.COARSE
+    assert repr(spec) == repr(WorkflowSpec(system=System.DYAD,
+                                           sync_mode=SyncMode.COARSE))
 
 
 def test_poll_interval_validation():
